@@ -1,0 +1,126 @@
+// Figure 2: "VBP masks are tied to learned features" — compare VBP masks of
+// a network trained on real steering angles against the same architecture
+// trained on random steering angles.
+//
+// The paper's figure is qualitative (the random-label network's mask is
+// garbled; the real-label network's mask picks out the road). We report two
+// quantitative proxies per model, averaged over scenes:
+//   * road-region top-10% precision: fraction of the brightest mask pixels
+//     that land on the road surface/edges,
+//   * relevance-band energy fraction vs the uniform-mask baseline,
+// and dump mask PGMs for visual inspection.
+#include <cstdio>
+
+#include "common.hpp"
+#include "driving/steering_trainer.hpp"
+#include "image/image_io.hpp"
+#include "roadsim/rasterizer.hpp"
+#include "saliency/visual_backprop.hpp"
+
+namespace {
+
+using namespace salnov;
+
+Image road_region_mask(const roadsim::SceneParams& params, int64_t h, int64_t w) {
+  const roadsim::RoadGeometry geo(params, h, w);
+  Image mask(h, w);
+  for (int64_t y = geo.horizon_row() + 1; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      if (geo.on_road(y, x) || geo.on_edge(y, x)) mask(y, x) = 1.0f;
+    }
+  }
+  return mask;
+}
+
+struct Stats {
+  double road_topk = 0.0;
+  double edge_energy = 0.0;
+};
+
+Stats evaluate(nn::Sequential& model, bench::Env& env, int64_t count, const std::string& dump_tag) {
+  saliency::VisualBackProp vbp;
+  Stats stats;
+  for (int64_t i = 0; i < count; ++i) {
+    const Image mask = vbp.compute(model, env.outdoor_test.image(i));
+    const Image road = road_region_mask(env.outdoor_test.params(i), bench::kHeight, bench::kWidth);
+    const Image edges = saliency::dilate(
+        env.outdoor.relevance_mask(env.outdoor_test.params(i), bench::kHeight, bench::kWidth), 1);
+    stats.road_topk += saliency::topk_precision(mask, road, 0.10);
+    stats.edge_energy += saliency::mask_energy_fraction(mask, edges);
+    if (i < 3) {
+      write_pgm(bench::artifact_dir() + "/fig2_" + dump_tag + "_mask" + std::to_string(i) + ".pgm",
+                mask);
+    }
+  }
+  stats.road_topk /= static_cast<double>(count);
+  stats.edge_energy /= static_cast<double>(count);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace salnov;
+  bench::print_header("Figure 2 — VBP masks are tied to learned features",
+                      "Same CNN architecture trained on real vs random steering labels;\n"
+                      "the real-label network's saliency should align with road geometry.");
+
+  bench::Env& env = bench::environment();
+  const int64_t eval_count = 40;
+
+  // Real-label model: the shared environment's steering network.
+  // Random-label control: same architecture, labels replaced by U(-1,1).
+  Rng rng(42);
+  nn::Sequential random_model = driving::build_pilotnet(driving::PilotNetConfig::compact(), rng);
+  driving::SteeringTrainOptions options;
+  options.epochs = 25;
+  options.learning_rate = 2e-3;
+  options.randomize_labels = true;
+  std::fprintf(stderr, "[fig2] training random-label control model...\n");
+  driving::train_steering_model(random_model, env.outdoor_train, options, rng);
+
+  double area = 0.0, edge_area = 0.0;
+  for (int64_t i = 0; i < eval_count; ++i) {
+    area += road_region_mask(env.outdoor_test.params(i), bench::kHeight, bench::kWidth).mean();
+    edge_area += saliency::dilate(
+                     env.outdoor.relevance_mask(env.outdoor_test.params(i), bench::kHeight,
+                                                bench::kWidth),
+                     1)
+                     .mean();
+  }
+  area /= static_cast<double>(eval_count);
+  edge_area /= static_cast<double>(eval_count);
+
+  const Stats trained = evaluate(env.steering, env, eval_count, "trained");
+  const Stats random = evaluate(random_model, env, eval_count, "random");
+
+  for (int64_t i = 0; i < 3; ++i) {
+    write_pgm(bench::artifact_dir() + "/fig2_input" + std::to_string(i) + ".pgm",
+              env.outdoor_test.image(i));
+  }
+
+  std::printf("\n%-34s %16s %16s %16s\n", "metric (mean over 40 scenes)", "trained labels",
+              "random labels", "uniform mask");
+  std::printf("%-34s %16.3f %16.3f %16.3f\n", "road-region top-10%% precision", trained.road_topk,
+              random.road_topk, area);
+  std::printf("%-34s %16.3f %16.3f %16.3f\n", "edge-band energy fraction", trained.edge_energy,
+              random.edge_energy, edge_area);
+  // Masks are weight-dependent: quantify how different the two models'
+  // masks are for identical inputs.
+  saliency::VisualBackProp vbp;
+  double mask_diff = 0.0;
+  for (int64_t i = 0; i < 10; ++i) {
+    const Image a = vbp.compute(env.steering, env.outdoor_test.image(i));
+    const Image b = vbp.compute(random_model, env.outdoor_test.image(i));
+    mask_diff += Tensor::max_abs_diff(a.tensor(), b.tensor());
+  }
+  std::printf("%-34s %16.3f\n", "mean peak mask difference", mask_diff / 10.0);
+
+  std::printf("\nMask PGMs dumped to %s/fig2_*.pgm for visual comparison\n",
+              bench::artifact_dir().c_str());
+  std::printf("Shape check vs paper: the paper's Fig. 2 is qualitative (random-label masks\n"
+              "look garbled, real-label masks trace the road). Here the alignment proxies\n"
+              "are reported for one training run each; they fluctuate across runs on\n"
+              "synthetic scenes, so inspect the dumped masks alongside the numbers.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 6: reconstruction quality comparison — the baseline autoencoder
+// (raw images + MSE loss) produces blurry reconstructions even for target
+// images, while the proposed configuration (VBP images + SSIM loss)
+// reconstructs target-class inputs cleanly and fails visibly on novel ones.
+//
+// Reports per-image similarity of reconstructions (target vs novel) for
+// both configurations and dumps input/reconstruction PGM pairs.
+#include <cstdio>
+
+#include "common.hpp"
+#include "image/image_io.hpp"
+#include "metrics/mse.hpp"
+#include "metrics/ssim.hpp"
+
+int main() {
+  using namespace salnov;
+  bench::print_header("Figure 6 — reconstruction quality (baseline vs proposed)",
+                      "Autoencoder reconstructions of target and novel images under both\n"
+                      "configurations; similarity of reconstruction to input.");
+
+  bench::Env& env = bench::environment();
+
+  struct Config {
+    const char* name;
+    const char* tag;
+    core::Preprocessing pre;
+    core::ReconstructionScore score;
+  };
+  const Config configs[] = {
+      {"original images + MSE loss", "rawmse", core::Preprocessing::kRaw,
+       core::ReconstructionScore::kMse},
+      {"VBP images + SSIM loss", "vbpssim", core::Preprocessing::kVbp,
+       core::ReconstructionScore::kSsim},
+  };
+
+  for (const Config& config : configs) {
+    bench::DetectorHandle handle =
+        bench::fit_or_load_detector(env, bench::bench_detector_config(config.pre, config.score), 5);
+    const core::NoveltyDetector& detector = *handle.detector;
+
+    double target_ssim = 0.0, target_mse = 0.0, novel_ssim = 0.0, novel_mse = 0.0;
+    const int64_t count = 50;
+    for (int64_t i = 0; i < count; ++i) {
+      const Image tp = detector.preprocess(env.outdoor_test.image(i));
+      const Image tr = detector.reconstruct(tp);
+      target_ssim += ssim(tr, tp);
+      target_mse += mse(tr, tp);
+      const Image np = detector.preprocess(env.indoor_test.image(i));
+      const Image nr = detector.reconstruct(np);
+      novel_ssim += ssim(nr, np);
+      novel_mse += mse(nr, np);
+      if (i < 3) {
+        const std::string stem =
+            bench::artifact_dir() + "/fig6_" + config.tag + std::to_string(i);
+        write_pgm(stem + "_target_input.pgm", tp);
+        write_pgm(stem + "_target_recon.pgm", tr);
+        write_pgm(stem + "_novel_input.pgm", np);
+        write_pgm(stem + "_novel_recon.pgm", nr);
+      }
+    }
+    std::printf("\n[%s]\n", config.name);
+    std::printf("  target-class reconstructions: mean SSIM %.3f  mean MSE %.4f\n",
+                target_ssim / count, target_mse / count);
+    std::printf("  novel-class reconstructions:  mean SSIM %.3f  mean MSE %.4f\n",
+                novel_ssim / count, novel_mse / count);
+    std::printf("  target/novel SSIM gap: %.3f\n", (target_ssim - novel_ssim) / count);
+  }
+
+  std::printf("\nInput/reconstruction pairs dumped to %s/fig6_*.pgm\n",
+              bench::artifact_dir().c_str());
+  std::printf("Shape check vs paper: the proposed configuration reconstructs target inputs\n"
+              "better than novel inputs; the raw+MSE baseline reconstructs everything\n"
+              "equally blurrily, so the gap is small or absent.\n");
+  return 0;
+}

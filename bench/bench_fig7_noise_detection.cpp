@@ -1,0 +1,95 @@
+// Figure 7: noise detection — the novel dataset is the *training* dataset
+// with added Gaussian noise (the adversarial-perturbation scenario from the
+// paper's problem statement). The noisy images are passed through VBP like
+// any other input; the paper observes that
+//   * MSE on VBP images cannot separate noisy from clean,
+//   * SSIM on VBP images separates them,
+//   * the separation is smaller than the cross-dataset separation of Fig. 5
+//     (lane features survive in the noisy images),
+//   * MSE on original images behaves like MSE on VBP images (in-text note).
+#include <cstdio>
+
+#include "common.hpp"
+#include "image/transforms.hpp"
+#include "metrics/roc.hpp"
+
+int main() {
+  using namespace salnov;
+  bench::print_header("Figure 7 — detecting Gaussian-noise perturbations of the training domain",
+                      "Clean held-out outdoor images vs the same images with Gaussian noise,\n"
+                      "scored by MSE and SSIM detectors on VBP images (plus raw-MSE control).");
+
+  bench::Env& env = bench::environment();
+
+  // Noise level: visible corruption (sigma = 0.1 of full scale), the same
+  // order as the paper's Fig. 3 example.
+  const double sigma = 0.1;
+  Rng noise_rng(77);
+  std::vector<Image> noisy;
+  noisy.reserve(env.outdoor_test.size());
+  for (int64_t i = 0; i < env.outdoor_test.size(); ++i) {
+    noisy.push_back(add_gaussian_noise(env.outdoor_test.image(i), sigma, noise_rng));
+  }
+
+  struct Config {
+    const char* name;
+    core::Preprocessing pre;
+    core::ReconstructionScore score;
+  };
+  const Config configs[] = {
+      {"VBP images + MSE", core::Preprocessing::kVbp, core::ReconstructionScore::kMse},
+      {"VBP images + SSIM", core::Preprocessing::kVbp, core::ReconstructionScore::kSsim},
+      {"original images + MSE (control)", core::Preprocessing::kRaw,
+       core::ReconstructionScore::kMse},
+  };
+
+  std::printf("noise: i.i.d. Gaussian, sigma = %.2f of full intensity scale\n", sigma);
+  for (const Config& config : configs) {
+    bench::DetectorHandle handle =
+        bench::fit_or_load_detector(env, bench::bench_detector_config(config.pre, config.score), 5);
+    const core::NoveltyDetector& detector = *handle.detector;
+
+    const auto clean_scores = detector.scores(env.outdoor_test.images());
+    const auto noisy_scores = detector.scores(noisy);
+    const bool high_is_novel = config.score == core::ReconstructionScore::kMse;
+    bench::print_score_comparison(std::string("[") + config.name + "]", "clean", clean_scores,
+                                  "noisy", noisy_scores, high_is_novel,
+                                  detector.threshold().threshold());
+  }
+
+  // Sweep over noise strength: the paper argues SSIM's advantage is in
+  // "differentiating finer grain detail", so compare detector AUCs as the
+  // corruption gets subtler.
+  std::printf("\nAUC vs noise level (novel = noisy training-domain images)\n");
+  std::printf("%8s %14s %14s %14s\n", "sigma", "raw+MSE", "VBP+MSE", "VBP+SSIM");
+  bench::DetectorHandle raw_mse = bench::fit_or_load_detector(
+      env, bench::bench_detector_config(core::Preprocessing::kRaw, core::ReconstructionScore::kMse),
+      5);
+  bench::DetectorHandle vbp_mse = bench::fit_or_load_detector(
+      env, bench::bench_detector_config(core::Preprocessing::kVbp, core::ReconstructionScore::kMse),
+      5);
+  bench::DetectorHandle vbp_ssim = bench::fit_or_load_detector(
+      env, bench::bench_detector_config(core::Preprocessing::kVbp, core::ReconstructionScore::kSsim),
+      5);
+  for (double level : {0.02, 0.05, 0.10, 0.20}) {
+    Rng sweep_rng(101);
+    std::vector<Image> corrupted;
+    for (int64_t i = 0; i < env.outdoor_test.size(); ++i) {
+      corrupted.push_back(add_gaussian_noise(env.outdoor_test.image(i), level, sweep_rng));
+    }
+    const auto auc_for = [&](const core::NoveltyDetector& detector) {
+      const auto clean = detector.scores(env.outdoor_test.images());
+      const auto dirty = detector.scores(corrupted);
+      return detector.config().score == core::ReconstructionScore::kMse
+                 ? auc_high_is_positive(dirty, clean)
+                 : auc_low_is_positive(dirty, clean);
+    };
+    std::printf("%8.2f %14.3f %14.3f %14.3f\n", level, auc_for(*raw_mse.detector),
+                auc_for(*vbp_mse.detector), auc_for(*vbp_ssim.detector));
+  }
+
+  std::printf("\nShape check vs paper: SSIM separates noisy from clean while the MSE\n"
+              "detectors cannot; the separation is smaller than Fig. 5's cross-dataset\n"
+              "separation because lane features survive the noise.\n");
+  return 0;
+}

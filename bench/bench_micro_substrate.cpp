@@ -1,0 +1,137 @@
+// Microbenchmarks of the substrate operations (google-benchmark): GEMM,
+// convolution forward/backward, SSIM metric and loss gradient, VBP and LRP
+// saliency, autoencoder forward. These size the per-frame latency budget of
+// a deployed detector.
+#include <benchmark/benchmark.h>
+
+#include "core/autoencoder.hpp"
+#include "driving/pilotnet.hpp"
+#include "metrics/ssim.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/ssim_loss.hpp"
+#include "saliency/lrp.hpp"
+#include "saliency/visual_backprop.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace salnov;
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = rng.uniform_tensor({n, n}, -1.0, 1.0);
+  const Tensor b = rng.uniform_tensor({n, n}, -1.0, 1.0);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv2dConfig config{1, 24, 5, 5, 2, 0};
+  nn::Conv2d conv(config, rng);
+  const Tensor input = rng.uniform_tensor({1, 1, 60, 160}, 0.0, 1.0);
+  for (auto _ : state) {
+    Tensor out = conv.forward(input, nn::Mode::kInfer);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dTrainStep(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2dConfig config{1, 24, 5, 5, 2, 0};
+  nn::Conv2d conv(config, rng);
+  const Tensor input = rng.uniform_tensor({8, 1, 60, 160}, 0.0, 1.0);
+  const Shape out_shape = conv.output_shape(input.shape());
+  const Tensor grad = rng.uniform_tensor(out_shape, -1.0, 1.0);
+  for (auto _ : state) {
+    conv.forward(input, nn::Mode::kTrain);
+    Tensor g = conv.backward(grad);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep);
+
+void BM_SsimMetric(benchmark::State& state) {
+  Rng rng(4);
+  const Image a(60, 160, rng.uniform_tensor({60 * 160}, 0.0, 1.0));
+  const Image b(60, 160, rng.uniform_tensor({60 * 160}, 0.0, 1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssim(a, b));
+  }
+}
+BENCHMARK(BM_SsimMetric);
+
+void BM_SsimLossGradient(benchmark::State& state) {
+  Rng rng(5);
+  nn::SsimLoss loss(60, 160);
+  const Tensor x = rng.uniform_tensor({8, 60 * 160}, 0.0, 1.0);
+  const Tensor y = rng.uniform_tensor({8, 60 * 160}, 0.0, 1.0);
+  for (auto _ : state) {
+    Tensor g = loss.gradient(y, x);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_SsimLossGradient);
+
+nn::Sequential& compact_pilotnet() {
+  static nn::Sequential model = [] {
+    Rng rng(6);
+    return driving::build_pilotnet(driving::PilotNetConfig::compact(), rng);
+  }();
+  return model;
+}
+
+void BM_PilotNetForward(benchmark::State& state) {
+  Rng rng(7);
+  const Tensor input = rng.uniform_tensor({1, 1, 60, 160}, 0.0, 1.0);
+  for (auto _ : state) {
+    Tensor out = compact_pilotnet().forward(input, nn::Mode::kInfer);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PilotNetForward);
+
+void BM_VisualBackProp(benchmark::State& state) {
+  Rng rng(8);
+  const Image input(60, 160, rng.uniform_tensor({60 * 160}, 0.0, 1.0));
+  saliency::VisualBackProp vbp;
+  for (auto _ : state) {
+    Image mask = vbp.compute(compact_pilotnet(), input);
+    benchmark::DoNotOptimize(mask.tensor().data());
+  }
+}
+BENCHMARK(BM_VisualBackProp);
+
+void BM_Lrp(benchmark::State& state) {
+  Rng rng(9);
+  const Image input(60, 160, rng.uniform_tensor({60 * 160}, 0.0, 1.0));
+  saliency::LayerwiseRelevancePropagation lrp;
+  for (auto _ : state) {
+    Image mask = lrp.compute(compact_pilotnet(), input);
+    benchmark::DoNotOptimize(mask.tensor().data());
+  }
+}
+BENCHMARK(BM_Lrp);
+
+void BM_AutoencoderForward(benchmark::State& state) {
+  Rng rng(10);
+  nn::Sequential ae = core::build_autoencoder(core::AutoencoderConfig::paper(), rng);
+  const Tensor input = rng.uniform_tensor({1, 9600}, 0.0, 1.0);
+  for (auto _ : state) {
+    Tensor out = ae.forward(input, nn::Mode::kInfer);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_AutoencoderForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Shared harness for the experiment benches.
+//
+// Every bench binary regenerates one of the paper's figures as printed
+// series (plus PGM dumps under bench_artifacts/). The environment —
+// synthetic datasets and the trained steering CNN — is deterministic and
+// the steering model is cached on disk, so the first bench run trains it
+// once (~30 s) and later binaries load it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/novelty_detector.hpp"
+#include "driving/pilotnet.hpp"
+#include "nn/sequential.hpp"
+#include "roadsim/dataset.hpp"
+#include "roadsim/indoor_generator.hpp"
+#include "roadsim/outdoor_generator.hpp"
+#include "tensor/rng.hpp"
+
+namespace salnov::bench {
+
+/// Paper-scale pipeline resolution.
+inline constexpr int64_t kHeight = 60;
+inline constexpr int64_t kWidth = 160;
+
+/// Dataset sizes. The paper trains on 80% of ~45k Udacity images and tests
+/// on 500 random samples per class; we scale the corpus to a single CPU
+/// core but keep the 80/20 role split and a paper-matching test protocol.
+inline constexpr int64_t kTrainImages = 400;
+inline constexpr int64_t kTestImages = 200;
+
+/// Where cached models and PGM dumps live (created on demand).
+std::string artifact_dir();
+
+struct Env {
+  roadsim::OutdoorSceneGenerator outdoor;  ///< DSU-sim
+  roadsim::IndoorSceneGenerator indoor;    ///< DSI-sim
+  roadsim::DrivingDataset outdoor_train;   ///< DSU-sim 80% role
+  roadsim::DrivingDataset outdoor_test;    ///< DSU-sim held-out samples
+  roadsim::DrivingDataset indoor_test;     ///< DSI-sim novel samples
+  nn::Sequential steering;                 ///< compact PilotNet trained on outdoor_train
+};
+
+/// Builds (or loads from cache) the shared environment. Deterministic:
+/// every bench sees identical data and weights.
+Env& environment();
+
+/// A fitted detector plus (when loaded from cache) the steering model it
+/// owns. Use via `handle.detector`.
+struct DetectorHandle {
+  std::unique_ptr<nn::Sequential> steering;  ///< null when borrowing env's model
+  std::unique_ptr<core::NoveltyDetector> detector;
+};
+
+/// Fits a detector of the given configuration on the environment's outdoor
+/// training images (fresh deterministic Rng per call), or loads the result
+/// of an identical earlier fit from the artifact cache.
+DetectorHandle fit_or_load_detector(Env& env, core::NoveltyDetectorConfig config, uint64_t seed);
+
+/// Detector hyperparameters used by all figure benches (chosen so one
+/// detector fits in about a minute on one core).
+core::NoveltyDetectorConfig bench_detector_config(core::Preprocessing pre,
+                                                  core::ReconstructionScore score);
+
+// --- Reporting helpers -----------------------------------------------------
+
+double mean_of(const std::vector<double>& values);
+
+/// Prints a two-class histogram figure: shared range, `bins` rows, one
+/// column of '#' bars per class, plus summary stats (mean, overlap, AUC,
+/// detection rate at the given threshold when provided).
+void print_score_comparison(const std::string& title, const std::string& target_name,
+                            const std::vector<double>& target_scores, const std::string& novel_name,
+                            const std::vector<double>& novel_scores, bool high_is_novel,
+                            double threshold, int64_t bins = 24);
+
+/// Banner for a bench binary.
+void print_header(const std::string& figure, const std::string& description);
+
+}  // namespace salnov::bench

@@ -1,0 +1,100 @@
+// Perturbation audit: how does the detector score degraded versions of its
+// own training domain? Exercises the adversarial-robustness motivation from
+// the paper's problem statement (noise, brightness, contrast, rotation,
+// translation, occlusion, salt & pepper) and prints a score table per
+// perturbation strength.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/novelty_detector.hpp"
+#include "driving/pilotnet.hpp"
+#include "driving/steering_trainer.hpp"
+#include "image/transforms.hpp"
+#include "roadsim/dataset.hpp"
+#include "roadsim/outdoor_generator.hpp"
+
+int main() {
+  using namespace salnov;
+  const int64_t kHeight = 30, kWidth = 80;
+  Rng rng(13);
+
+  roadsim::OutdoorSceneGenerator outdoor;
+  const auto train = roadsim::DrivingDataset::generate(outdoor, 300, kHeight, kWidth, rng);
+  const auto probe = roadsim::DrivingDataset::generate(outdoor, 30, kHeight, kWidth, rng);
+
+  std::printf("training steering model + detector (reduced scale)...\n");
+  auto pilot_config = driving::PilotNetConfig::compact();
+  pilot_config.input_height = kHeight;
+  pilot_config.input_width = kWidth;
+  nn::Sequential steering = driving::build_pilotnet(pilot_config, rng);
+  driving::SteeringTrainOptions steering_options;
+  steering_options.epochs = 20;
+  driving::train_steering_model(steering, train, steering_options, rng);
+
+  core::NoveltyDetectorConfig config = core::NoveltyDetectorConfig::proposed();
+  config.height = kHeight;
+  config.width = kWidth;
+  config.autoencoder.hidden_units = {64, 16, 64};
+  config.train_epochs = 120;
+  config.learning_rate = 3e-3;
+  core::NoveltyDetector detector(config);
+  detector.attach_steering_model(&steering);
+  detector.fit(train.images(), rng);
+  const double threshold = detector.threshold().threshold();
+
+  struct Perturbation {
+    std::string name;
+    std::function<Image(const Image&, double, Rng&)> apply;
+    std::vector<double> levels;
+  };
+  const std::vector<Perturbation> perturbations = {
+      {"gaussian noise (sigma)", [](const Image& im, double v, Rng& r) { return add_gaussian_noise(im, v, r); },
+       {0.02, 0.05, 0.1, 0.2}},
+      {"brightness (+delta)", [](const Image& im, double v, Rng&) { return adjust_brightness(im, v); },
+       {0.05, 0.1, 0.2, 0.4}},
+      {"contrast (factor)", [](const Image& im, double v, Rng&) { return adjust_contrast(im, v); },
+       {1.2, 1.5, 0.7, 0.4}},
+      {"rotation (degrees)", [](const Image& im, double v, Rng&) { return rotate(im, v); },
+       {2.0, 5.0, 10.0, 20.0}},
+      {"translation (px)", [](const Image& im, double v, Rng&) {
+         return translate(im, static_cast<int64_t>(v), static_cast<int64_t>(2 * v));
+       },
+       {1.0, 2.0, 4.0, 8.0}},
+      {"salt & pepper (p)", [](const Image& im, double v, Rng& r) { return add_salt_pepper_noise(im, v, r); },
+       {0.01, 0.03, 0.1, 0.25}},
+      {"occlusion (width px)", [kHeight](const Image& im, double v, Rng&) {
+         const auto w = static_cast<int64_t>(v);
+         return occlude(im, kHeight / 3, 10, w, w, 0.0f);
+       },
+       {4.0, 8.0, 16.0, 24.0}},
+  };
+
+  // Baseline: clean probe scores.
+  double clean_mean = 0.0;
+  for (int64_t i = 0; i < probe.size(); ++i) clean_mean += detector.score(probe.image(i));
+  clean_mean /= static_cast<double>(probe.size());
+  std::printf("\nclean probe images: mean SSIM %.3f (threshold %.3f)\n", clean_mean, threshold);
+
+  std::printf("\n%-24s %8s %12s %14s\n", "perturbation", "level", "mean SSIM", "flagged novel");
+  for (const Perturbation& p : perturbations) {
+    for (double level : p.levels) {
+      Rng perturb_rng(99);
+      double mean_score = 0.0;
+      int64_t flagged = 0;
+      for (int64_t i = 0; i < probe.size(); ++i) {
+        const Image perturbed = p.apply(probe.image(i), level, perturb_rng);
+        const core::NoveltyResult r = detector.classify(perturbed);
+        mean_score += r.score;
+        flagged += r.is_novel ? 1 : 0;
+      }
+      mean_score /= static_cast<double>(probe.size());
+      std::printf("%-24s %8.2f %12.3f %12lld/%lld\n", p.name.c_str(), level, mean_score,
+                  static_cast<long long>(flagged), static_cast<long long>(probe.size()));
+    }
+  }
+  std::printf("\nReading: scores fall (toward 'novel') as perturbation strength grows;\n"
+              "the 99th-percentile threshold flags the strong corruptions.\n");
+  return 0;
+}

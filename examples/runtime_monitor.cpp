@@ -1,0 +1,101 @@
+// Runtime monitor: the deployment story.
+//
+// Phase 1 (offline, "factory"): train the steering model and novelty
+// detector, then save the whole pipeline to one file with PipelineIo.
+// Phase 2 (online, "vehicle"): load the pipeline and run a simulated drive —
+// each frame is steered by the CNN and simultaneously screened by the
+// novelty detector; flagged frames would trigger a fallback controller.
+// Midway through the drive the "vehicle" leaves its training domain
+// (outdoor -> indoor), and the monitor should start flagging.
+#include <cstdio>
+#include <filesystem>
+
+#include "core/monitor.hpp"
+#include "core/novelty_detector.hpp"
+#include "core/pipeline_io.hpp"
+#include "driving/pilotnet.hpp"
+#include "driving/steering_trainer.hpp"
+#include "image/transforms.hpp"
+#include "roadsim/dataset.hpp"
+#include "roadsim/indoor_generator.hpp"
+#include "roadsim/outdoor_generator.hpp"
+
+namespace {
+
+constexpr int64_t kHeight = 30;
+constexpr int64_t kWidth = 80;
+const char* kPipelinePath = "runtime_monitor.pipeline";
+
+void factory_phase() {
+  using namespace salnov;
+  Rng rng(17);
+  roadsim::OutdoorSceneGenerator outdoor;
+  const auto train = roadsim::DrivingDataset::generate(outdoor, 300, kHeight, kWidth, rng);
+
+  std::printf("[factory] training steering model...\n");
+  auto pilot_config = driving::PilotNetConfig::compact();
+  pilot_config.input_height = kHeight;
+  pilot_config.input_width = kWidth;
+  nn::Sequential steering = driving::build_pilotnet(pilot_config, rng);
+  driving::SteeringTrainOptions steering_options;
+  steering_options.epochs = 20;
+  driving::train_steering_model(steering, train, steering_options, rng);
+
+  std::printf("[factory] fitting novelty detector...\n");
+  core::NoveltyDetectorConfig config = core::NoveltyDetectorConfig::proposed();
+  config.height = kHeight;
+  config.width = kWidth;
+  config.autoencoder.hidden_units = {64, 16, 64};
+  config.train_epochs = 120;
+  config.learning_rate = 3e-3;
+  core::NoveltyDetector detector(config);
+  detector.attach_steering_model(&steering);
+  detector.fit(train.images(), rng);
+
+  core::PipelineIo::save_file(kPipelinePath, detector, &steering);
+  std::printf("[factory] pipeline saved to %s\n", kPipelinePath);
+}
+
+void vehicle_phase() {
+  using namespace salnov;
+  std::printf("[vehicle] loading pipeline from %s\n", kPipelinePath);
+  core::LoadedPipeline pipeline = core::PipelineIo::load_file(kPipelinePath);
+
+  Rng rng(23);
+  roadsim::OutdoorSceneGenerator outdoor;
+  roadsim::IndoorSceneGenerator indoor;
+
+  // The NoveltyMonitor adds the deployment policy on top of per-frame
+  // classification: enter fallback only after 3 consecutive novel frames,
+  // release after 5 consecutive familiar ones.
+  core::NoveltyMonitor monitor(*pipeline.detector);
+
+  std::printf("[vehicle] driving: 12 familiar frames, then 8 out-of-domain frames\n\n");
+  std::printf("%5s %-10s %10s %10s %10s  %s\n", "frame", "domain", "steer", "SSIM", "smoothed",
+              "monitor");
+  for (int64_t frame = 0; frame < 20; ++frame) {
+    const bool in_domain = frame < 12;
+    const roadsim::Sample sample = in_domain ? outdoor.generate(rng) : indoor.generate(rng);
+    Image view = sample.rgb.to_grayscale();
+    view = resize_bilinear(view, kHeight, kWidth);
+
+    const double steer = driving::predict_steering(*pipeline.steering_model, view);
+    const core::MonitorUpdate update = monitor.update(view);
+
+    const char* action = update.state == core::MonitorState::kFallback
+                             ? "NOVEL -> fallback controller engaged"
+                             : (update.state == core::MonitorState::kAlert ? "NOVEL" : "ok");
+    std::printf("%5lld %-10s %10.3f %10.3f %10.3f  %s\n", static_cast<long long>(frame),
+                in_domain ? "outdoor" : "indoor", steer, update.raw_score, update.smoothed_score,
+                action);
+  }
+  std::filesystem::remove(kPipelinePath);
+}
+
+}  // namespace
+
+int main() {
+  factory_phase();
+  vehicle_phase();
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "core/autoencoder.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+
+namespace salnov::core {
+
+AutoencoderConfig AutoencoderConfig::tiny(int64_t height, int64_t width) {
+  AutoencoderConfig config;
+  config.input_height = height;
+  config.input_width = width;
+  config.hidden_units = {32, 16, 32};
+  return config;
+}
+
+nn::Sequential build_autoencoder(const AutoencoderConfig& config, Rng& rng) {
+  if (config.input_dim() <= 0) throw std::invalid_argument("build_autoencoder: empty input");
+  if (config.hidden_units.empty()) {
+    throw std::invalid_argument("build_autoencoder: need at least one hidden layer");
+  }
+  nn::Sequential model;
+  int64_t features = config.input_dim();
+  for (int64_t units : config.hidden_units) {
+    if (units <= 0) throw std::invalid_argument("build_autoencoder: non-positive hidden width");
+    model.emplace<nn::Dense>(features, units, rng);
+    model.emplace<nn::ReLU>();
+    features = units;
+  }
+  model.emplace<nn::Dense>(features, config.input_dim(), rng);
+  model.emplace<nn::Sigmoid>();
+  return model;
+}
+
+}  // namespace salnov::core

@@ -1,0 +1,34 @@
+// The one-class autoencoder of the paper's second stage.
+//
+// Architecture (paper, §III-A): a feed-forward autoencoder with three
+// hidden fully-connected layers of 64, 16, and 64 units, ReLU activations,
+// and a sigmoid output layer; input/output dimension 9600 = 60 x 160
+// grayscale pixels normalized to [0, 1].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+
+namespace salnov::core {
+
+struct AutoencoderConfig {
+  int64_t input_height = 60;
+  int64_t input_width = 160;
+  std::vector<int64_t> hidden_units = {64, 16, 64};  ///< Paper's layout.
+
+  int64_t input_dim() const { return input_height * input_width; }
+
+  /// The paper's exact configuration.
+  static AutoencoderConfig paper() { return AutoencoderConfig{}; }
+
+  /// Scaled-down configuration for unit tests.
+  static AutoencoderConfig tiny(int64_t height, int64_t width);
+};
+
+/// Builds the autoencoder: [N, H*W] -> [N, H*W] with sigmoid outputs.
+nn::Sequential build_autoencoder(const AutoencoderConfig& config, Rng& rng);
+
+}  // namespace salnov::core

@@ -1,0 +1,71 @@
+#include "core/monitor.hpp"
+
+#include <stdexcept>
+
+namespace salnov::core {
+
+NoveltyMonitor::NoveltyMonitor(const NoveltyDetector& detector, MonitorConfig config)
+    : detector_(detector), config_(config) {
+  if (config_.trigger_frames < 1 || config_.release_frames < 1) {
+    throw std::invalid_argument("NoveltyMonitor: frame counts must be >= 1");
+  }
+  if (config_.score_smoothing <= 0.0 || config_.score_smoothing > 1.0) {
+    throw std::invalid_argument("NoveltyMonitor: smoothing must be in (0, 1]");
+  }
+  if (!detector.is_fitted()) {
+    throw std::logic_error("NoveltyMonitor: detector is not fitted");
+  }
+}
+
+MonitorUpdate NoveltyMonitor::update(const Image& frame) {
+  const NoveltyResult result = detector_.classify(frame);
+  ++frames_seen_;
+
+  if (smoothed_.has_value()) {
+    smoothed_ = (1.0 - config_.score_smoothing) * *smoothed_ + config_.score_smoothing * result.score;
+  } else {
+    smoothed_ = result.score;
+  }
+
+  if (result.is_novel) {
+    ++consecutive_novel_;
+    consecutive_familiar_ = 0;
+  } else {
+    ++consecutive_familiar_;
+    consecutive_novel_ = 0;
+  }
+
+  switch (state_) {
+    case MonitorState::kNominal:
+    case MonitorState::kAlert:
+      if (consecutive_novel_ >= config_.trigger_frames) {
+        state_ = MonitorState::kFallback;
+      } else if (consecutive_novel_ > 0) {
+        state_ = MonitorState::kAlert;
+      } else {
+        state_ = MonitorState::kNominal;
+      }
+      break;
+    case MonitorState::kFallback:
+      if (consecutive_familiar_ >= config_.release_frames) {
+        state_ = MonitorState::kNominal;
+      }
+      break;
+  }
+
+  MonitorUpdate update;
+  update.raw_score = result.score;
+  update.smoothed_score = *smoothed_;
+  update.frame_novel = result.is_novel;
+  update.state = state_;
+  return update;
+}
+
+void NoveltyMonitor::reset() {
+  state_ = MonitorState::kNominal;
+  consecutive_novel_ = 0;
+  consecutive_familiar_ = 0;
+  smoothed_.reset();
+}
+
+}  // namespace salnov::core

@@ -1,0 +1,62 @@
+// NoveltyMonitor: run-time policy layer over a fitted NoveltyDetector.
+//
+// A per-frame novelty bit is too twitchy to gate a safety action on — the
+// 99th-percentile rule flags ~1% of in-distribution frames by construction.
+// The monitor adds the standard deployment policy: an exponential moving
+// average of the score plus consecutive-flag hysteresis, entering the
+// kFallback state only after `trigger_frames` consecutive novel frames and
+// leaving it only after `release_frames` consecutive familiar ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/novelty_detector.hpp"
+
+namespace salnov::core {
+
+struct MonitorConfig {
+  int64_t trigger_frames = 3;   ///< consecutive novel frames to enter fallback
+  int64_t release_frames = 5;   ///< consecutive familiar frames to leave it
+  double score_smoothing = 0.3; ///< EMA coefficient for the reported score
+};
+
+enum class MonitorState {
+  kNominal,   ///< trusting the model
+  kAlert,     ///< novel frames seen, below the trigger count
+  kFallback,  ///< fallback controller should be engaged
+};
+
+struct MonitorUpdate {
+  double raw_score = 0.0;
+  double smoothed_score = 0.0;
+  bool frame_novel = false;
+  MonitorState state = MonitorState::kNominal;
+};
+
+class NoveltyMonitor {
+ public:
+  /// `detector` must be fitted and outlive the monitor.
+  NoveltyMonitor(const NoveltyDetector& detector, MonitorConfig config = {});
+
+  /// Feeds one camera frame; returns the per-frame result and the updated
+  /// policy state.
+  MonitorUpdate update(const Image& frame);
+
+  MonitorState state() const { return state_; }
+  int64_t frames_seen() const { return frames_seen_; }
+
+  /// Resets the policy state (e.g. after an operator handover).
+  void reset();
+
+ private:
+  const NoveltyDetector& detector_;
+  MonitorConfig config_;
+  MonitorState state_ = MonitorState::kNominal;
+  int64_t consecutive_novel_ = 0;
+  int64_t consecutive_familiar_ = 0;
+  int64_t frames_seen_ = 0;
+  std::optional<double> smoothed_;
+};
+
+}  // namespace salnov::core

@@ -1,0 +1,161 @@
+#include "core/novelty_detector.hpp"
+
+#include <stdexcept>
+
+#include "metrics/mse.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "saliency/gradient_saliency.hpp"
+#include "saliency/lrp.hpp"
+#include "saliency/visual_backprop.hpp"
+
+namespace salnov::core {
+
+NoveltyDetectorConfig NoveltyDetectorConfig::proposed() { return NoveltyDetectorConfig{}; }
+
+NoveltyDetectorConfig NoveltyDetectorConfig::baseline_raw_mse() {
+  NoveltyDetectorConfig config;
+  config.preprocessing = Preprocessing::kRaw;
+  config.score = ReconstructionScore::kMse;
+  return config;
+}
+
+NoveltyDetectorConfig NoveltyDetectorConfig::vbp_mse() {
+  NoveltyDetectorConfig config;
+  config.preprocessing = Preprocessing::kVbp;
+  config.score = ReconstructionScore::kMse;
+  return config;
+}
+
+NoveltyDetector::NoveltyDetector(NoveltyDetectorConfig config)
+    : config_(std::move(config)), ssim_(config_.height, config_.width, config_.ssim) {
+  if (config_.height <= 0 || config_.width <= 0) {
+    throw std::invalid_argument("NoveltyDetector: non-positive input size");
+  }
+  config_.autoencoder.input_height = config_.height;
+  config_.autoencoder.input_width = config_.width;
+}
+
+void NoveltyDetector::attach_steering_model(nn::Sequential* model) {
+  if (model == nullptr) throw std::invalid_argument("attach_steering_model: null model");
+  steering_model_ = model;
+}
+
+Image NoveltyDetector::preprocess(const Image& input) const {
+  if (input.height() != config_.height || input.width() != config_.width) {
+    throw std::invalid_argument("NoveltyDetector: input is " + std::to_string(input.height()) + "x" +
+                                std::to_string(input.width()) + ", pipeline expects " +
+                                std::to_string(config_.height) + "x" + std::to_string(config_.width));
+  }
+  if (config_.preprocessing == Preprocessing::kRaw) return input;
+  if (steering_model_ == nullptr) {
+    throw std::logic_error("NoveltyDetector: saliency preprocessing requires attach_steering_model()");
+  }
+  if (!saliency_) {
+    switch (config_.preprocessing) {
+      case Preprocessing::kVbp:
+        saliency_ = std::make_unique<saliency::VisualBackProp>();
+        break;
+      case Preprocessing::kGradient:
+        saliency_ = std::make_unique<saliency::GradientSaliency>();
+        break;
+      case Preprocessing::kLrp:
+        saliency_ = std::make_unique<saliency::LayerwiseRelevancePropagation>();
+        break;
+      case Preprocessing::kRaw:
+        break;  // unreachable
+    }
+  }
+  return saliency_->compute(*steering_model_, input);
+}
+
+nn::TrainHistory NoveltyDetector::fit(const std::vector<Image>& training_images, Rng& rng) {
+  if (training_images.empty()) throw std::invalid_argument("NoveltyDetector::fit: no training images");
+
+  // Stage 1: preprocess every training image (VBP mask or pass-through).
+  std::vector<Image> preprocessed;
+  preprocessed.reserve(training_images.size());
+  for (const Image& image : training_images) preprocessed.push_back(preprocess(image));
+
+  const int64_t n = static_cast<int64_t>(preprocessed.size());
+  const int64_t dim = config_.height * config_.width;
+  Tensor data({n, dim});
+  for (int64_t i = 0; i < n; ++i) {
+    data.set_slice0(i, preprocessed[static_cast<size_t>(i)].flattened());
+  }
+
+  // Stage 2: train the one-class autoencoder to reconstruct its input.
+  autoencoder_ = build_autoencoder(config_.autoencoder, rng);
+  nn::MseLoss mse_loss;
+  std::unique_ptr<nn::SsimLoss> ssim_loss;
+  nn::Loss* loss = &mse_loss;
+  if (config_.score == ReconstructionScore::kSsim) {
+    ssim_loss = std::make_unique<nn::SsimLoss>(config_.height, config_.width, config_.ssim);
+    loss = ssim_loss.get();
+  }
+  nn::Adam optimizer(config_.learning_rate);
+  nn::Trainer trainer(autoencoder_, *loss, optimizer, rng.split());
+  nn::TrainOptions options;
+  options.epochs = config_.train_epochs;
+  options.batch_size = config_.batch_size;
+  options.verbose = config_.verbose;
+  const nn::TrainHistory history = trainer.fit(data, data, options);
+  fitted_ = true;
+
+  // Stage 3: calibrate the novelty threshold on the training-score ECDF.
+  std::vector<double> training_scores;
+  training_scores.reserve(preprocessed.size());
+  for (const Image& image : preprocessed) {
+    training_scores.push_back(score_pair(image, reconstruct(image)));
+  }
+  const ScoreOrientation orientation = config_.score == ReconstructionScore::kMse
+                                           ? ScoreOrientation::kHighIsNovel
+                                           : ScoreOrientation::kLowIsNovel;
+  threshold_ = NoveltyThreshold::calibrate(training_scores, orientation, config_.threshold_percentile);
+  return history;
+}
+
+Image NoveltyDetector::reconstruct(const Image& preprocessed) const {
+  if (!fitted_) throw std::logic_error("NoveltyDetector: not fitted");
+  const Tensor input = preprocessed.flattened().reshape({1, config_.height * config_.width});
+  // forward() is stateless in inference mode; the const_cast mirrors
+  // Sequential::forward_collect's reasoning.
+  const Tensor output = const_cast<nn::Sequential&>(autoencoder_).forward(input, nn::Mode::kInfer);
+  return Image(config_.height, config_.width, output.reshape({config_.height, config_.width}));
+}
+
+double NoveltyDetector::score_pair(const Image& preprocessed, const Image& reconstruction) const {
+  if (config_.score == ReconstructionScore::kMse) return mse(reconstruction, preprocessed);
+  return ssim_.mean_ssim(reconstruction.flattened(), preprocessed.flattened());
+}
+
+double NoveltyDetector::score(const Image& input) const {
+  const Image p = preprocess(input);
+  return score_pair(p, reconstruct(p));
+}
+
+std::vector<double> NoveltyDetector::scores(const std::vector<Image>& inputs) const {
+  std::vector<double> result;
+  result.reserve(inputs.size());
+  for (const Image& image : inputs) result.push_back(score(image));
+  return result;
+}
+
+NoveltyResult NoveltyDetector::classify(const Image& input) const {
+  const NoveltyThreshold& t = threshold();
+  NoveltyResult result;
+  result.score = score(input);
+  result.threshold = t.threshold();
+  result.is_novel = t.is_novel(result.score);
+  return result;
+}
+
+const NoveltyThreshold& NoveltyDetector::threshold() const {
+  if (!threshold_.has_value()) {
+    throw std::logic_error("NoveltyDetector: threshold not calibrated (call fit or load)");
+  }
+  return *threshold_;
+}
+
+}  // namespace salnov::core

@@ -1,0 +1,124 @@
+// NoveltyDetector: the paper's end-to-end two-layer framework (Fig. 1).
+//
+//   input image -> [VBP of the trained steering CNN] -> one-class
+//   autoencoder reconstruction -> similarity score -> threshold test.
+//
+// The detector is configurable along the paper's two experimental axes:
+//   * preprocessing: VBP saliency masks (proposed) vs raw images
+//     (Richter & Roy baseline),
+//   * reconstruction loss/score: SSIM (proposed) vs pixel-wise MSE
+//     (baseline),
+// so every Fig. 5 configuration is one NoveltyDetectorConfig away.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/autoencoder.hpp"
+#include "core/threshold.hpp"
+#include "image/image.hpp"
+#include "nn/sequential.hpp"
+#include "nn/ssim_loss.hpp"
+#include "nn/trainer.hpp"
+#include "saliency/saliency.hpp"
+#include "tensor/rng.hpp"
+
+namespace salnov::core {
+
+enum class Preprocessing {
+  kRaw,       ///< feed the grayscale image directly (baseline)
+  kVbp,       ///< feed the VisualBackProp mask of the steering model (proposed)
+  kGradient,  ///< gradient-saliency mask (ablation; slower than VBP)
+  kLrp,       ///< layer-wise relevance propagation mask (ablation; slowest)
+};
+
+/// True for any preprocessing mode that needs the steering model.
+constexpr bool uses_saliency(Preprocessing preprocessing) {
+  return preprocessing != Preprocessing::kRaw;
+}
+
+enum class ReconstructionScore {
+  kMse,   ///< pixel-wise reconstruction error; high = novel (baseline)
+  kSsim,  ///< structural similarity; low = novel (proposed)
+};
+
+struct NoveltyDetectorConfig {
+  int64_t height = 60;   ///< Paper's pipeline resolution (60 x 160).
+  int64_t width = 160;
+  Preprocessing preprocessing = Preprocessing::kVbp;
+  ReconstructionScore score = ReconstructionScore::kSsim;
+  AutoencoderConfig autoencoder;  ///< Its input size is forced to (height, width).
+  SsimOptions ssim;               ///< Window/constants for the SSIM loss and score.
+  int64_t train_epochs = 20;
+  int64_t batch_size = 32;        ///< Paper: 32.
+  double learning_rate = 1e-3;    ///< Adam.
+  double threshold_percentile = 0.99;  ///< Paper: 99th percentile of the ECDF.
+  bool verbose = false;
+
+  /// The paper's proposed configuration (VBP + SSIM).
+  static NoveltyDetectorConfig proposed();
+  /// The Richter & Roy baseline (raw images + MSE).
+  static NoveltyDetectorConfig baseline_raw_mse();
+  /// The intermediate ablation (VBP images + MSE loss).
+  static NoveltyDetectorConfig vbp_mse();
+};
+
+/// Classification result for one input.
+struct NoveltyResult {
+  double score = 0.0;      ///< MSE error or mean SSIM, per config.
+  double threshold = 0.0;
+  bool is_novel = false;
+};
+
+class NoveltyDetector {
+ public:
+  explicit NoveltyDetector(NoveltyDetectorConfig config);
+
+  /// Attaches the trained steering model whose saliency defines the
+  /// preprocessing (required for Preprocessing::kVbp before fit/score;
+  /// the model must outlive this detector and is not modified).
+  void attach_steering_model(nn::Sequential* model);
+
+  /// Trains the one-class autoencoder on the (preprocessed) training images
+  /// and calibrates the novelty threshold on the training-score ECDF.
+  /// Returns the autoencoder's per-epoch loss history.
+  nn::TrainHistory fit(const std::vector<Image>& training_images, Rng& rng);
+
+  /// Preprocessing stage only (VBP mask or pass-through).
+  Image preprocess(const Image& input) const;
+
+  /// Autoencoder reconstruction of a *preprocessed* image.
+  Image reconstruct(const Image& preprocessed) const;
+
+  /// Similarity/error score of one input (runs the full pipeline).
+  double score(const Image& input) const;
+
+  /// Scores a batch of inputs.
+  std::vector<double> scores(const std::vector<Image>& inputs) const;
+
+  /// Full classification of one input. Requires fit() (or a loaded model).
+  NoveltyResult classify(const Image& input) const;
+
+  bool is_fitted() const { return fitted_; }
+  const NoveltyDetectorConfig& config() const { return config_; }
+  const NoveltyThreshold& threshold() const;
+  nn::Sequential& autoencoder() { return autoencoder_; }
+
+ private:
+  friend class PipelineIo;
+
+  /// Scores a reconstruction against its (preprocessed) input.
+  double score_pair(const Image& preprocessed, const Image& reconstruction) const;
+
+  NoveltyDetectorConfig config_;
+  nn::Sequential autoencoder_;
+  nn::Sequential* steering_model_ = nullptr;
+  mutable std::unique_ptr<saliency::SaliencyMethod> saliency_;  ///< per config_.preprocessing
+  nn::SsimLoss ssim_;  ///< Shared SSIM machinery (also used for scoring).
+  std::optional<NoveltyThreshold> threshold_;
+  bool fitted_ = false;
+};
+
+}  // namespace salnov::core

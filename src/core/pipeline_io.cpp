@@ -1,0 +1,136 @@
+#include "core/pipeline_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/model_io.hpp"
+#include "tensor/serialize.hpp"
+
+namespace salnov::core {
+namespace {
+
+constexpr const char* kMagic = "salnov-pipeline";
+constexpr uint32_t kVersion = 1;
+
+uint32_t preprocessing_tag(Preprocessing preprocessing) {
+  switch (preprocessing) {
+    case Preprocessing::kRaw:
+      return 0;
+    case Preprocessing::kVbp:
+      return 1;
+    case Preprocessing::kGradient:
+      return 2;
+    case Preprocessing::kLrp:
+      return 3;
+  }
+  throw std::logic_error("preprocessing_tag: unknown preprocessing");
+}
+
+Preprocessing preprocessing_from_tag(uint32_t tag) {
+  switch (tag) {
+    case 0:
+      return Preprocessing::kRaw;
+    case 1:
+      return Preprocessing::kVbp;
+    case 2:
+      return Preprocessing::kGradient;
+    case 3:
+      return Preprocessing::kLrp;
+    default:
+      throw SerializationError("pipeline: unknown preprocessing tag " + std::to_string(tag));
+  }
+}
+
+void write_config(std::ostream& os, const NoveltyDetectorConfig& config) {
+  write_i64(os, config.height);
+  write_i64(os, config.width);
+  write_u32(os, preprocessing_tag(config.preprocessing));
+  write_u32(os, config.score == ReconstructionScore::kSsim ? 1u : 0u);
+  write_u32(os, static_cast<uint32_t>(config.autoencoder.hidden_units.size()));
+  for (int64_t units : config.autoencoder.hidden_units) write_i64(os, units);
+  write_i64(os, config.train_epochs);
+  write_i64(os, config.batch_size);
+  write_f32(os, static_cast<float>(config.learning_rate));
+  write_f32(os, static_cast<float>(config.threshold_percentile));
+  write_i64(os, config.ssim.window);
+  write_i64(os, config.ssim.stride);
+  write_f64(os, config.ssim.k1);
+  write_f64(os, config.ssim.k2);
+  write_f64(os, config.ssim.dynamic_range);
+}
+
+NoveltyDetectorConfig read_config(std::istream& is) {
+  NoveltyDetectorConfig config;
+  config.height = read_i64(is);
+  config.width = read_i64(is);
+  config.preprocessing = preprocessing_from_tag(read_u32(is));
+  config.score = read_u32(is) == 1 ? ReconstructionScore::kSsim : ReconstructionScore::kMse;
+  const uint32_t hidden_count = read_u32(is);
+  if (hidden_count > 64) throw SerializationError("pipeline: implausible hidden layer count");
+  config.autoencoder.hidden_units.clear();
+  for (uint32_t i = 0; i < hidden_count; ++i) config.autoencoder.hidden_units.push_back(read_i64(is));
+  config.train_epochs = read_i64(is);
+  config.batch_size = read_i64(is);
+  config.learning_rate = read_f32(is);
+  config.threshold_percentile = read_f32(is);
+  config.ssim.window = read_i64(is);
+  config.ssim.stride = read_i64(is);
+  config.ssim.k1 = read_f64(is);
+  config.ssim.k2 = read_f64(is);
+  config.ssim.dynamic_range = read_f64(is);
+  return config;
+}
+
+}  // namespace
+
+void PipelineIo::save(std::ostream& os, const NoveltyDetector& detector, nn::Sequential* steering_model) {
+  if (!detector.is_fitted()) {
+    throw std::logic_error("PipelineIo::save: detector is not fitted");
+  }
+  if (uses_saliency(detector.config().preprocessing) && steering_model == nullptr) {
+    throw std::invalid_argument("PipelineIo::save: saliency pipeline requires its steering model");
+  }
+  write_header(os, kMagic, kVersion);
+  write_config(os, detector.config());
+  detector.threshold().save(os);
+  // The autoencoder is logically const here; save_model only reads weights.
+  nn::save_model(os, const_cast<NoveltyDetector&>(detector).autoencoder());
+  write_u32(os, steering_model != nullptr ? 1u : 0u);
+  if (steering_model != nullptr) nn::save_model(os, *steering_model);
+}
+
+void PipelineIo::save_file(const std::string& path, const NoveltyDetector& detector,
+                           nn::Sequential* steering_model) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("PipelineIo::save_file: cannot open " + path);
+  save(os, detector, steering_model);
+}
+
+LoadedPipeline PipelineIo::load(std::istream& is) {
+  read_header(is, kMagic, kVersion);
+  const NoveltyDetectorConfig config = read_config(is);
+  const NoveltyThreshold threshold = NoveltyThreshold::load(is);
+
+  LoadedPipeline pipeline;
+  pipeline.detector = std::make_unique<NoveltyDetector>(config);
+  pipeline.detector->autoencoder_ = nn::load_model(is);
+  pipeline.detector->threshold_ = threshold;
+  pipeline.detector->fitted_ = true;
+
+  const uint32_t has_steering = read_u32(is);
+  if (has_steering == 1) {
+    pipeline.steering_model = std::make_unique<nn::Sequential>(nn::load_model(is));
+    pipeline.detector->attach_steering_model(pipeline.steering_model.get());
+  } else if (uses_saliency(config.preprocessing)) {
+    throw SerializationError("pipeline: saliency configuration but no steering model in file");
+  }
+  return pipeline;
+}
+
+LoadedPipeline PipelineIo::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("PipelineIo::load_file: cannot open " + path);
+  return load(is);
+}
+
+}  // namespace salnov::core

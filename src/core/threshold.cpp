@@ -1,0 +1,40 @@
+#include "core/threshold.hpp"
+
+#include <stdexcept>
+
+#include "metrics/ecdf.hpp"
+#include "tensor/serialize.hpp"
+
+namespace salnov::core {
+
+NoveltyThreshold::NoveltyThreshold(double threshold, ScoreOrientation orientation)
+    : threshold_(threshold), orientation_(orientation) {}
+
+NoveltyThreshold NoveltyThreshold::calibrate(const std::vector<double>& training_scores,
+                                             ScoreOrientation orientation, double percentile) {
+  if (percentile <= 0.0 || percentile >= 1.0) {
+    throw std::invalid_argument("NoveltyThreshold: percentile must be in (0, 1)");
+  }
+  const EmpiricalCdf cdf(training_scores);
+  const double q = orientation == ScoreOrientation::kHighIsNovel ? percentile : 1.0 - percentile;
+  return NoveltyThreshold(cdf.quantile(q), orientation);
+}
+
+bool NoveltyThreshold::is_novel(double score) const {
+  return orientation_ == ScoreOrientation::kHighIsNovel ? score > threshold_ : score < threshold_;
+}
+
+void NoveltyThreshold::save(std::ostream& os) const {
+  write_f64(os, threshold_);
+  write_u32(os, orientation_ == ScoreOrientation::kHighIsNovel ? 0u : 1u);
+}
+
+NoveltyThreshold NoveltyThreshold::load(std::istream& is) {
+  const double threshold = read_f64(is);
+  const uint32_t tag = read_u32(is);
+  if (tag > 1) throw SerializationError("NoveltyThreshold::load: bad orientation tag");
+  return NoveltyThreshold(threshold,
+                          tag == 0 ? ScoreOrientation::kHighIsNovel : ScoreOrientation::kLowIsNovel);
+}
+
+}  // namespace salnov::core

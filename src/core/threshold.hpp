@@ -1,0 +1,45 @@
+// Novelty threshold calibration.
+//
+// Following the paper (and Richter & Roy): fit the empirical CDF of the
+// training-set reconstruction scores and flag an input as novel when its
+// score falls outside the 99th percentile. The tail direction depends on
+// the score: reconstruction *error* (MSE) flags the high tail, similarity
+// (SSIM) flags the low tail.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+namespace salnov::core {
+
+enum class ScoreOrientation {
+  kHighIsNovel,  ///< e.g. MSE reconstruction error
+  kLowIsNovel,   ///< e.g. SSIM similarity
+};
+
+class NoveltyThreshold {
+ public:
+  NoveltyThreshold() = default;
+
+  /// Calibrates from training scores: the threshold is the `percentile`
+  /// quantile of the scores for kHighIsNovel, or the (1 - percentile)
+  /// quantile for kLowIsNovel. `percentile` defaults to the paper's 0.99.
+  static NoveltyThreshold calibrate(const std::vector<double>& training_scores,
+                                    ScoreOrientation orientation, double percentile = 0.99);
+
+  /// Constructs directly from a known threshold (used by deserialization).
+  NoveltyThreshold(double threshold, ScoreOrientation orientation);
+
+  bool is_novel(double score) const;
+  double threshold() const { return threshold_; }
+  ScoreOrientation orientation() const { return orientation_; }
+
+  void save(std::ostream& os) const;
+  static NoveltyThreshold load(std::istream& is);
+
+ private:
+  double threshold_ = 0.0;
+  ScoreOrientation orientation_ = ScoreOrientation::kHighIsNovel;
+};
+
+}  // namespace salnov::core

@@ -1,0 +1,40 @@
+// Training harness for the steering-angle regression task.
+//
+// Wraps nn::Trainer with driving-specific conveniences: builds tensors from
+// a DrivingDataset, supports the paper's Fig. 2 control experiment (training
+// on *random* steering labels to show VBP masks then carry no road
+// structure), and reports steering MAE.
+#pragma once
+
+#include "nn/trainer.hpp"
+#include "roadsim/dataset.hpp"
+
+namespace salnov::driving {
+
+struct SteeringTrainOptions {
+  int64_t epochs = 10;
+  int64_t batch_size = 32;
+  double learning_rate = 1e-3;   ///< Adam.
+  bool verbose = false;
+  /// If true, replaces every label with an independent U(-1, 1) draw —
+  /// the Fig. 2 "network trained with random steering angles" control.
+  bool randomize_labels = false;
+};
+
+struct SteeringTrainResult {
+  nn::TrainHistory history;
+  double train_mse = 0.0;  ///< Final-epoch mean training loss.
+};
+
+/// Trains `model` (from build_pilotnet) on the dataset in place.
+SteeringTrainResult train_steering_model(nn::Sequential& model,
+                                         const roadsim::DrivingDataset& dataset,
+                                         const SteeringTrainOptions& options, Rng& rng);
+
+/// Mean absolute steering error of the model over a dataset.
+double steering_mae(nn::Sequential& model, const roadsim::DrivingDataset& dataset);
+
+/// Predicts the steering angle for one image.
+double predict_steering(nn::Sequential& model, const Image& image);
+
+}  // namespace salnov::driving

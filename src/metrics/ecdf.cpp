@@ -1,0 +1,48 @@
+#include "metrics/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace salnov {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  if (sorted_.empty()) throw std::invalid_argument("EmpiricalCdf: empty sample set");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(std::distance(sorted_.begin(), it)) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("EmpiricalCdf::quantile: q outside [0, 1]");
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double quantile(const std::vector<double>& samples, double q) {
+  return EmpiricalCdf(samples).quantile(q);
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("mean: empty sample set");
+  double acc = 0.0;
+  for (double v : samples) acc += v;
+  return acc / static_cast<double>(samples.size());
+}
+
+double stddev(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double acc = 0.0;
+  for (double v : samples) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+}  // namespace salnov

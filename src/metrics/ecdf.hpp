@@ -1,0 +1,43 @@
+// Empirical CDF and percentile utilities.
+//
+// The paper (following Richter & Roy) turns a reconstruction-loss
+// distribution into a novelty threshold: "an image is classified as novel if
+// its [loss] falls outside of the 99th percentile of the empirical CDF of
+// the distribution of losses in the training set."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace salnov {
+
+class EmpiricalCdf {
+ public:
+  /// Builds the ECDF of the given samples. Throws on an empty sample set.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// F(x): fraction of samples <= x.
+  double cdf(double x) const;
+
+  /// Inverse CDF with linear interpolation between order statistics;
+  /// `q` in [0, 1]. quantile(0) = min sample, quantile(1) = max sample.
+  double quantile(double q) const;
+
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+  size_t size() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Convenience: q-th quantile of a sample set (builds a temporary ECDF).
+double quantile(const std::vector<double>& samples, double q);
+
+/// Sample mean; throws on empty input.
+double mean(const std::vector<double>& samples);
+
+/// Sample standard deviation (unbiased); returns 0 for fewer than 2 samples.
+double stddev(const std::vector<double>& samples);
+
+}  // namespace salnov

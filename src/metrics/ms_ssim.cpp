@@ -1,0 +1,94 @@
+#include "metrics/ms_ssim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace salnov {
+namespace {
+
+constexpr double kStandardWeights[5] = {0.0448, 0.2856, 0.3001, 0.2363, 0.1333};
+
+/// Mean luminance and contrast/structure terms over all windows at one scale.
+struct ScaleTerms {
+  double luminance = 0.0;
+  double contrast_structure = 0.0;
+};
+
+ScaleTerms scale_terms(const Image& x, const Image& y, const SsimOptions& options) {
+  const double c1 = options.c1();
+  const double c2 = options.c2();
+  double l_acc = 0.0;
+  double cs_acc = 0.0;
+  int64_t count = 0;
+  for (int64_t y0 = 0; y0 + options.window <= x.height(); y0 += options.stride) {
+    for (int64_t x0 = 0; x0 + options.window <= x.width(); x0 += options.stride) {
+      const WindowStats s = window_stats(x, y, y0, x0, options.window);
+      l_acc += (2.0 * s.mu_x * s.mu_y + c1) / (s.mu_x * s.mu_x + s.mu_y * s.mu_y + c1);
+      cs_acc += (2.0 * s.cov_xy + c2) / (s.var_x + s.var_y + c2);
+      ++count;
+    }
+  }
+  return {l_acc / static_cast<double>(count), cs_acc / static_cast<double>(count)};
+}
+
+}  // namespace
+
+Image downsample2x(const Image& image) {
+  const int64_t out_h = image.height() / 2;
+  const int64_t out_w = image.width() / 2;
+  if (out_h < 1 || out_w < 1) throw std::invalid_argument("downsample2x: image too small");
+  Image out(out_h, out_w);
+  for (int64_t y = 0; y < out_h; ++y) {
+    for (int64_t x = 0; x < out_w; ++x) {
+      out(y, x) = 0.25f * (image(2 * y, 2 * x) + image(2 * y, 2 * x + 1) + image(2 * y + 1, 2 * x) +
+                           image(2 * y + 1, 2 * x + 1));
+    }
+  }
+  return out;
+}
+
+int64_t ms_ssim_scale_count(int64_t height, int64_t width, const MsSsimOptions& options) {
+  int64_t scales = 0;
+  int64_t h = height, w = width;
+  while (scales < options.max_scales && h >= options.ssim.window && w >= options.ssim.window) {
+    ++scales;
+    h /= 2;
+    w /= 2;
+  }
+  return scales;
+}
+
+double ms_ssim(const Image& x, const Image& y, const MsSsimOptions& options) {
+  if (!x.same_size(y)) throw std::invalid_argument("ms_ssim: image sizes differ");
+  if (options.max_scales < 1 || options.max_scales > 5) {
+    throw std::invalid_argument("ms_ssim: max_scales must be in [1, 5]");
+  }
+  const int64_t scales = ms_ssim_scale_count(x.height(), x.width(), options);
+  if (scales < 1) throw std::invalid_argument("ms_ssim: image smaller than SSIM window");
+
+  // Renormalize the standard weights over the scales actually used.
+  double weight_sum = 0.0;
+  for (int64_t j = 0; j < scales; ++j) weight_sum += kStandardWeights[j];
+
+  Image cur_x = x;
+  Image cur_y = y;
+  double score = 1.0;
+  for (int64_t j = 0; j < scales; ++j) {
+    const ScaleTerms terms = scale_terms(cur_x, cur_y, options.ssim);
+    const double weight = kStandardWeights[j] / weight_sum;
+    const double cs = std::max(0.0, terms.contrast_structure);
+    score *= std::pow(cs, weight);
+    if (j == scales - 1) {
+      const double luminance = std::max(0.0, terms.luminance);
+      score *= std::pow(luminance, weight);
+    } else {
+      cur_x = downsample2x(cur_x);
+      cur_y = downsample2x(cur_y);
+    }
+  }
+  return score;
+}
+
+}  // namespace salnov

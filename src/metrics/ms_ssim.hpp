@@ -1,0 +1,40 @@
+// Multi-Scale SSIM (Wang, Simoncelli & Bovik, 2003).
+//
+// Extension beyond the paper: the paper's conclusion points toward richer
+// perceptual similarity metrics; MS-SSIM is the canonical next step. It
+// evaluates the contrast/structure term of SSIM at several dyadic scales
+// (halving resolution each time) and the luminance term at the coarsest
+// scale, combining them with the standard exponents:
+//
+//   MS-SSIM = l_M^{w_M} * prod_j cs_j^{w_j}
+//
+// with w = (0.0448, 0.2856, 0.3001, 0.2363, 0.1333). When the image is too
+// small for five scales the weights of the usable scales are renormalized.
+// Negative contrast/structure values are clamped to zero before the power
+// (the usual convention), so the result is in [0, 1].
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+#include "metrics/ssim.hpp"
+
+namespace salnov {
+
+struct MsSsimOptions {
+  SsimOptions ssim;        ///< window/constants used at every scale
+  int64_t max_scales = 5;  ///< cap on the dyadic pyramid depth
+};
+
+/// MS-SSIM score in [0, 1]; 1 = identical. Images must allow at least one
+/// scale (size >= SSIM window). Throws std::invalid_argument otherwise.
+double ms_ssim(const Image& x, const Image& y, const MsSsimOptions& options = {});
+
+/// The number of dyadic scales ms_ssim would use for a given image size.
+int64_t ms_ssim_scale_count(int64_t height, int64_t width, const MsSsimOptions& options = {});
+
+/// 2x box downsample (average of 2x2 blocks; odd trailing row/column
+/// dropped). Exposed for tests.
+Image downsample2x(const Image& image);
+
+}  // namespace salnov

@@ -1,0 +1,25 @@
+#include "metrics/mse.hpp"
+
+#include <stdexcept>
+
+namespace salnov {
+
+double mse(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("mse: shape mismatch " + shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+  if (a.numel() == 0) throw std::invalid_argument("mse: empty tensors");
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.numel());
+}
+
+double mse(const Image& a, const Image& b) { return mse(a.tensor(), b.tensor()); }
+
+double mse_255(const Image& a, const Image& b) { return mse(a, b) * 255.0 * 255.0; }
+
+}  // namespace salnov

@@ -1,0 +1,20 @@
+// Pixel-wise mean squared error, the similarity metric of the Richter & Roy
+// baseline that the paper argues against.
+#pragma once
+
+#include "image/image.hpp"
+#include "tensor/tensor.hpp"
+
+namespace salnov {
+
+/// MSE between two equal-shaped tensors, in the tensors' native units.
+double mse(const Tensor& a, const Tensor& b);
+
+/// MSE between two equal-sized images, in [0, 1] pixel units.
+double mse(const Image& a, const Image& b);
+
+/// MSE in 0-255 intensity units — the scale the paper quotes in Fig. 3
+/// (e.g. "MSE 91.7" for the noisy image).
+double mse_255(const Image& a, const Image& b);
+
+}  // namespace salnov

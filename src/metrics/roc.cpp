@@ -1,0 +1,135 @@
+#include "metrics/roc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace salnov {
+
+double auc_high_is_positive(const std::vector<double>& positives, const std::vector<double>& negatives) {
+  if (positives.empty() || negatives.empty()) {
+    throw std::invalid_argument("auc: both classes must be non-empty");
+  }
+  // Mann-Whitney U via sorted negatives: for each positive, count negatives
+  // strictly below it plus half the ties. O((P+N) log N).
+  std::vector<double> sorted_neg = negatives;
+  std::sort(sorted_neg.begin(), sorted_neg.end());
+  double u = 0.0;
+  for (double p : positives) {
+    const auto lo = std::lower_bound(sorted_neg.begin(), sorted_neg.end(), p);
+    const auto hi = std::upper_bound(sorted_neg.begin(), sorted_neg.end(), p);
+    u += static_cast<double>(std::distance(sorted_neg.begin(), lo));
+    u += 0.5 * static_cast<double>(std::distance(lo, hi));
+  }
+  return u / (static_cast<double>(positives.size()) * static_cast<double>(negatives.size()));
+}
+
+double auc_low_is_positive(const std::vector<double>& positives, const std::vector<double>& negatives) {
+  return 1.0 - auc_high_is_positive(positives, negatives);
+}
+
+namespace {
+
+double fraction_above(const std::vector<double>& values, double threshold) {
+  if (values.empty()) throw std::invalid_argument("rates_at_threshold: empty class");
+  int64_t count = 0;
+  for (double v : values) {
+    if (v > threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+double fraction_below(const std::vector<double>& values, double threshold) {
+  if (values.empty()) throw std::invalid_argument("rates_at_threshold: empty class");
+  int64_t count = 0;
+  for (double v : values) {
+    if (v < threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+DetectionRates rates_at_threshold_high(const std::vector<double>& positives,
+                                       const std::vector<double>& negatives, double threshold) {
+  return DetectionRates{fraction_above(positives, threshold), fraction_above(negatives, threshold)};
+}
+
+DetectionRates rates_at_threshold_low(const std::vector<double>& positives,
+                                      const std::vector<double>& negatives, double threshold) {
+  return DetectionRates{fraction_below(positives, threshold), fraction_below(negatives, threshold)};
+}
+
+double average_precision_high(const std::vector<double>& positives,
+                              const std::vector<double>& negatives) {
+  if (positives.empty() || negatives.empty()) {
+    throw std::invalid_argument("average_precision: both classes must be non-empty");
+  }
+  // Rank all scores descending; AP = sum over positive hits of precision at
+  // that rank, divided by the number of positives. Ties are broken with
+  // negatives first (the pessimistic convention).
+  struct Scored {
+    double score;
+    bool positive;
+  };
+  std::vector<Scored> all;
+  all.reserve(positives.size() + negatives.size());
+  for (double s : positives) all.push_back({s, true});
+  for (double s : negatives) all.push_back({s, false});
+  std::sort(all.begin(), all.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return !a.positive && b.positive;
+  });
+  double ap = 0.0;
+  int64_t true_positives = 0;
+  for (size_t rank = 0; rank < all.size(); ++rank) {
+    if (!all[rank].positive) continue;
+    ++true_positives;
+    ap += static_cast<double>(true_positives) / static_cast<double>(rank + 1);
+  }
+  return ap / static_cast<double>(positives.size());
+}
+
+double average_precision_low(const std::vector<double>& positives,
+                             const std::vector<double>& negatives) {
+  auto negate = [](std::vector<double> v) {
+    for (double& s : v) s = -s;
+    return v;
+  };
+  return average_precision_high(negate(positives), negate(negatives));
+}
+
+ConfidenceInterval bootstrap_auc_ci(const std::vector<double>& positives,
+                                    const std::vector<double>& negatives, Rng& rng, int resamples,
+                                    double confidence) {
+  if (resamples < 10) throw std::invalid_argument("bootstrap_auc_ci: too few resamples");
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument("bootstrap_auc_ci: confidence outside (0, 1)");
+  }
+  ConfidenceInterval ci;
+  ci.point = auc_high_is_positive(positives, negatives);
+
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<size_t>(resamples));
+  std::vector<double> pos_sample(positives.size());
+  std::vector<double> neg_sample(negatives.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& v : pos_sample) {
+      v = positives[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(positives.size()) - 1))];
+    }
+    for (auto& v : neg_sample) {
+      v = negatives[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(negatives.size()) - 1))];
+    }
+    estimates.push_back(auc_high_is_positive(pos_sample, neg_sample));
+  }
+  std::sort(estimates.begin(), estimates.end());
+  const double tail = (1.0 - confidence) / 2.0;
+  const auto index = [&](double q) {
+    const auto i = static_cast<size_t>(q * static_cast<double>(estimates.size() - 1));
+    return estimates[std::min(i, estimates.size() - 1)];
+  };
+  ci.lower = index(tail);
+  ci.upper = index(1.0 - tail);
+  return ci;
+}
+
+}  // namespace salnov

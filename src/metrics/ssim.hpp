@@ -1,0 +1,62 @@
+// Structural Similarity Index (SSIM) — Wang & Bovik.
+//
+// The paper adopts SSIM as both the autoencoder training loss and the
+// novelty score. Following the paper: 11x11 sliding windows, alpha = beta =
+// gamma = 1, which reduces the luminance/contrast/structure product to
+//
+//   SSIM(x, y) = (2 mu_x mu_y + c1)(2 sigma_xy + c2) /
+//                ((mu_x^2 + mu_y^2 + c1)(sigma_x^2 + sigma_y^2 + c2))
+//
+// computed per window and averaged ("mean SSIM"). Values are in [-1, 1]
+// with 1 = identical. Inputs are expected in [0, 1]; the smoothing
+// constants use the conventional K1 = 0.01, K2 = 0.03 with L = 1.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+
+namespace salnov {
+
+struct SsimOptions {
+  int64_t window = 11;    ///< Side length of the sliding window (paper: 11).
+  int64_t stride = 1;     ///< Window stride; 1 matches standard mean-SSIM.
+  double k1 = 0.01;       ///< Luminance smoothing coefficient.
+  double k2 = 0.03;       ///< Contrast smoothing coefficient.
+  double dynamic_range = 1.0;  ///< L; 1.0 for [0,1]-normalized images.
+
+  double c1() const { return (k1 * dynamic_range) * (k1 * dynamic_range); }
+  double c2() const { return (k2 * dynamic_range) * (k2 * dynamic_range); }
+};
+
+/// Mean SSIM over all (windowed) positions. Images must be the same size and
+/// at least window x window. Throws std::invalid_argument otherwise.
+/// Computed with summed-area tables: O(pixels) regardless of window size.
+double ssim(const Image& x, const Image& y, const SsimOptions& options = {});
+
+/// Naive per-window reference implementation (O(windows * window^2)); used
+/// by tests to cross-validate the fast path and available for debugging.
+double ssim_reference(const Image& x, const Image& y, const SsimOptions& options = {});
+
+/// Per-window SSIM map: entry (i, j) is the SSIM of the windows whose
+/// top-left corner is (i * stride, j * stride). Useful for visualizing where
+/// two images diverge.
+Image ssim_map(const Image& x, const Image& y, const SsimOptions& options = {});
+
+/// Per-window statistics used by both the metric and the differentiable
+/// loss (exposed for the nn::SsimLoss backward pass and for tests).
+struct WindowStats {
+  double mu_x = 0.0;
+  double mu_y = 0.0;
+  double var_x = 0.0;   ///< biased (divide-by-N) variance
+  double var_y = 0.0;
+  double cov_xy = 0.0;  ///< biased covariance
+};
+
+/// Computes biased first/second moments of the window with top-left (y0, x0).
+WindowStats window_stats(const Image& x, const Image& y, int64_t y0, int64_t x0, int64_t window);
+
+/// SSIM value of a single window from its statistics.
+double ssim_from_stats(const WindowStats& stats, const SsimOptions& options);
+
+}  // namespace salnov

@@ -1,0 +1,38 @@
+// Summed-area tables (integral images) over double grids.
+//
+// Shared by the SSIM metric and the differentiable SSIM loss: window sums
+// become O(1) per window, making whole-image SSIM O(pixels) regardless of
+// window size.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace salnov {
+
+/// Builds the (rows + 1) x (cols + 1) summed-area table of `grid` into
+/// `sat`: sat[r][c] = sum of grid[0..r)[0..c). The first row and column of
+/// `sat` are zero.
+inline void build_summed_area(const double* grid, int64_t rows, int64_t cols, double* sat) {
+  const int64_t stride = cols + 1;
+  std::fill(sat, sat + stride, 0.0);
+  for (int64_t r = 0; r < rows; ++r) {
+    double row_acc = 0.0;
+    sat[(r + 1) * stride] = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      row_acc += grid[r * cols + c];
+      sat[(r + 1) * stride + (c + 1)] = sat[r * stride + (c + 1)] + row_acc;
+    }
+  }
+}
+
+/// Sum of grid[r0..r1)[c0..c1) from its summed-area table (`cols` is the
+/// grid's column count, not the table's).
+inline double summed_area_rect(const double* sat, int64_t cols, int64_t r0, int64_t c0, int64_t r1,
+                               int64_t c1) {
+  const int64_t stride = cols + 1;
+  return sat[r1 * stride + c1] - sat[r0 * stride + c1] - sat[r1 * stride + c0] +
+         sat[r0 * stride + c0];
+}
+
+}  // namespace salnov

@@ -1,0 +1,152 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace salnov::nn {
+
+BatchNorm::BatchNorm(int64_t features, double momentum, double epsilon)
+    : momentum_(momentum), epsilon_(epsilon) {
+  if (features <= 0) throw std::invalid_argument("BatchNorm: features must be positive");
+  if (momentum < 0.0 || momentum > 1.0) throw std::invalid_argument("BatchNorm: momentum outside [0, 1]");
+  if (epsilon <= 0.0) throw std::invalid_argument("BatchNorm: epsilon must be positive");
+  gamma_ = Parameter("gamma", Tensor::ones({features}));
+  beta_ = Parameter("beta", Tensor::zeros({features}));
+  running_mean_ = Tensor::zeros({features});
+  running_var_ = Tensor::ones({features});
+}
+
+Shape BatchNorm::output_shape(const Shape& input) const {
+  if (input.size() < 2 || input[1] != features()) {
+    throw std::invalid_argument("BatchNorm: expected axis-1 size " + std::to_string(features()) +
+                                ", got " + shape_to_string(input));
+  }
+  return input;
+}
+
+void BatchNorm::dims(const Shape& shape, int64_t& batch, int64_t& inner) const {
+  batch = shape[0];
+  inner = 1;
+  for (size_t i = 2; i < shape.size(); ++i) inner *= shape[i];
+}
+
+Tensor BatchNorm::forward(const Tensor& input, Mode mode) {
+  output_shape(input.shape());  // validates
+  int64_t batch = 0, inner = 0;
+  dims(input.shape(), batch, inner);
+  const int64_t c = features();
+  const int64_t group = batch * inner;  // elements normalized per feature
+  if (group < 1) throw std::invalid_argument("BatchNorm: empty batch");
+
+  Tensor mean({c}), var({c});
+  if (mode == Mode::kTrain) {
+    for (int64_t f = 0; f < c; ++f) {
+      double sum = 0.0, sum_sq = 0.0;
+      for (int64_t n = 0; n < batch; ++n) {
+        const float* base = input.data() + (n * c + f) * inner;
+        for (int64_t i = 0; i < inner; ++i) {
+          sum += base[i];
+          sum_sq += static_cast<double>(base[i]) * base[i];
+        }
+      }
+      const double mu = sum / static_cast<double>(group);
+      mean[f] = static_cast<float>(mu);
+      var[f] = static_cast<float>(std::max(0.0, sum_sq / static_cast<double>(group) - mu * mu));
+      running_mean_[f] = static_cast<float>((1.0 - momentum_) * running_mean_[f] + momentum_ * mean[f]);
+      running_var_[f] = static_cast<float>((1.0 - momentum_) * running_var_[f] + momentum_ * var[f]);
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  Tensor output(input.shape());
+  for (int64_t f = 0; f < c; ++f) {
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(static_cast<double>(var[f]) + epsilon_));
+    const float g = gamma_.value[f];
+    const float b = beta_.value[f];
+    const float m = mean[f];
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* in = input.data() + (n * c + f) * inner;
+      float* out = output.data() + (n * c + f) * inner;
+      for (int64_t i = 0; i < inner; ++i) out[i] = g * (in[i] - m) * inv_std + b;
+    }
+  }
+
+  if (mode == Mode::kTrain) {
+    cached_input_ = input;
+    batch_mean_ = std::move(mean);
+    batch_var_ = std::move(var);
+    have_cache_ = true;
+  }
+  return output;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  require_forward_cache(have_cache_, "BatchNorm");
+  if (grad_output.shape() != cached_input_.shape()) {
+    throw std::invalid_argument("BatchNorm::backward: grad shape mismatch");
+  }
+  int64_t batch = 0, inner = 0;
+  dims(cached_input_.shape(), batch, inner);
+  const int64_t c = features();
+  const double m = static_cast<double>(batch * inner);
+
+  Tensor grad_input(cached_input_.shape());
+  for (int64_t f = 0; f < c; ++f) {
+    const double mu = batch_mean_[f];
+    const double inv_std = 1.0 / std::sqrt(static_cast<double>(batch_var_[f]) + epsilon_);
+    const double g = gamma_.value[f];
+
+    // First pass: accumulate the reductions.
+    double sum_g = 0.0;          // sum of incoming grads
+    double sum_g_xhat = 0.0;     // sum of grad * xhat
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* x = cached_input_.data() + (n * c + f) * inner;
+      const float* go = grad_output.data() + (n * c + f) * inner;
+      for (int64_t i = 0; i < inner; ++i) {
+        const double xhat = (x[i] - mu) * inv_std;
+        sum_g += go[i];
+        sum_g_xhat += go[i] * xhat;
+      }
+    }
+    gamma_.grad[f] += static_cast<float>(sum_g_xhat);
+    beta_.grad[f] += static_cast<float>(sum_g);
+
+    // Second pass: dL/dx = (gamma * inv_std / m) * (m*g_i - sum_g - xhat_i * sum_g_xhat).
+    const double scale = g * inv_std / m;
+    for (int64_t n = 0; n < batch; ++n) {
+      const float* x = cached_input_.data() + (n * c + f) * inner;
+      const float* go = grad_output.data() + (n * c + f) * inner;
+      float* gi = grad_input.data() + (n * c + f) * inner;
+      for (int64_t i = 0; i < inner; ++i) {
+        const double xhat = (x[i] - mu) * inv_std;
+        gi[i] = static_cast<float>(scale * (m * go[i] - sum_g - xhat * sum_g_xhat));
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm::set_running_stats(Tensor mean, Tensor var) {
+  if (mean.shape() != Shape{features()} || var.shape() != Shape{features()}) {
+    throw std::invalid_argument("BatchNorm::set_running_stats: shape mismatch");
+  }
+  running_mean_ = std::move(mean);
+  running_var_ = std::move(var);
+}
+
+void BatchNorm::save_config(std::ostream& os) const {
+  write_i64(os, features());
+  write_f64(os, momentum_);
+  write_f64(os, epsilon_);
+  // Running statistics are architecture state, not trainable parameters, so
+  // they ride along with the config block.
+  write_tensor(os, running_mean_);
+  write_tensor(os, running_var_);
+}
+
+}  // namespace salnov::nn

@@ -1,0 +1,53 @@
+// Batch normalization (Ioffe & Szegedy).
+//
+// Normalizes over every axis except the feature/channel axis (axis 1):
+// per-feature for [batch, features] inputs, per-channel for
+// [batch, channels, h, w]. Training mode uses batch statistics and updates
+// exponential running estimates; inference mode uses the running estimates.
+// Not part of the paper's models (2016-era PilotNet predates widespread BN
+// in this domain) but completes the substrate for architecture ablations.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace salnov::nn {
+
+class BatchNorm : public Layer {
+ public:
+  /// `features` is the size of axis 1. `momentum` is the running-average
+  /// update rate (running = (1 - momentum) * running + momentum * batch).
+  explicit BatchNorm(int64_t features, double momentum = 0.1, double epsilon = 1e-5);
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::string type_name() const override { return "batchnorm"; }
+  Shape output_shape(const Shape& input) const override;
+  void save_config(std::ostream& os) const override;
+
+  int64_t features() const { return gamma_.value.numel(); }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+  /// Overwrites the running statistics (used by model loading).
+  void set_running_stats(Tensor mean, Tensor var);
+
+ private:
+  /// Decomposes an input shape into (groups-per-feature, inner stride).
+  void dims(const Shape& shape, int64_t& batch, int64_t& inner) const;
+
+  double momentum_;
+  double epsilon_;
+  Parameter gamma_;  ///< scale, [features]
+  Parameter beta_;   ///< shift, [features]
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Training cache.
+  Tensor cached_input_;
+  Tensor batch_mean_;
+  Tensor batch_var_;
+  bool have_cache_ = false;
+};
+
+}  // namespace salnov::nn

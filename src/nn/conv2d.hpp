@@ -1,0 +1,65 @@
+// 2-D convolution layer (im2col + GEMM).
+//
+// Layout: inputs and outputs are [batch, channels, height, width]; weights
+// are [out_channels, in_channels, kernel_h, kernel_w]. Stride is uniform in
+// both spatial dimensions; padding is symmetric zero padding. PilotNet uses
+// valid (pad = 0) convolutions with stride 2 (5x5 kernels) and stride 1
+// (3x3 kernels), both of which this layer covers.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace salnov::nn {
+
+struct Conv2dConfig {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel_h = 0;
+  int64_t kernel_w = 0;
+  int64_t stride = 1;
+  int64_t padding = 0;
+};
+
+class Conv2d : public Layer {
+ public:
+  /// He-uniform initialized convolution.
+  Conv2d(const Conv2dConfig& config, Rng& rng);
+
+  /// Constructs from explicit weights: weight [out_c, in_c, kh, kw],
+  /// bias [out_c] (used by model loading and tests).
+  Conv2d(const Conv2dConfig& config, Tensor weight, Tensor bias);
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string type_name() const override { return "conv2d"; }
+  Shape output_shape(const Shape& input) const override;
+  void save_config(std::ostream& os) const override;
+
+  const Conv2dConfig& config() const { return config_; }
+  const Parameter& weight() const { return weight_; }
+
+  /// Output spatial size for a given input spatial size.
+  int64_t out_size(int64_t in_size, int64_t kernel) const;
+
+ private:
+  void validate_config() const;
+
+  /// Fills `cols` ([in_c * kh * kw, out_h * out_w]) with the unrolled
+  /// patches of one sample `x` ([in_c, in_h, in_w] flat).
+  void im2col(const float* x, int64_t in_h, int64_t in_w, int64_t out_h, int64_t out_w,
+              float* cols) const;
+
+  /// Scatter-adds column gradients back into one sample's input gradient.
+  void col2im(const float* cols, int64_t in_h, int64_t in_w, int64_t out_h, int64_t out_w,
+              float* grad_x) const;
+
+  Conv2dConfig config_;
+  Parameter weight_;  ///< [out_c, in_c, kh, kw]
+  Parameter bias_;    ///< [out_c]
+  Tensor cached_input_;
+  bool have_cache_ = false;
+};
+
+}  // namespace salnov::nn

@@ -1,0 +1,37 @@
+// Fully-connected layer: y = x W + b.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace salnov::nn {
+
+class Dense : public Layer {
+ public:
+  /// He-uniform initialized dense layer mapping `in_features` -> `out_features`.
+  Dense(int64_t in_features, int64_t out_features, Rng& rng);
+
+  /// Constructs from explicit weights (used by model loading and tests).
+  /// `weight` must be [in_features, out_features], `bias` [out_features].
+  Dense(Tensor weight, Tensor bias);
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string type_name() const override { return "dense"; }
+  Shape output_shape(const Shape& input) const override;
+  void save_config(std::ostream& os) const override;
+
+  int64_t in_features() const { return weight_.value.dim(0); }
+  int64_t out_features() const { return weight_.value.dim(1); }
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
+
+ private:
+  Parameter weight_;  ///< [in, out]
+  Parameter bias_;    ///< [out]
+  Tensor cached_input_;
+  bool have_cache_ = false;
+};
+
+}  // namespace salnov::nn

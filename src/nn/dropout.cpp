@@ -1,0 +1,48 @@
+#include "nn/dropout.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace salnov::nn {
+
+Dropout::Dropout(double probability, Rng& rng) : probability_(probability), rng_(rng.split()) {
+  if (probability < 0.0 || probability >= 1.0) {
+    throw std::invalid_argument("Dropout: probability must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, Mode mode) {
+  if (mode == Mode::kInfer || probability_ == 0.0) {
+    have_cache_ = mode == Mode::kTrain;
+    if (have_cache_) mask_ = Tensor::ones(input.shape());
+    return input;
+  }
+  const float keep_scale = static_cast<float>(1.0 / (1.0 - probability_));
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    const float m = rng_.bernoulli(probability_) ? 0.0f : keep_scale;
+    mask_[i] = m;
+    out[i] *= m;
+  }
+  have_cache_ = true;
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  require_forward_cache(have_cache_, "Dropout");
+  if (grad_output.shape() != mask_.shape()) {
+    throw std::invalid_argument("Dropout::backward: grad shape mismatch");
+  }
+  Tensor grad = grad_output;
+  grad *= mask_;
+  return grad;
+}
+
+void Dropout::save_config(std::ostream& os) const {
+  write_f64(os, probability_);
+}
+
+}  // namespace salnov::nn

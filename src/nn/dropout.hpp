@@ -1,0 +1,35 @@
+// Inverted dropout.
+//
+// Training-mode forward zeroes each element with probability p and scales
+// survivors by 1/(1-p) so the expectation is unchanged; inference is the
+// identity. The mask stream is deterministic given the construction seed.
+// Used in the autoencoder-regularization ablation (the paper's autoencoder
+// is unregularized; dropout is the obvious first knob).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/rng.hpp"
+
+namespace salnov::nn {
+
+class Dropout : public Layer {
+ public:
+  /// `probability` is the drop probability in [0, 1).
+  Dropout(double probability, Rng& rng);
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "dropout"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  void save_config(std::ostream& os) const override;
+
+  double probability() const { return probability_; }
+
+ private:
+  double probability_;
+  Rng rng_;
+  Tensor mask_;  ///< survivor scaling per element from the last kTrain forward
+  bool have_cache_ = false;
+};
+
+}  // namespace salnov::nn

@@ -1,0 +1,27 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace salnov::nn {
+
+Shape Flatten::output_shape(const Shape& input) const {
+  if (input.empty()) throw std::invalid_argument("Flatten: rank-0 input");
+  int64_t rest = 1;
+  for (size_t i = 1; i < input.size(); ++i) rest *= input[i];
+  return {input[0], rest};
+}
+
+Tensor Flatten::forward(const Tensor& input, Mode mode) {
+  if (mode == Mode::kTrain) {
+    cached_input_shape_ = input.shape();
+    have_cache_ = true;
+  }
+  return input.reshape(output_shape(input.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  require_forward_cache(have_cache_, "Flatten");
+  return grad_output.reshape(cached_input_shape_);
+}
+
+}  // namespace salnov::nn

@@ -1,0 +1,22 @@
+// Flatten: [batch, ...] -> [batch, product-of-rest]. Bridges the conv stack
+// to the dense head of the steering network.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace salnov::nn {
+
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "flatten"; }
+  Shape output_shape(const Shape& input) const override;
+  void save_config(std::ostream&) const override {}
+
+ private:
+  Shape cached_input_shape_;
+  bool have_cache_ = false;
+};
+
+}  // namespace salnov::nn

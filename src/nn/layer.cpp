@@ -1,0 +1,19 @@
+#include "nn/layer.hpp"
+
+#include <stdexcept>
+
+namespace salnov::nn {
+
+void Layer::require_forward_cache(bool have_cache, const char* layer) {
+  if (!have_cache) {
+    throw std::logic_error(std::string(layer) + "::backward called without a preceding training-mode forward");
+  }
+}
+
+int64_t parameter_count(const std::vector<Parameter*>& params) {
+  int64_t n = 0;
+  for (const Parameter* p : params) n += p->value.numel();
+  return n;
+}
+
+}  // namespace salnov::nn

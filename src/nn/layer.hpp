@@ -1,0 +1,83 @@
+// Layer abstraction for the neural-network substrate.
+//
+// The library uses explicit layer-graph backpropagation (each layer caches
+// what its backward pass needs) rather than a taped autograd: the paper's
+// models are simple feed-forward chains, and the explicit scheme is smaller,
+// deterministic, and easy to introspect — which VisualBackProp requires
+// (it consumes per-layer feature maps).
+//
+// Conventions:
+//   * Dense layers take [batch, features] tensors.
+//   * Conv/pool layers take [batch, channels, height, width] tensors.
+//   * forward(x, Mode::kTrain) caches activations for backward();
+//     forward(x, Mode::kInfer) must not mutate training caches.
+//   * backward(grad_out) ACCUMULATES into parameter .grad tensors and
+//     returns the gradient w.r.t. the layer input.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace salnov::nn {
+
+/// A trainable tensor together with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string parameter_name, Tensor initial)
+      : name(std::move(parameter_name)), value(std::move(initial)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+enum class Mode { kTrain, kInfer };
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output. In kTrain mode the layer caches whatever its
+  /// backward pass needs; a later backward() call refers to the most recent
+  /// kTrain forward.
+  virtual Tensor forward(const Tensor& input, Mode mode) = 0;
+
+  /// Backpropagates: accumulates parameter gradients and returns dL/dinput.
+  /// Requires a preceding forward(..., kTrain); throws std::logic_error
+  /// otherwise.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers). Pointers remain
+  /// valid for the lifetime of the layer.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Stable type tag used by serialization ("dense", "conv2d", ...).
+  virtual std::string type_name() const = 0;
+
+  /// Output shape for a given input shape (including batch dimension).
+  /// Throws std::invalid_argument if the input shape is unsupported.
+  virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Writes layer hyperparameters (not weights) to a stream; the matching
+  /// factory in model_io reads them back.
+  virtual void save_config(std::ostream& os) const = 0;
+
+ protected:
+  /// Helper for backward() preconditions.
+  static void require_forward_cache(bool have_cache, const char* layer);
+};
+
+/// Total number of scalar parameters across a parameter list.
+int64_t parameter_count(const std::vector<Parameter*>& params);
+
+}  // namespace salnov::nn

@@ -1,0 +1,131 @@
+#include "nn/model_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/serialize.hpp"
+
+namespace salnov::nn {
+namespace {
+
+constexpr const char* kMagic = "salnov-model";
+constexpr uint32_t kVersion = 1;
+
+std::unique_ptr<Layer> make_layer(const std::string& type, std::istream& is) {
+  if (type == "dense") {
+    const int64_t in = read_i64(is);
+    const int64_t out = read_i64(is);
+    return std::make_unique<Dense>(Tensor::zeros({in, out}), Tensor::zeros({out}));
+  }
+  if (type == "conv2d") {
+    Conv2dConfig config;
+    config.in_channels = read_i64(is);
+    config.out_channels = read_i64(is);
+    config.kernel_h = read_i64(is);
+    config.kernel_w = read_i64(is);
+    config.stride = read_i64(is);
+    config.padding = read_i64(is);
+    return std::make_unique<Conv2d>(
+        config,
+        Tensor::zeros({config.out_channels, config.in_channels, config.kernel_h, config.kernel_w}),
+        Tensor::zeros({config.out_channels}));
+  }
+  if (type == "relu") return std::make_unique<ReLU>();
+  if (type == "sigmoid") return std::make_unique<Sigmoid>();
+  if (type == "tanh") return std::make_unique<Tanh>();
+  if (type == "flatten") return std::make_unique<Flatten>();
+  if (type == "batchnorm") {
+    const int64_t features = read_i64(is);
+    const double momentum = read_f64(is);
+    const double epsilon = read_f64(is);
+    auto layer = std::make_unique<BatchNorm>(features, momentum, epsilon);
+    Tensor mean = read_tensor(is);
+    Tensor var = read_tensor(is);
+    layer->set_running_stats(std::move(mean), std::move(var));
+    return layer;
+  }
+  if (type == "dropout") {
+    const double probability = read_f64(is);
+    // The mask stream is training-only state; a loaded model gets a fresh
+    // deterministic stream (inference behaviour is unaffected).
+    Rng rng(0x5eed);
+    return std::make_unique<Dropout>(probability, rng);
+  }
+  if (type == "maxpool2d") {
+    const int64_t kernel = read_i64(is);
+    const int64_t stride = read_i64(is);
+    return std::make_unique<MaxPool2d>(kernel, stride);
+  }
+  throw SerializationError("load_model: unknown layer type '" + type + "'");
+}
+
+}  // namespace
+
+void save_model(std::ostream& os, Sequential& model) {
+  write_header(os, kMagic, kVersion);
+  write_u32(os, static_cast<uint32_t>(model.size()));
+  for (size_t i = 0; i < model.size(); ++i) {
+    Layer& layer = model.layer(i);
+    write_string(os, layer.type_name());
+    layer.save_config(os);
+    const auto params = layer.parameters();
+    write_u32(os, static_cast<uint32_t>(params.size()));
+    for (const Parameter* p : params) {
+      write_string(os, p->name);
+      write_tensor(os, p->value);
+    }
+  }
+}
+
+void save_model_file(const std::string& path, Sequential& model) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_model_file: cannot open " + path);
+  save_model(os, model);
+}
+
+Sequential load_model(std::istream& is) {
+  read_header(is, kMagic, kVersion);
+  const uint32_t layer_count = read_u32(is);
+  Sequential model;
+  for (uint32_t i = 0; i < layer_count; ++i) {
+    const std::string type = read_string(is);
+    auto layer = make_layer(type, is);
+    const uint32_t param_count = read_u32(is);
+    const auto params = layer->parameters();
+    if (param_count != params.size()) {
+      throw SerializationError("load_model: layer '" + type + "' expects " +
+                               std::to_string(params.size()) + " parameters, file has " +
+                               std::to_string(param_count));
+    }
+    for (Parameter* p : params) {
+      const std::string name = read_string(is);
+      Tensor value = read_tensor(is);
+      if (name != p->name) {
+        throw SerializationError("load_model: parameter name mismatch: '" + name + "' vs '" + p->name +
+                                 "'");
+      }
+      if (value.shape() != p->value.shape()) {
+        throw SerializationError("load_model: parameter shape mismatch for '" + name + "'");
+      }
+      p->value = std::move(value);
+      p->grad = Tensor::zeros(p->value.shape());
+    }
+    model.add(std::move(layer));
+  }
+  return model;
+}
+
+Sequential load_model_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_model_file: cannot open " + path);
+  return load_model(is);
+}
+
+}  // namespace salnov::nn

@@ -1,0 +1,23 @@
+// Model serialization: saves/loads a Sequential (architecture + weights).
+//
+// Binary format: header("salnov-model", v1), layer count, then per layer its
+// type tag, hyperparameter block, and parameter tensors in parameters()
+// order. Loading reconstructs the exact architecture, so a trained steering
+// network or autoencoder round-trips through a single file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace salnov::nn {
+
+void save_model(std::ostream& os, Sequential& model);
+void save_model_file(const std::string& path, Sequential& model);
+
+/// Throws SerializationError on malformed input or unknown layer types.
+Sequential load_model(std::istream& is);
+Sequential load_model_file(const std::string& path);
+
+}  // namespace salnov::nn

@@ -1,0 +1,84 @@
+#include "nn/pooling.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace salnov::nn {
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  if (kernel_ <= 0 || stride_ <= 0) throw std::invalid_argument("MaxPool2d: invalid kernel/stride");
+}
+
+Shape MaxPool2d::output_shape(const Shape& input) const {
+  if (input.size() != 4) {
+    throw std::invalid_argument("MaxPool2d: expected [batch, c, h, w], got " + shape_to_string(input));
+  }
+  const int64_t out_h = (input[2] - kernel_) / stride_ + 1;
+  const int64_t out_w = (input[3] - kernel_) / stride_ + 1;
+  if (out_h <= 0 || out_w <= 0) {
+    throw std::invalid_argument("MaxPool2d: input too small for kernel");
+  }
+  return {input[0], input[1], out_h, out_w};
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, Mode mode) {
+  const Shape out_shape = output_shape(input.shape());
+  const int64_t batch = input.dim(0), channels = input.dim(1);
+  const int64_t in_h = input.dim(2), in_w = input.dim(3);
+  const int64_t out_h = out_shape[2], out_w = out_shape[3];
+
+  Tensor output(out_shape);
+  std::vector<int64_t> argmax(static_cast<size_t>(output.numel()));
+  int64_t out_idx = 0;
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t c = 0; c < channels; ++c) {
+      const float* plane = input.data() + (n * channels + c) * in_h * in_w;
+      const int64_t plane_base = (n * channels + c) * in_h * in_w;
+      for (int64_t oy = 0; oy < out_h; ++oy) {
+        for (int64_t ox = 0; ox < out_w; ++ox, ++out_idx) {
+          float best = plane[(oy * stride_) * in_w + ox * stride_];
+          int64_t best_at = (oy * stride_) * in_w + ox * stride_;
+          for (int64_t ky = 0; ky < kernel_; ++ky) {
+            for (int64_t kx = 0; kx < kernel_; ++kx) {
+              const int64_t at = (oy * stride_ + ky) * in_w + (ox * stride_ + kx);
+              if (plane[at] > best) {
+                best = plane[at];
+                best_at = at;
+              }
+            }
+          }
+          output[out_idx] = best;
+          argmax[static_cast<size_t>(out_idx)] = plane_base + best_at;
+        }
+      }
+    }
+  }
+  if (mode == Mode::kTrain) {
+    cached_input_shape_ = input.shape();
+    argmax_ = std::move(argmax);
+    have_cache_ = true;
+  }
+  return output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  require_forward_cache(have_cache_, "MaxPool2d");
+  if (grad_output.numel() != static_cast<int64_t>(argmax_.size())) {
+    throw std::invalid_argument("MaxPool2d::backward: grad element count mismatch");
+  }
+  Tensor grad_input(cached_input_shape_);
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[argmax_[static_cast<size_t>(i)]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+void MaxPool2d::save_config(std::ostream& os) const {
+  write_i64(os, kernel_);
+  write_i64(os, stride_);
+}
+
+}  // namespace salnov::nn

@@ -1,0 +1,38 @@
+// Max pooling over spatial windows.
+//
+// Not used by the canonical PilotNet (which downsamples via strided
+// convolutions), but provided for alternative steering architectures and
+// exercised by the LRP winner-take-all relevance rule.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace salnov::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  /// Square pooling window `kernel`, stride defaulting to the kernel size.
+  explicit MaxPool2d(int64_t kernel, int64_t stride = 0);
+
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string type_name() const override { return "maxpool2d"; }
+  Shape output_shape(const Shape& input) const override;
+  void save_config(std::ostream& os) const override;
+
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+
+  /// Flat input indices of each output's winning element from the last
+  /// training-mode forward (exposed for the LRP winner-take-all rule).
+  const std::vector<int64_t>& last_argmax() const { return argmax_; }
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+  Shape cached_input_shape_;
+  std::vector<int64_t> argmax_;
+  bool have_cache_ = false;
+};
+
+}  // namespace salnov::nn

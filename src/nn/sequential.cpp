@@ -1,0 +1,59 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace salnov::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input, Mode mode) {
+  Tensor current = input;
+  for (auto& layer : layers_) current = layer->forward(current, mode);
+  return current;
+}
+
+std::vector<Tensor> Sequential::forward_collect(const Tensor& input) const {
+  std::vector<Tensor> activations;
+  activations.reserve(layers_.size());
+  Tensor current = input;
+  for (const auto& layer : layers_) {
+    // forward() is non-const on Layer because of training caches; inference
+    // mode leaves caches untouched, making this call logically const.
+    current = const_cast<Layer&>(*layer).forward(current, Mode::kInfer);
+    activations.push_back(current);
+  }
+  return activations;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+  return grad;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+Shape Sequential::output_shape(Shape input) const {
+  for (const auto& layer : layers_) input = layer->output_shape(input);
+  return input;
+}
+
+int64_t Sequential::parameter_count() { return nn::parameter_count(parameters()); }
+
+}  // namespace salnov::nn

@@ -1,0 +1,60 @@
+// Sequential container: a chain of layers trained end-to-end.
+//
+// Also the introspection point for saliency: forward_collect() returns every
+// intermediate activation, which VisualBackProp and LRP consume.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace salnov::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; returns *this for fluent building.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Convenience: emplaces a layer of type L.
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  size_t size() const { return layers_.size(); }
+  bool empty() const { return layers_.empty(); }
+  Layer& layer(size_t index) { return *layers_.at(index); }
+  const Layer& layer(size_t index) const { return *layers_.at(index); }
+
+  /// Runs the full chain. kTrain mode arms every layer's backward cache.
+  Tensor forward(const Tensor& input, Mode mode = Mode::kInfer);
+
+  /// Runs the chain and returns all intermediate outputs:
+  /// result[0] is layer 0's output, ..., result[size()-1] the final output.
+  /// Always runs in inference mode (no caches disturbed).
+  std::vector<Tensor> forward_collect(const Tensor& input) const;
+
+  /// Backpropagates through the whole chain (after forward(..., kTrain))
+  /// and returns dL/dinput.
+  Tensor backward(const Tensor& grad_output);
+
+  /// All trainable parameters, in layer order.
+  std::vector<Parameter*> parameters();
+
+  void zero_grad();
+
+  /// Output shape of the full chain for a given input shape.
+  Shape output_shape(Shape input) const;
+
+  int64_t parameter_count();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace salnov::nn

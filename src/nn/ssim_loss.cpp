@@ -1,0 +1,186 @@
+#include "nn/ssim_loss.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "metrics/summed_area.hpp"
+
+namespace salnov::nn {
+namespace {
+
+// Ceiling division for possibly-negative numerators (b > 0).
+int64_t ceil_div(int64_t a, int64_t b) { return a >= 0 ? (a + b - 1) / b : -((-a) / b); }
+
+// Local aliases for the shared summed-area helpers.
+inline void build_sat(const double* grid, int64_t rows, int64_t cols, double* sat) {
+  build_summed_area(grid, rows, cols, sat);
+}
+inline double sat_rect(const double* sat, int64_t cols, int64_t r0, int64_t c0, int64_t r1,
+                       int64_t c1) {
+  return summed_area_rect(sat, cols, r0, c0, r1, c1);
+}
+
+}  // namespace
+
+SsimLoss::SsimLoss(int64_t height, int64_t width, SsimOptions options)
+    : height_(height), width_(width), options_(options) {
+  if (height_ < options_.window || width_ < options_.window) {
+    throw std::invalid_argument("SsimLoss: image smaller than SSIM window");
+  }
+  if (options_.window < 1 || options_.stride < 1) {
+    throw std::invalid_argument("SsimLoss: window and stride must be >= 1");
+  }
+}
+
+void SsimLoss::validate_batch(const Tensor& prediction, const Tensor& target) const {
+  require_same_shape(prediction, target, "SsimLoss");
+  if (prediction.rank() != 2 || prediction.dim(1) != height_ * width_) {
+    throw std::invalid_argument("SsimLoss: expected [batch, " + std::to_string(height_ * width_) +
+                                "], got " + shape_to_string(prediction.shape()));
+  }
+}
+
+double SsimLoss::sample_ssim(const float* y_recon, const float* x_input, float* grad_row) const {
+  const int64_t h = height_, w = width_;
+  const int64_t win = options_.window, stride = options_.stride;
+  const int64_t grid_rows = (h - win) / stride + 1;
+  const int64_t grid_cols = (w - win) / stride + 1;
+  const double n_win = static_cast<double>(win * win);
+  const double c1 = options_.c1();
+  const double c2 = options_.c2();
+
+  // Summed-area tables of x, y, x^2, y^2, xy over the image.
+  const int64_t sat_size = (h + 1) * (w + 1);
+  std::vector<double> sx(sat_size), sy(sat_size), sxx(sat_size), syy(sat_size), sxy(sat_size);
+  {
+    std::vector<double> gx(h * w), gy(h * w), gxx(h * w), gyy(h * w), gxy(h * w);
+    for (int64_t i = 0; i < h * w; ++i) {
+      const double xv = x_input[i];
+      const double yv = y_recon[i];
+      gx[i] = xv;
+      gy[i] = yv;
+      gxx[i] = xv * xv;
+      gyy[i] = yv * yv;
+      gxy[i] = xv * yv;
+    }
+    build_sat(gx.data(), h, w, sx.data());
+    build_sat(gy.data(), h, w, sy.data());
+    build_sat(gxx.data(), h, w, sxx.data());
+    build_sat(gyy.data(), h, w, syy.data());
+    build_sat(gxy.data(), h, w, sxy.data());
+  }
+
+  std::vector<double> alpha, beta, gamma;
+  if (grad_row != nullptr) {
+    alpha.assign(grid_rows * grid_cols, 0.0);
+    beta.assign(grid_rows * grid_cols, 0.0);
+    gamma.assign(grid_rows * grid_cols, 0.0);
+  }
+
+  double ssim_acc = 0.0;
+  for (int64_t gr = 0; gr < grid_rows; ++gr) {
+    const int64_t y0 = gr * stride;
+    for (int64_t gc = 0; gc < grid_cols; ++gc) {
+      const int64_t x0 = gc * stride;
+      const double sum_x = sat_rect(sx.data(), w, y0, x0, y0 + win, x0 + win);
+      const double sum_y = sat_rect(sy.data(), w, y0, x0, y0 + win, x0 + win);
+      const double sum_xx = sat_rect(sxx.data(), w, y0, x0, y0 + win, x0 + win);
+      const double sum_yy = sat_rect(syy.data(), w, y0, x0, y0 + win, x0 + win);
+      const double sum_xy = sat_rect(sxy.data(), w, y0, x0, y0 + win, x0 + win);
+
+      const double mu_x = sum_x / n_win;
+      const double mu_y = sum_y / n_win;
+      const double var_x = std::max(0.0, sum_xx / n_win - mu_x * mu_x);
+      const double var_y = std::max(0.0, sum_yy / n_win - mu_y * mu_y);
+      const double cov = sum_xy / n_win - mu_x * mu_y;
+
+      const double a1 = 2.0 * mu_x * mu_y + c1;
+      const double a2 = 2.0 * cov + c2;
+      const double b1 = mu_x * mu_x + mu_y * mu_y + c1;
+      const double b2 = var_x + var_y + c2;
+      ssim_acc += (a1 * a2) / (b1 * b2);
+
+      if (grad_row != nullptr) {
+        const double term = 2.0 / (n_win * b1 * b1 * b2 * b2);
+        const double beta_w = term * a1 * b1 * b2;
+        const double gamma_w = -term * a1 * a2 * b1;
+        const double alpha_w =
+            term * (mu_x * b1 * b2 * (a2 - a1) + mu_y * a1 * a2 * (b1 - b2));
+        const int64_t g = gr * grid_cols + gc;
+        alpha[g] = alpha_w;
+        beta[g] = beta_w;
+        gamma[g] = gamma_w;
+      }
+    }
+  }
+  const double window_count = static_cast<double>(grid_rows * grid_cols);
+  const double mean_ssim_value = ssim_acc / window_count;
+
+  if (grad_row != nullptr) {
+    // Accumulate per-pixel sums of alpha/beta/gamma over covering windows
+    // with summed-area tables over the window grid.
+    const int64_t gsat_size = (grid_rows + 1) * (grid_cols + 1);
+    std::vector<double> sat_a(gsat_size), sat_b(gsat_size), sat_g(gsat_size);
+    build_sat(alpha.data(), grid_rows, grid_cols, sat_a.data());
+    build_sat(beta.data(), grid_rows, grid_cols, sat_b.data());
+    build_sat(gamma.data(), grid_rows, grid_cols, sat_g.data());
+
+    for (int64_t py = 0; py < h; ++py) {
+      const int64_t r0 = std::max<int64_t>(0, ceil_div(py - win + 1, stride));
+      const int64_t r1 = std::min(grid_rows - 1, py / stride);
+      if (r0 > r1) continue;
+      for (int64_t px = 0; px < w; ++px) {
+        const int64_t q0 = std::max<int64_t>(0, ceil_div(px - win + 1, stride));
+        const int64_t q1 = std::min(grid_cols - 1, px / stride);
+        if (q0 > q1) continue;
+        const double a_sum = sat_rect(sat_a.data(), grid_cols, r0, q0, r1 + 1, q1 + 1);
+        const double b_sum = sat_rect(sat_b.data(), grid_cols, r0, q0, r1 + 1, q1 + 1);
+        const double g_sum = sat_rect(sat_g.data(), grid_cols, r0, q0, r1 + 1, q1 + 1);
+        const int64_t k = py * w + px;
+        const double d_mean_ssim =
+            (a_sum + b_sum * x_input[k] + g_sum * y_recon[k]) / window_count;
+        grad_row[k] += static_cast<float>(d_mean_ssim);
+      }
+    }
+  }
+  return mean_ssim_value;
+}
+
+double SsimLoss::value(const Tensor& prediction, const Tensor& target) const {
+  validate_batch(prediction, target);
+  const int64_t batch = prediction.dim(0);
+  const int64_t dim = height_ * width_;
+  double acc = 0.0;
+  for (int64_t n = 0; n < batch; ++n) {
+    acc += 1.0 - sample_ssim(prediction.data() + n * dim, target.data() + n * dim, nullptr);
+  }
+  return acc / static_cast<double>(batch);
+}
+
+Tensor SsimLoss::gradient(const Tensor& prediction, const Tensor& target) const {
+  validate_batch(prediction, target);
+  const int64_t batch = prediction.dim(0);
+  const int64_t dim = height_ * width_;
+  // grad of L = (1/B) sum (1 - meanSSIM) is -(1/B) * dmeanSSIM/dy.
+  Tensor grad(prediction.shape());
+  std::vector<float> sample_grad(static_cast<size_t>(dim));
+  for (int64_t n = 0; n < batch; ++n) {
+    std::fill(sample_grad.begin(), sample_grad.end(), 0.0f);
+    sample_ssim(prediction.data() + n * dim, target.data() + n * dim, sample_grad.data());
+    float* out = grad.data() + n * dim;
+    const float scale = -1.0f / static_cast<float>(batch);
+    for (int64_t k = 0; k < dim; ++k) out[k] = scale * sample_grad[static_cast<size_t>(k)];
+  }
+  return grad;
+}
+
+double SsimLoss::mean_ssim(const Tensor& prediction_row, const Tensor& target_row) const {
+  if (prediction_row.numel() != height_ * width_ || target_row.numel() != height_ * width_) {
+    throw std::invalid_argument("SsimLoss::mean_ssim: expected " + std::to_string(height_ * width_) +
+                                " elements");
+  }
+  return sample_ssim(prediction_row.data(), target_row.data(), nullptr);
+}
+
+}  // namespace salnov::nn

@@ -1,0 +1,68 @@
+#include "roadsim/conditions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "roadsim/rasterizer.hpp"
+
+namespace salnov::roadsim {
+
+Image apply_fog(const Image& frame, const SceneParams& params, double density, float fog_color) {
+  if (density < 0.0) throw std::invalid_argument("apply_fog: negative density");
+  const RoadGeometry geo(params, frame.height(), frame.width());
+  Image out(frame.height(), frame.width());
+  for (int64_t y = 0; y < frame.height(); ++y) {
+    // Distance proxy: 0 at the camera (bottom row), 1 at/above the horizon.
+    const double depth = geo.depth(y);
+    const double distance = y <= geo.horizon_row() ? 1.0 : 1.0 - depth;
+    const double fog = 1.0 - std::exp(-density * distance);
+    for (int64_t x = 0; x < frame.width(); ++x) {
+      out(y, x) = static_cast<float>((1.0 - fog) * frame(y, x) + fog * fog_color);
+    }
+  }
+  return out;
+}
+
+Image apply_dusk(const Image& frame, double severity) {
+  if (severity < 0.0 || severity > 1.0) {
+    throw std::invalid_argument("apply_dusk: severity outside [0, 1]");
+  }
+  const double keep = 1.0 - 0.8 * severity;
+  // Gamma < 1 lifts the relative brightness of already-bright features
+  // (markings under headlights) while the overall level falls.
+  const double gamma = 1.0 - 0.35 * severity;
+  Image out = frame;
+  out.tensor().apply([keep, gamma](float v) {
+    return static_cast<float>(keep * std::pow(std::clamp<double>(v, 0.0, 1.0), gamma));
+  });
+  return out;
+}
+
+Image apply_rain(const Image& frame, int64_t streak_count, Rng& rng) {
+  if (streak_count < 0) throw std::invalid_argument("apply_rain: negative streak count");
+  // Slight global contrast loss from the wet lens.
+  Image out = frame;
+  const float mean = frame.mean();
+  out.tensor().apply([mean](float v) { return mean + 0.85f * (v - mean); });
+
+  for (int64_t s = 0; s < streak_count; ++s) {
+    const double x0 = rng.uniform(0.0, static_cast<double>(frame.width()));
+    const double y0 = rng.uniform(-0.2 * static_cast<double>(frame.height()),
+                                  static_cast<double>(frame.height()));
+    const int64_t length = rng.uniform_int(frame.height() / 6, frame.height() / 2);
+    const double slope = rng.uniform(0.15, 0.4);  // mostly vertical streaks
+    const float streak_bright = static_cast<float>(rng.uniform(0.75, 0.95));
+    const float alpha = static_cast<float>(rng.uniform(0.35, 0.7));
+    for (int64_t t = 0; t < length; ++t) {
+      const auto y = static_cast<int64_t>(y0 + static_cast<double>(t));
+      const auto x = static_cast<int64_t>(x0 + slope * static_cast<double>(t));
+      if (y < 0 || y >= frame.height() || x < 0 || x >= frame.width()) continue;
+      out(y, x) = (1.0f - alpha) * out(y, x) + alpha * streak_bright;
+    }
+  }
+  out.clamp01();
+  return out;
+}
+
+}  // namespace salnov::roadsim

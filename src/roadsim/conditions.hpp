@@ -1,0 +1,38 @@
+// Environmental-condition transforms: fog, dusk, and rain applied to
+// rendered scenes.
+//
+// Extension beyond the paper's evaluation, driven by its motivation: a
+// deployed detector must flag *unfamiliar driving conditions*, not just a
+// different venue. These transforms produce graded domain shift of the
+// training environment — fog thickens with scene depth, dusk darkens
+// globally while keeping road contrast, rain adds streak occlusions — so an
+// experiment can sweep severity and watch the novelty score respond
+// (bench_domain_shift).
+//
+// They operate on the grayscale pipeline image plus the scene parameters
+// (needed for depth-dependent effects).
+#pragma once
+
+#include "image/image.hpp"
+#include "roadsim/scene.hpp"
+#include "tensor/rng.hpp"
+
+namespace salnov::roadsim {
+
+/// Depth-dependent fog: each ground pixel is blended toward the fog color
+/// with weight 1 - exp(-density * distance), where distance grows toward
+/// the horizon; sky/wall rows get the fog color at full horizon distance.
+/// `density` in [0, ~3]; 0 = no change.
+Image apply_fog(const Image& frame, const SceneParams& params, double density,
+                float fog_color = 0.75f);
+
+/// Dusk/night: global illumination drop by `severity` in [0, 1] plus mild
+/// gamma lift of the remaining bright features (headlight-lit markings stay
+/// relatively bright, matching how lane markings behave at night).
+Image apply_dusk(const Image& frame, double severity);
+
+/// Rain: `streak_count` semi-transparent diagonal streaks plus a slight
+/// global contrast loss. Deterministic in `rng`.
+Image apply_rain(const Image& frame, int64_t streak_count, Rng& rng);
+
+}  // namespace salnov::roadsim

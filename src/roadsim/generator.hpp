@@ -1,0 +1,47 @@
+// Scene generator interface.
+//
+// A SceneGenerator is the library's stand-in for a driving dataset: it
+// samples scene parameters from a dataset-specific distribution and renders
+// them. OutdoorSceneGenerator plays the role of the Udacity dataset (DSU):
+// varied, cluttered, outdoor. IndoorSceneGenerator plays the role of the
+// paper's in-house indoor racing environment (DSI): structured, uniform.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+#include "roadsim/scene.hpp"
+#include "tensor/rng.hpp"
+
+namespace salnov::roadsim {
+
+/// One generated example: rendered view, ground-truth steering, and the
+/// parameters that produced it.
+struct Sample {
+  RgbImage rgb;
+  double steering = 0.0;
+  SceneParams params;
+};
+
+class SceneGenerator {
+ public:
+  virtual ~SceneGenerator() = default;
+
+  /// Renders one scene drawn from this dataset's parameter distribution.
+  virtual Sample generate(Rng& rng) const = 0;
+
+  /// Dataset name ("outdoor-sim" / "indoor-sim") used in reports.
+  virtual std::string name() const = 0;
+
+  /// Rendered image height/width.
+  virtual int64_t render_height() const = 0;
+  virtual int64_t render_width() const = 0;
+
+  /// Binary mask (1 = task-relevant pixel) of the road-edge and lane-marking
+  /// bands for a scene, at a given output resolution. Used to score how well
+  /// a saliency mask concentrates on features a human driver attends to
+  /// (Fig. 2 / Fig. 4 statistics).
+  Image relevance_mask(const SceneParams& params, int64_t height, int64_t width) const;
+};
+
+}  // namespace salnov::roadsim

@@ -1,0 +1,136 @@
+#include "roadsim/indoor_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "roadsim/rasterizer.hpp"
+
+namespace salnov::roadsim {
+
+IndoorSceneGenerator::IndoorSceneGenerator(IndoorConfig config) : config_(config) {
+  if (config_.height < 16 || config_.width < 16) {
+    throw std::invalid_argument("IndoorSceneGenerator: render size too small");
+  }
+}
+
+Sample IndoorSceneGenerator::generate(Rng& rng) const {
+  SceneParams params;
+  params.curvature = rng.uniform(-config_.max_curvature, config_.max_curvature);
+  params.camera_offset = rng.uniform(-config_.max_offset, config_.max_offset);
+  // The model car sits low in a confined room, so the horizon (wall/floor
+  // boundary) is high in the frame and the taped track is much narrower
+  // than an outdoor road lane.
+  params.horizon_frac = rng.uniform(0.50, 0.62);
+  params.road_half_width = rng.uniform(0.14, 0.22);
+  params.brightness = rng.uniform(0.90, 1.10);  // stable indoor lighting
+  // Indoor surfaces at model-car eye level are visually busy: tiled floor,
+  // carpet speckle, reflections. High-frequency texture is what makes the
+  // outdoor-trained network's VBP masks come out garbled on this data.
+  params.texture_noise = rng.uniform(0.06, 0.14);
+  params.detail_seed = rng.next_u64();
+  return render(params, params.detail_seed);
+}
+
+Sample IndoorSceneGenerator::render(const SceneParams& params, uint64_t clutter_seed) const {
+  const int64_t h = config_.height;
+  const int64_t w = config_.width;
+  RgbImage img(h, w);
+  const RoadGeometry geo(params, h, w);
+  const ValueNoise noise(clutter_seed);
+  Rng clutter_rng(clutter_seed);
+
+  const int64_t horizon = geo.horizon_row();
+  const auto bright = [&](double v) { return static_cast<float>(std::clamp(v * params.brightness, 0.0, 1.0)); };
+
+  // Wall: warm gray with visible fine structure (wallpaper pattern,
+  // shelving shadows) and a dark baseboard band just above the horizon.
+  // At model-car eye level the wall fills half the frame, and its busy
+  // texture is part of what distinguishes this environment.
+  draw_vertical_gradient(img, 0, horizon, bright(0.78), bright(0.76), bright(0.72), bright(0.66),
+                         bright(0.64), bright(0.60));
+  for (int64_t y = 0; y < horizon; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const double n = noise.at(y * 2.5, x * 2.5, 4.0);
+      const double stripe = std::fmod(static_cast<double>(x), 17.0) < 1.5 ? -0.10 : 0.0;
+      const double tex = (n - 0.5) * 2.0 * params.texture_noise + stripe;
+      const auto shade = [tex](float v) {
+        return static_cast<float>(std::clamp(static_cast<double>(v) + tex, 0.0, 1.0));
+      };
+      img.set(y, x, shade(img(y, x, 0)), shade(img(y, x, 1)), shade(img(y, x, 2)));
+    }
+  }
+  const int64_t baseboard = std::max<int64_t>(1, h / 40);
+  draw_rect(img, horizon - baseboard, 0, baseboard, w, bright(0.30), bright(0.28), bright(0.26));
+
+  // Posters on the wall (sparse, muted rectangles).
+  const int64_t poster_count = clutter_rng.uniform_int(0, 2);
+  for (int64_t i = 0; i < poster_count; ++i) {
+    const int64_t pw = clutter_rng.uniform_int(w / 16, w / 8);
+    const int64_t ph = clutter_rng.uniform_int(h / 12, h / 7);
+    const int64_t px = clutter_rng.uniform_int(0, w - pw - 1);
+    const int64_t py = clutter_rng.uniform_int(0, std::max<int64_t>(horizon - ph - baseboard - 1, 1));
+    const float shade = static_cast<float>(clutter_rng.uniform(0.35, 0.6));
+    draw_rect(img, py, px, ph, pw, bright(shade), bright(shade * 0.9), bright(shade * 1.1));
+  }
+
+  // Floor: tiled surface — fine speckle plus a perspective tile grid whose
+  // dark grout lines produce high-frequency structure everywhere.
+  const double tile = std::max(6.0, static_cast<double>(w) / 14.0);
+  for (int64_t y = horizon; y < h; ++y) {
+    const double t = geo.depth(y);
+    const double row_scale = 0.35 + 0.65 * t;  // tiles shrink toward the wall
+    for (int64_t x = 0; x < w; ++x) {
+      const double n = noise.at(y * 3.0, x * 3.0, 3.5);
+      const double tex = (n - 0.5) * 2.0 * params.texture_noise;
+      float c = bright(0.55 + tex);
+      const double gy = std::fmod(static_cast<double>(y - horizon) / row_scale, tile);
+      const double gx = std::fmod(static_cast<double>(x) / row_scale, tile);
+      if (gy < 1.2 || gx < 1.2) c = bright(0.38 + tex);  // grout line
+      img.set(y, x, c, c * 0.98f, c * 0.95f);
+    }
+  }
+
+  // Track: a slightly lighter mat bounded by *dark* tape edges — the
+  // opposite edge polarity of the outdoor road (bright lines on dark
+  // asphalt) and no center marking. The paper's premise is that the novel
+  // environment's features differ from what the steering CNN learned, so
+  // its VBP masks come out garbled; inverting the edge polarity is the
+  // synthetic equivalent of that distribution shift.
+  for (int64_t y = horizon + 1; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      if (geo.on_edge(y, x, 0.10)) {
+        const float c = bright(0.10);
+        img.set(y, x, c, c, c);
+      } else if (geo.on_road(y, x)) {
+        const double n = noise.at(y * 2.0, x * 2.0, 8.0);
+        const float c = bright(0.68 + (n - 0.5) * 2.0 * params.texture_noise);
+        img.set(y, x, c, c, c * 1.05f);
+      }
+    }
+  }
+
+  // Furniture: dark boxes against the wall, resting on the floor just
+  // below the horizon.
+  const int64_t furniture_count = clutter_rng.uniform_int(0, config_.max_furniture);
+  for (int64_t i = 0; i < furniture_count; ++i) {
+    const int64_t fw = clutter_rng.uniform_int(w / 14, w / 7);
+    const int64_t fh = clutter_rng.uniform_int(h / 10, h / 5);
+    const bool left = clutter_rng.bernoulli(0.5);
+    const double road_x = geo.center_x(h - 1);
+    const int64_t fx = left ? clutter_rng.uniform_int(0, std::max<int64_t>(static_cast<int64_t>(road_x) - fw - w / 4, 1))
+                            : clutter_rng.uniform_int(std::min<int64_t>(static_cast<int64_t>(road_x) + w / 4, w - fw - 1), w - fw - 1);
+    const float shade = static_cast<float>(clutter_rng.uniform(0.12, 0.3));
+    draw_rect(img, horizon - fh, fx, fh + h / 20, fw, bright(shade), bright(shade * 0.95),
+              bright(shade * 0.9));
+  }
+
+  img.clamp01();
+  Sample sample;
+  sample.rgb = std::move(img);
+  sample.params = params;
+  sample.steering = steering_for_scene(params);
+  return sample;
+}
+
+}  // namespace salnov::roadsim

@@ -1,0 +1,124 @@
+#include "roadsim/outdoor_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "roadsim/rasterizer.hpp"
+
+namespace salnov::roadsim {
+
+OutdoorSceneGenerator::OutdoorSceneGenerator(OutdoorConfig config) : config_(config) {
+  if (config_.height < 16 || config_.width < 16) {
+    throw std::invalid_argument("OutdoorSceneGenerator: render size too small");
+  }
+}
+
+Sample OutdoorSceneGenerator::generate(Rng& rng) const {
+  SceneParams params;
+  params.curvature = rng.uniform(-config_.max_curvature, config_.max_curvature);
+  params.camera_offset = rng.uniform(-config_.max_offset, config_.max_offset);
+  params.horizon_frac = rng.uniform(0.30, 0.45);
+  params.road_half_width = rng.uniform(0.36, 0.48);
+  params.brightness = rng.uniform(0.75, 1.20);
+  params.texture_noise = rng.uniform(0.03, 0.09);
+  params.detail_seed = rng.next_u64();
+  return render(params, params.detail_seed);
+}
+
+Sample OutdoorSceneGenerator::render(const SceneParams& params, uint64_t clutter_seed) const {
+  const int64_t h = config_.height;
+  const int64_t w = config_.width;
+  RgbImage img(h, w);
+  const RoadGeometry geo(params, h, w);
+  const ValueNoise noise(clutter_seed);
+  Rng clutter_rng(clutter_seed);
+
+  const int64_t horizon = geo.horizon_row();
+  const auto bright = [&](double v) { return static_cast<float>(std::clamp(v * params.brightness, 0.0, 1.0)); };
+
+  // Sky: blue gradient with cloud blobs from thresholded smooth noise.
+  draw_vertical_gradient(img, 0, horizon, bright(0.42), bright(0.58), bright(0.88), bright(0.70),
+                         bright(0.80), bright(0.95));
+  for (int64_t y = 0; y < horizon; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const double cloud = noise.fractal(y * 2.2, x, 26.0);
+      if (cloud > 0.62) {
+        const float c = bright(0.8 + 0.2 * (cloud - 0.62) / 0.38);
+        img.set(y, x, c, c, c);
+      }
+    }
+  }
+
+  // Ground: green-brown fractal terrain; road surface overrides it.
+  for (int64_t y = horizon; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const double n = noise.fractal(y, x, 9.0);
+      const double tex = (n - 0.5) * 2.0 * params.texture_noise * 3.0;
+      img.set(y, x, bright(0.30 + tex), bright(0.46 + tex), bright(0.22 + tex));
+    }
+  }
+
+  // Road surface with asphalt texture, edge lines, and dashed center line.
+  for (int64_t y = horizon + 1; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      if (!geo.on_road(y, x) && !geo.on_edge(y, x)) continue;
+      const double n = noise.at(y * 1.7, x * 1.7, 4.0);
+      const double tex = (n - 0.5) * 2.0 * params.texture_noise;
+      if (geo.on_edge(y, x)) {
+        const float c = bright(0.92 + tex);
+        img.set(y, x, c, c, c);
+      } else if (geo.on_center_marking(y, x)) {
+        img.set(y, x, bright(0.95 + tex), bright(0.88 + tex), bright(0.45 + tex));
+      } else {
+        const float c = bright(0.32 + tex);
+        img.set(y, x, c, c, c);
+      }
+    }
+  }
+
+  // Clutter: trees (dark canopy over trunk) and bright signs on the terrain,
+  // scaled with depth, kept off the road surface.
+  const int64_t tree_count = clutter_rng.uniform_int(2, config_.max_trees);
+  for (int64_t i = 0; i < tree_count; ++i) {
+    const int64_t base_row = clutter_rng.uniform_int(horizon + 2, h - 1);
+    const double t = geo.depth(base_row);
+    const int64_t size = std::max<int64_t>(2, static_cast<int64_t>(t * 0.16 * static_cast<double>(h) * 2.0));
+    const bool left = clutter_rng.bernoulli(0.5);
+    const double road_x = geo.center_x(base_row);
+    const double hw = geo.half_width(base_row);
+    const double margin = clutter_rng.uniform(1.2, 2.6);
+    const int64_t cx = static_cast<int64_t>(left ? road_x - hw * margin - size : road_x + hw * margin);
+    const float shade = static_cast<float>(clutter_rng.uniform(0.08, 0.22));
+    draw_rect(img, base_row - size * 2, cx, size * 2, std::max<int64_t>(size / 4, 1), bright(0.25),
+              bright(0.16), bright(0.08));  // trunk
+    draw_rect(img, base_row - size * 3, cx - size / 2, size * 2, size, bright(shade),
+              bright(shade + 0.18), bright(shade));  // canopy
+  }
+  const int64_t sign_count = clutter_rng.uniform_int(0, config_.max_signs);
+  for (int64_t i = 0; i < sign_count; ++i) {
+    const int64_t base_row = clutter_rng.uniform_int(horizon + 4, h - 1);
+    const double t = geo.depth(base_row);
+    const int64_t size = std::max<int64_t>(2, static_cast<int64_t>(t * 0.10 * static_cast<double>(h) * 2.0));
+    const bool left = clutter_rng.bernoulli(0.5);
+    const double road_x = geo.center_x(base_row);
+    const double hw = geo.half_width(base_row);
+    const int64_t cx = static_cast<int64_t>(left ? road_x - hw * 1.35 - size : road_x + hw * 1.35);
+    // Random saturated sign color (the paper's "color of shop signs").
+    const float r = static_cast<float>(clutter_rng.uniform(0.4, 1.0));
+    const float g = static_cast<float>(clutter_rng.uniform(0.1, 0.9));
+    const float b = static_cast<float>(clutter_rng.uniform(0.1, 0.9));
+    draw_rect(img, base_row - size * 2, cx, size, size, bright(r), bright(g), bright(b));
+    draw_rect(img, base_row - size, cx + size / 2, size, std::max<int64_t>(size / 5, 1), bright(0.4),
+              bright(0.4), bright(0.4));  // post
+  }
+
+  img.clamp01();
+  Sample sample;
+  sample.rgb = std::move(img);
+  sample.params = params;
+  sample.steering = steering_for_scene(params);
+  return sample;
+}
+
+}  // namespace salnov::roadsim

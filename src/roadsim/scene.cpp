@@ -1,0 +1,14 @@
+#include "roadsim/scene.hpp"
+
+#include <algorithm>
+
+namespace salnov::roadsim {
+
+double steering_for_scene(const SceneParams& params) {
+  // Steer into the curve, and steer back toward the lane center when the
+  // camera is displaced (negative feedback on offset).
+  const double raw = kSteerCurvatureGain * params.curvature - kSteerOffsetGain * params.camera_offset;
+  return std::clamp(raw, -1.0, 1.0);
+}
+
+}  // namespace salnov::roadsim

@@ -1,0 +1,50 @@
+// Scene description for the procedural driving-scene generators.
+//
+// A SceneParams value fully determines one rendered road view plus its
+// ground-truth steering label. The two dataset generators (outdoor =
+// DSU-sim, indoor = DSI-sim) sample SceneParams from different
+// distributions and render with different styles, but share this geometry:
+// a road surface below a horizon line, curving with `curvature`, seen from
+// a camera displaced `camera_offset` from the lane center.
+#pragma once
+
+#include <cstdint>
+
+namespace salnov::roadsim {
+
+struct SceneParams {
+  /// Signed road curvature in [-1, 1]; positive bends the road to the right.
+  double curvature = 0.0;
+
+  /// Camera's lateral displacement from lane center in [-1, 1]
+  /// (fraction of the half lane width).
+  double camera_offset = 0.0;
+
+  /// Horizon height as a fraction of image height in (0, 1); rows above it
+  /// are background (sky / wall), rows below are ground.
+  double horizon_frac = 0.35;
+
+  /// Road half-width at the bottom row as a fraction of image width.
+  double road_half_width = 0.42;
+
+  /// Global illumination multiplier (sun / room lighting variation).
+  double brightness = 1.0;
+
+  /// Amplitude of surface texture noise in [0, 1) pixel units.
+  double texture_noise = 0.05;
+
+  /// Seed for per-scene detail (clutter placement, texture phase).
+  uint64_t detail_seed = 0;
+};
+
+/// Ground-truth steering angle in [-1, 1] for a scene: a proportional
+/// controller on curvature plus a centering correction on camera offset —
+/// the same functional form a lane-keeping model must learn, which is what
+/// ties VBP saliency to road geometry.
+double steering_for_scene(const SceneParams& params);
+
+/// Gains of the steering model, exposed for tests.
+inline constexpr double kSteerCurvatureGain = 0.85;
+inline constexpr double kSteerOffsetGain = 0.35;
+
+}  // namespace salnov::roadsim

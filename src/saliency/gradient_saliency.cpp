@@ -1,0 +1,27 @@
+#include "saliency/gradient_saliency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace salnov::saliency {
+
+Image GradientSaliency::compute(nn::Sequential& model, const Image& input) {
+  // Training-mode forward arms the layer caches; the backward pass then
+  // yields d(output)/d(input). Parameter gradients are perturbed as a side
+  // effect, so reset them afterwards.
+  const Tensor output = model.forward(input.as_nchw(), nn::Mode::kTrain);
+  if (output.numel() != 1) {
+    throw std::invalid_argument("GradientSaliency: expected scalar-output model");
+  }
+  Tensor seed(output.shape());
+  seed.fill(1.0f);
+  Tensor grad = model.backward(seed);
+  model.zero_grad();
+
+  grad.apply([](float v) { return std::abs(v); });
+  Image mask(input.height(), input.width(), grad.reshape({input.height(), input.width()}));
+  mask.normalize_minmax();
+  return mask;
+}
+
+}  // namespace salnov::saliency

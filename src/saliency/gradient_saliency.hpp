@@ -1,0 +1,17 @@
+// Gradient (vanilla) saliency: |d output / d input|, min-max normalized.
+//
+// The simplest sensitivity map; included as a cheap comparator between VBP
+// and LRP and as a sanity baseline for the saliency ablation bench.
+#pragma once
+
+#include "saliency/saliency.hpp"
+
+namespace salnov::saliency {
+
+class GradientSaliency : public SaliencyMethod {
+ public:
+  Image compute(nn::Sequential& model, const Image& input) override;
+  std::string name() const override { return "gradient"; }
+};
+
+}  // namespace salnov::saliency

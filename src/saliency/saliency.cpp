@@ -1,0 +1,68 @@
+#include "saliency/saliency.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace salnov::saliency {
+
+double mask_energy_fraction(const Image& saliency_mask, const Image& relevance) {
+  if (!saliency_mask.same_size(relevance)) {
+    throw std::invalid_argument("mask_energy_fraction: size mismatch");
+  }
+  double total = 0.0;
+  double on_relevant = 0.0;
+  for (int64_t y = 0; y < saliency_mask.height(); ++y) {
+    for (int64_t x = 0; x < saliency_mask.width(); ++x) {
+      const double v = saliency_mask(y, x);
+      total += v;
+      if (relevance(y, x) > 0.0f) on_relevant += v;
+    }
+  }
+  if (total <= 0.0) return 0.0;
+  return on_relevant / total;
+}
+
+double topk_precision(const Image& saliency_mask, const Image& relevance, double top_fraction) {
+  if (!saliency_mask.same_size(relevance)) {
+    throw std::invalid_argument("topk_precision: size mismatch");
+  }
+  if (top_fraction <= 0.0 || top_fraction > 1.0) {
+    throw std::invalid_argument("topk_precision: top_fraction outside (0, 1]");
+  }
+  const int64_t n = saliency_mask.numel();
+  const auto k = std::max<int64_t>(1, static_cast<int64_t>(top_fraction * static_cast<double>(n)));
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(), [&](int64_t a, int64_t b) {
+    return saliency_mask.tensor()[a] > saliency_mask.tensor()[b];
+  });
+  int64_t hits = 0;
+  for (int64_t i = 0; i < k; ++i) {
+    if (relevance.tensor()[order[static_cast<size_t>(i)]] > 0.0f) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+Image dilate(const Image& mask, int64_t radius) {
+  if (radius < 0) throw std::invalid_argument("dilate: negative radius");
+  Image out(mask.height(), mask.width());
+  for (int64_t y = 0; y < mask.height(); ++y) {
+    for (int64_t x = 0; x < mask.width(); ++x) {
+      float v = 0.0f;
+      for (int64_t dy = -radius; dy <= radius && v == 0.0f; ++dy) {
+        for (int64_t dx = -radius; dx <= radius; ++dx) {
+          if (mask.at_clamped(y + dy, x + dx) > 0.0f) {
+            v = 1.0f;
+            break;
+          }
+        }
+      }
+      out(y, x) = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace salnov::saliency

@@ -1,0 +1,48 @@
+// Common interface for network-saliency methods.
+//
+// A SaliencyMethod maps (trained model, input image) to a saliency mask at
+// input resolution, normalized to [0, 1], highlighting the pixels that most
+// influenced the model's output. The paper uses VisualBackProp; gradient
+// saliency and layer-wise relevance propagation are provided as comparators
+// (LRP is the method the paper cites VBP as being an order of magnitude
+// faster than).
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+#include "nn/sequential.hpp"
+
+namespace salnov::saliency {
+
+class SaliencyMethod {
+ public:
+  virtual ~SaliencyMethod() = default;
+
+  /// Computes the normalized ([0, 1] min-max) saliency mask for `input`.
+  /// `model` is taken non-const because some methods (gradient saliency)
+  /// run a backward pass through the layer caches; no weights are modified.
+  virtual Image compute(nn::Sequential& model, const Image& input) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Fraction of total mask energy that falls on pixels where `mask` is
+/// non-zero in `relevance` (a binary ground-truth relevance mask). Used to
+/// quantify the Fig. 2 / Fig. 4 claim that VBP masks align with road
+/// features: a concentrated mask scores well above the relevance mask's
+/// area fraction, a uniform or random mask scores approximately at it.
+double mask_energy_fraction(const Image& saliency_mask, const Image& relevance);
+
+/// Top-k precision ("pointing game" style): the fraction of the mask's
+/// `top_fraction` brightest pixels that land on relevant pixels. Sharper
+/// than energy fraction because it ignores the diffuse mask background and
+/// scores only where the saliency method actually points.
+double topk_precision(const Image& saliency_mask, const Image& relevance, double top_fraction = 0.05);
+
+/// Binary dilation of a mask by a square structuring element of radius
+/// `radius` (Chebyshev distance). Used to tolerate small localization
+/// offsets when scoring saliency masks against thin ground-truth features.
+Image dilate(const Image& mask, int64_t radius);
+
+}  // namespace salnov::saliency

@@ -1,0 +1,115 @@
+#include "saliency/visual_backprop.hpp"
+
+#include <stdexcept>
+
+#include "nn/conv2d.hpp"
+
+namespace salnov::saliency {
+namespace {
+
+struct ConvStage {
+  const nn::Conv2d* conv = nullptr;
+  size_t output_index = 0;  ///< index into forward_collect results (post-ReLU)
+};
+
+std::vector<ConvStage> find_conv_stages(const nn::Sequential& model) {
+  std::vector<ConvStage> stages;
+  for (size_t i = 0; i < model.size(); ++i) {
+    const auto* conv = dynamic_cast<const nn::Conv2d*>(&model.layer(i));
+    if (conv == nullptr) continue;
+    ConvStage stage;
+    stage.conv = conv;
+    stage.output_index =
+        (i + 1 < model.size() && model.layer(i + 1).type_name() == "relu") ? i + 1 : i;
+    stages.push_back(stage);
+  }
+  return stages;
+}
+
+/// Mean over channels of a [1, C, H, W] activation -> [H, W].
+Tensor channel_average(const Tensor& activation) {
+  if (activation.rank() != 4 || activation.dim(0) != 1) {
+    throw std::logic_error("VisualBackProp: expected [1, C, H, W] activation, got " +
+                           shape_to_string(activation.shape()));
+  }
+  const int64_t channels = activation.dim(1);
+  const int64_t h = activation.dim(2);
+  const int64_t w = activation.dim(3);
+  Tensor avg({h, w});
+  const float* src = activation.data();
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t i = 0; i < h * w; ++i) avg[i] += src[c * h * w + i];
+  }
+  avg *= 1.0f / static_cast<float>(channels);
+  return avg;
+}
+
+/// Scales a map so its max is 1 (keeps zeros if the map is all-zero).
+/// Normalizing every stage keeps the running product numerically stable
+/// across deep chains of pointwise multiplications.
+void normalize_by_max(Tensor& map) {
+  const float peak = map.max();
+  if (peak > 0.0f) map *= 1.0f / peak;
+}
+
+}  // namespace
+
+Tensor deconv_ones(const Tensor& map, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                   int64_t padding, int64_t out_h, int64_t out_w) {
+  if (map.rank() != 2) {
+    throw std::invalid_argument("deconv_ones: expected [h, w] map, got " + shape_to_string(map.shape()));
+  }
+  const int64_t in_h = map.dim(0);
+  const int64_t in_w = map.dim(1);
+  Tensor out({out_h, out_w});
+  for (int64_t y = 0; y < in_h; ++y) {
+    for (int64_t x = 0; x < in_w; ++x) {
+      const float v = map[y * in_w + x];
+      if (v == 0.0f) continue;
+      for (int64_t ki = 0; ki < kernel_h; ++ki) {
+        const int64_t oy = y * stride - padding + ki;
+        if (oy < 0 || oy >= out_h) continue;
+        for (int64_t kj = 0; kj < kernel_w; ++kj) {
+          const int64_t ox = x * stride - padding + kj;
+          if (ox >= 0 && ox < out_w) out[oy * out_w + ox] += v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Image VisualBackProp::compute(nn::Sequential& model, const Image& input) {
+  const auto stages = find_conv_stages(model);
+  if (stages.empty()) {
+    throw std::invalid_argument("VisualBackProp: model has no convolutional stages");
+  }
+  const auto activations = model.forward_collect(input.as_nchw());
+
+  averaged_maps_.clear();
+  averaged_maps_.reserve(stages.size());
+  for (const auto& stage : stages) {
+    averaged_maps_.push_back(channel_average(activations[stage.output_index]));
+  }
+
+  Tensor relevance = averaged_maps_.back();
+  normalize_by_max(relevance);
+  for (size_t i = stages.size() - 1; i-- > 0;) {
+    const nn::Conv2dConfig& geo = stages[i + 1].conv->config();
+    const Tensor& target = averaged_maps_[i];
+    relevance = deconv_ones(relevance, geo.kernel_h, geo.kernel_w, geo.stride, geo.padding,
+                            target.dim(0), target.dim(1));
+    relevance *= target;
+    normalize_by_max(relevance);
+  }
+
+  const nn::Conv2dConfig& first = stages.front().conv->config();
+  relevance = deconv_ones(relevance, first.kernel_h, first.kernel_w, first.stride, first.padding,
+                          input.height(), input.width());
+
+  Image mask(input.height(), input.width(), std::move(relevance));
+  mask.normalize_minmax();
+  return mask;
+}
+
+}  // namespace salnov::saliency

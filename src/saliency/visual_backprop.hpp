@@ -1,0 +1,48 @@
+// VisualBackProp (Bojarski et al., ICRA 2018).
+//
+// For each convolutional stage (conv + ReLU), average the post-activation
+// feature maps over channels; then, walking from the deepest stage back to
+// the input, repeatedly (a) upscale the running relevance map to the
+// previous stage's resolution with a transposed convolution whose weights
+// are all ones (geometry taken from the intervening conv layer), and (b)
+// multiply pointwise with that stage's averaged feature map. A final
+// ones-deconvolution through the first conv layer brings the mask to input
+// resolution; the result is min-max normalized.
+//
+// The cost is one forward pass plus channel averages and O(pixels)
+// upsampling — no backward pass through weights — which is what makes VBP
+// an order of magnitude faster than decomposition methods like LRP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "saliency/saliency.hpp"
+
+namespace salnov::saliency {
+
+class VisualBackProp : public SaliencyMethod {
+ public:
+  VisualBackProp() = default;
+
+  Image compute(nn::Sequential& model, const Image& input) override;
+  std::string name() const override { return "vbp"; }
+
+  /// The averaged (over channels) feature map of each conv stage from the
+  /// most recent compute() call, shallow to deep. Exposed for inspection
+  /// and tests.
+  const std::vector<Tensor>& averaged_maps() const { return averaged_maps_; }
+
+ private:
+  std::vector<Tensor> averaged_maps_;
+};
+
+/// Transposed convolution with all-ones weights: scatters each input value
+/// into the k x k output window it came from. `out_h` / `out_w` give the
+/// exact target size (transposed-conv arithmetic can disagree by a pixel
+/// with the true pre-conv size when the stride does not divide evenly;
+/// out-of-range contributions are dropped). Exposed for tests.
+Tensor deconv_ones(const Tensor& map, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                   int64_t padding, int64_t out_h, int64_t out_w);
+
+}  // namespace salnov::saliency

@@ -1,0 +1,85 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace salnov {
+namespace {
+
+// Cache-blocking parameters. The inner kernel walks B row-wise so that the
+// compiler can vectorize over `n`; blocking over k keeps the working set of
+// B rows in L1/L2.
+constexpr int64_t kBlockM = 32;
+constexpr int64_t kBlockK = 128;
+
+void gemm_impl(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
+  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const int64_t i_end = std::min(i0 + kBlockM, m);
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k_end = std::min(k0 + kBlockK, k);
+      for (int64_t i = i0; i < i_end; ++i) {
+        float* c_row = c + i * n;
+        for (int64_t kk = k0; kk < k_end; ++kk) {
+          const float a_ik = a[i * k + kk];
+          if (a_ik == 0.0f) continue;  // ReLU outputs make sparse rows common.
+          const float* b_row = b + kk * n;
+          for (int64_t j = 0; j < n; ++j) {
+            c_row[j] += a_ik * b_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void check_dims(int64_t m, int64_t n, int64_t k) {
+  if (m < 0 || n < 0 || k < 0) {
+    throw std::invalid_argument("gemm: negative dimension");
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
+  check_dims(m, n, k);
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  gemm_impl(a, b, c, m, n, k);
+}
+
+void gemm_accumulate(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
+  check_dims(m, n, k);
+  gemm_impl(a, b, c, m, n, k);
+}
+
+void gemm_nt_accumulate(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
+  check_dims(m, n, k);
+  // C[i][j] += dot(A row i, B row j): both rows contiguous, vectorizes well.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      c_row[j] += acc;
+    }
+  }
+}
+
+void gemm_tn_accumulate(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
+  check_dims(m, n, k);
+  // C[i][j] += sum_k A[k][i] * B[k][j]: iterate k outermost so B rows stream.
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* a_row = a + kk * m;
+    const float* b_row = b + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float a_ki = a_row[i];
+      if (a_ki == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
+    }
+  }
+}
+
+}  // namespace salnov

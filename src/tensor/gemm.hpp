@@ -1,0 +1,26 @@
+// Blocked single-precision GEMM kernels.
+//
+// All dense-layer and im2col-convolution math in the library funnels through
+// these two routines, so they are the main performance lever on CPU.
+#pragma once
+
+#include <cstdint>
+
+namespace salnov {
+
+/// C = A * B where A is [m, k], B is [k, n], C is [m, n], all row-major.
+/// C is fully overwritten.
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k);
+
+/// C += A * B (accumulating variant); same layout contract as gemm().
+void gemm_accumulate(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k);
+
+/// C += A * B^T where A is [m, k], B is [n, k], C is [m, n]. Both operand
+/// rows are contiguous, so this is the preferred form when the "transposed"
+/// operand is naturally stored row-major (e.g. conv weight gradients).
+void gemm_nt_accumulate(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k);
+
+/// C += A^T * B where A is [k, m], B is [k, n], C is [m, n].
+void gemm_tn_accumulate(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k);
+
+}  // namespace salnov

@@ -1,0 +1,102 @@
+#include "tensor/serialize.hpp"
+
+#include <bit>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace salnov {
+namespace {
+
+template <typename T>
+void write_raw(std::ostream& os, T value) {
+  // The library targets little-endian hosts (x86-64/aarch64); a static check
+  // here would require C++20 <bit>, which we use.
+  static_assert(std::endian::native == std::endian::little, "serialization assumes little-endian host");
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  if (!os) throw SerializationError("serialize: write failed");
+}
+
+template <typename T>
+T read_raw(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw SerializationError("serialize: unexpected end of stream");
+  return value;
+}
+
+constexpr int64_t kMaxReasonableElements = int64_t{1} << 32;
+
+}  // namespace
+
+void write_u32(std::ostream& os, uint32_t value) { write_raw(os, value); }
+void write_i64(std::ostream& os, int64_t value) { write_raw(os, value); }
+void write_f32(std::ostream& os, float value) { write_raw(os, value); }
+void write_f64(std::ostream& os, double value) { write_raw(os, value); }
+
+void write_string(std::ostream& os, const std::string& value) {
+  if (value.size() > std::numeric_limits<uint32_t>::max()) {
+    throw SerializationError("write_string: string too long");
+  }
+  write_u32(os, static_cast<uint32_t>(value.size()));
+  os.write(value.data(), static_cast<std::streamsize>(value.size()));
+  if (!os) throw SerializationError("serialize: write failed");
+}
+
+void write_tensor(std::ostream& os, const Tensor& tensor) {
+  write_u32(os, static_cast<uint32_t>(tensor.rank()));
+  for (int64_t d = 0; d < tensor.rank(); ++d) write_i64(os, tensor.dim(d));
+  os.write(reinterpret_cast<const char*>(tensor.data()),
+           static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  if (!os) throw SerializationError("write_tensor: write failed");
+}
+
+uint32_t read_u32(std::istream& is) { return read_raw<uint32_t>(is); }
+int64_t read_i64(std::istream& is) { return read_raw<int64_t>(is); }
+float read_f32(std::istream& is) { return read_raw<float>(is); }
+double read_f64(std::istream& is) { return read_raw<double>(is); }
+
+std::string read_string(std::istream& is) {
+  const uint32_t size = read_u32(is);
+  std::string value(size, '\0');
+  is.read(value.data(), static_cast<std::streamsize>(size));
+  if (!is) throw SerializationError("read_string: unexpected end of stream");
+  return value;
+}
+
+Tensor read_tensor(std::istream& is) {
+  const uint32_t rank = read_u32(is);
+  if (rank > 8) throw SerializationError("read_tensor: implausible rank " + std::to_string(rank));
+  Shape shape(rank);
+  for (auto& d : shape) {
+    d = read_i64(is);
+    if (d < 0) throw SerializationError("read_tensor: negative dimension");
+  }
+  const int64_t n = shape_numel(shape);
+  if (n > kMaxReasonableElements) {
+    throw SerializationError("read_tensor: implausible element count " + std::to_string(n));
+  }
+  Tensor tensor(std::move(shape));
+  is.read(reinterpret_cast<char*>(tensor.data()), static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is) throw SerializationError("read_tensor: unexpected end of stream");
+  return tensor;
+}
+
+void write_header(std::ostream& os, const std::string& magic, uint32_t version) {
+  write_string(os, magic);
+  write_u32(os, version);
+}
+
+void read_header(std::istream& is, const std::string& magic, uint32_t version) {
+  const std::string got_magic = read_string(is);
+  if (got_magic != magic) {
+    throw SerializationError("read_header: expected magic '" + magic + "', got '" + got_magic + "'");
+  }
+  const uint32_t got_version = read_u32(is);
+  if (got_version != version) {
+    throw SerializationError("read_header: '" + magic + "' version " + std::to_string(got_version) +
+                             " unsupported (want " + std::to_string(version) + ")");
+  }
+}
+
+}  // namespace salnov

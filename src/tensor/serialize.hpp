@@ -1,0 +1,45 @@
+// Binary serialization primitives for tensors and model files.
+//
+// Format: little-endian, length-prefixed. Every model/pipeline file in the
+// library is built from these primitives plus a magic string + version
+// header, so files are portable between runs and refuse to load on format
+// drift.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace salnov {
+
+/// Thrown when a stream does not contain what the reader expects.
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+void write_u32(std::ostream& os, uint32_t value);
+void write_i64(std::ostream& os, int64_t value);
+void write_f32(std::ostream& os, float value);
+void write_f64(std::ostream& os, double value);
+void write_string(std::ostream& os, const std::string& value);
+void write_tensor(std::ostream& os, const Tensor& tensor);
+
+uint32_t read_u32(std::istream& is);
+int64_t read_i64(std::istream& is);
+float read_f32(std::istream& is);
+double read_f64(std::istream& is);
+std::string read_string(std::istream& is);
+Tensor read_tensor(std::istream& is);
+
+/// Writes `magic` + `version`; used at the head of every model file.
+void write_header(std::ostream& os, const std::string& magic, uint32_t version);
+
+/// Reads and validates a header written by write_header. Throws
+/// SerializationError on magic or version mismatch.
+void read_header(std::istream& is, const std::string& magic, uint32_t version);
+
+}  // namespace salnov

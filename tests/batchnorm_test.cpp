@@ -1,0 +1,177 @@
+// Unit tests for BatchNorm: normalization semantics, running statistics,
+// custom training-mode gradient check, and serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_io.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/rng.hpp"
+#include "test_util.hpp"
+
+namespace salnov::nn {
+namespace {
+
+TEST(BatchNormTest, TrainingOutputIsStandardized) {
+  BatchNorm bn(3);
+  Rng rng(1);
+  const Tensor input = rng.uniform_tensor({16, 3}, -2.0, 5.0);
+  const Tensor out = bn.forward(input, Mode::kTrain);
+  for (int64_t f = 0; f < 3; ++f) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (int64_t n = 0; n < 16; ++n) {
+      const float v = out.at({n, f});
+      sum += v;
+      sum_sq += static_cast<double>(v) * v;
+    }
+    EXPECT_NEAR(sum / 16.0, 0.0, 1e-5);
+    EXPECT_NEAR(sum_sq / 16.0, 1.0, 1e-3);  // gamma=1, beta=0 initially
+  }
+}
+
+TEST(BatchNormTest, PerChannelForConvLayout) {
+  BatchNorm bn(2);
+  Rng rng(2);
+  Tensor input = rng.uniform_tensor({4, 2, 3, 3}, 0.0, 1.0);
+  // Shift channel 1 far away; after normalization both channels are ~N(0,1).
+  for (int64_t n = 0; n < 4; ++n) {
+    for (int64_t i = 0; i < 9; ++i) input.at({n, 1, i / 3, i % 3}) += 10.0f;
+  }
+  const Tensor out = bn.forward(input, Mode::kTrain);
+  double mean1 = 0.0;
+  for (int64_t n = 0; n < 4; ++n) {
+    for (int64_t i = 0; i < 9; ++i) mean1 += out.at({n, 1, i / 3, i % 3});
+  }
+  EXPECT_NEAR(mean1 / 36.0, 0.0, 1e-4);
+}
+
+TEST(BatchNormTest, RunningStatsConvergeToDataStats) {
+  BatchNorm bn(1, /*momentum=*/0.5);
+  Rng rng(3);
+  for (int step = 0; step < 40; ++step) {
+    Tensor batch({32, 1});
+    for (int64_t i = 0; i < 32; ++i) batch[i] = static_cast<float>(rng.normal(2.0, 0.5));
+    bn.forward(batch, Mode::kTrain);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 2.0f, 0.2f);
+  EXPECT_NEAR(bn.running_var()[0], 0.25f, 0.1f);
+}
+
+TEST(BatchNormTest, InferenceUsesRunningStats) {
+  BatchNorm bn(1, 1.0);  // momentum 1: running = last batch stats
+  Tensor batch({4, 1}, {0.0f, 2.0f, 4.0f, 6.0f});  // mean 3, var 5
+  bn.forward(batch, Mode::kTrain);
+  const Tensor probe({1, 1}, {3.0f});
+  const Tensor out = bn.forward(probe, Mode::kInfer);
+  EXPECT_NEAR(out[0], 0.0f, 1e-4f);  // (3 - 3)/sqrt(5)
+}
+
+TEST(BatchNormTest, GradientCheckTrainingMode) {
+  // The generic harness probes with inference-mode forwards, which use
+  // running stats; BatchNorm needs training-mode probing instead.
+  BatchNorm bn(2);
+  Rng rng(4);
+  const Tensor input = rng.uniform_tensor({5, 2, 2, 2}, -1.0, 1.0);
+  const Tensor seed = rng.uniform_tensor({5, 2, 2, 2}, -1.0, 1.0);
+
+  for (Parameter* p : bn.parameters()) p->zero_grad();
+  bn.forward(input, Mode::kTrain);
+  const Tensor grad_input = bn.backward(seed);
+
+  auto scalar = [&](const Tensor& x) {
+    const Tensor out = bn.forward(x, Mode::kTrain);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) acc += static_cast<double>(out[i]) * seed[i];
+    return acc;
+  };
+  Tensor x = input;
+  const double h = 1e-3;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(h);
+    const double up = scalar(x);
+    x[i] = saved - static_cast<float>(h);
+    const double down = scalar(x);
+    x[i] = saved;
+    EXPECT_NEAR(grad_input[i], (up - down) / (2 * h), 3e-2) << "input grad at " << i;
+  }
+  // Parameter gradients.
+  for (Parameter* p : bn.parameters()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(h);
+      const double up = scalar(input);
+      p->value[i] = saved - static_cast<float>(h);
+      const double down = scalar(input);
+      p->value[i] = saved;
+      EXPECT_NEAR(p->grad[i], (up - down) / (2 * h), 3e-2) << p->name << " grad at " << i;
+    }
+  }
+}
+
+TEST(BatchNormTest, InvalidConfigThrows) {
+  EXPECT_THROW(BatchNorm(0), std::invalid_argument);
+  EXPECT_THROW(BatchNorm(4, -0.5), std::invalid_argument);
+  EXPECT_THROW(BatchNorm(4, 0.1, 0.0), std::invalid_argument);
+}
+
+TEST(BatchNormTest, WrongFeatureCountThrows) {
+  BatchNorm bn(3);
+  EXPECT_THROW(bn.forward(Tensor({2, 4}), Mode::kTrain), std::invalid_argument);
+}
+
+TEST(BatchNormTest, RoundTripsThroughModelFile) {
+  Rng rng(5);
+  Sequential model;
+  model.emplace<Dense>(4, 3, rng);
+  model.emplace<BatchNorm>(3);
+  // Push some statistics into the running estimates.
+  model.forward(rng.uniform_tensor({16, 4}, -1.0, 1.0), Mode::kTrain);
+  model.forward(rng.uniform_tensor({16, 4}, -1.0, 1.0), Mode::kTrain);
+
+  std::stringstream ss;
+  save_model(ss, model);
+  Sequential loaded = load_model(ss);
+  const Tensor probe = rng.uniform_tensor({2, 4}, -1.0, 1.0);
+  test::expect_tensors_near(loaded.forward(probe, Mode::kInfer), model.forward(probe, Mode::kInfer),
+                            1e-6f);
+}
+
+TEST(BatchNormTest, HelpsTrainAPoorlyScaledProblem) {
+  // Inputs with wildly different feature scales: with BN the network should
+  // still fit quickly.
+  Rng rng(6);
+  Sequential model;
+  model.emplace<Dense>(2, 8, rng);
+  model.emplace<BatchNorm>(8);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(8, 1, rng);
+
+  const int64_t n = 64;
+  Tensor x({n, 2}), y({n, 1});
+  Rng data_rng(7);
+  for (int64_t i = 0; i < n; ++i) {
+    const double a = data_rng.uniform(-1.0, 1.0);
+    const double b = data_rng.uniform(-100.0, 100.0);  // badly scaled feature
+    x[2 * i] = static_cast<float>(a);
+    x[2 * i + 1] = static_cast<float>(b);
+    y[i] = static_cast<float>(a + 0.01 * b);
+  }
+  MseLoss loss;
+  Adam optimizer(0.02);
+  Trainer trainer(model, loss, optimizer, rng.split());
+  TrainOptions options;
+  options.epochs = 120;
+  const TrainHistory history = trainer.fit(x, y, options);
+  EXPECT_LT(history.final_loss(), history.epoch_loss.front() * 0.1);
+}
+
+}  // namespace
+}  // namespace salnov::nn

@@ -1,0 +1,229 @@
+// Unit tests for the NoveltyMonitor policy layer and the configurable
+// saliency-preprocessing extension.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/monitor.hpp"
+#include "core/novelty_detector.hpp"
+#include "driving/pilotnet.hpp"
+#include "driving/steering_trainer.hpp"
+#include "roadsim/dataset.hpp"
+#include "roadsim/outdoor_generator.hpp"
+
+namespace salnov::core {
+namespace {
+
+constexpr int64_t kH = 16;
+constexpr int64_t kW = 24;
+
+/// Builds a detector fitted on smooth gradient images; smooth images score
+/// familiar, full-noise images score novel — a controllable fixture for
+/// exercising monitor state transitions.
+class MonitorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    NoveltyDetectorConfig config;
+    config.height = kH;
+    config.width = kW;
+    config.preprocessing = Preprocessing::kRaw;
+    config.score = ReconstructionScore::kMse;
+    config.autoencoder = AutoencoderConfig::tiny(kH, kW);
+    config.train_epochs = 60;
+    config.learning_rate = 3e-3;
+    detector_ = new NoveltyDetector(config);
+
+    Rng rng(3);
+    std::vector<Image> train;
+    for (int i = 0; i < 40; ++i) train.push_back(familiar_frame(rng));
+    detector_->fit(train, rng);
+  }
+
+  static void TearDownTestSuite() {
+    delete detector_;
+    detector_ = nullptr;
+  }
+
+  /// Smooth gradient image with mild per-image variation.
+  static Image familiar_frame(Rng& rng) {
+    Image img(kH, kW);
+    const double slope = rng.uniform(0.8, 1.2);
+    for (int64_t y = 0; y < kH; ++y) {
+      for (int64_t x = 0; x < kW; ++x) {
+        img(y, x) = static_cast<float>(slope * (y + x) / static_cast<double>(kH + kW));
+      }
+    }
+    img.clamp01();
+    return img;
+  }
+
+  /// Full-scale noise image, far outside the training manifold.
+  static Image novel_frame(Rng& rng) {
+    return Image(kH, kW, rng.uniform_tensor({kH * kW}, 0.0, 1.0));
+  }
+
+  static NoveltyDetector* detector_;
+};
+
+NoveltyDetector* MonitorFixture::detector_ = nullptr;
+
+TEST_F(MonitorFixture, FixtureSeparates) {
+  Rng rng(5);
+  EXPECT_FALSE(detector_->classify(familiar_frame(rng)).is_novel);
+  EXPECT_TRUE(detector_->classify(novel_frame(rng)).is_novel);
+}
+
+TEST_F(MonitorFixture, StartsNominal) {
+  NoveltyMonitor monitor(*detector_);
+  EXPECT_EQ(monitor.state(), MonitorState::kNominal);
+  EXPECT_EQ(monitor.frames_seen(), 0);
+}
+
+TEST_F(MonitorFixture, StaysNominalOnFamiliarFrames) {
+  NoveltyMonitor monitor(*detector_);
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const MonitorUpdate u = monitor.update(familiar_frame(rng));
+    EXPECT_EQ(u.state, MonitorState::kNominal);
+    EXPECT_FALSE(u.frame_novel);
+  }
+  EXPECT_EQ(monitor.frames_seen(), 10);
+}
+
+TEST_F(MonitorFixture, EntersFallbackAfterTriggerFrames) {
+  MonitorConfig config;
+  config.trigger_frames = 3;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(9);
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kAlert);
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kAlert);
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kFallback);
+}
+
+TEST_F(MonitorFixture, SingleNovelFrameOnlyAlerts) {
+  NoveltyMonitor monitor(*detector_);
+  Rng rng(11);
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kAlert);
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kNominal);
+}
+
+TEST_F(MonitorFixture, FallbackReleasesAfterConsecutiveFamiliar) {
+  MonitorConfig config;
+  config.trigger_frames = 2;
+  config.release_frames = 3;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(13);
+  monitor.update(novel_frame(rng));
+  monitor.update(novel_frame(rng));
+  ASSERT_EQ(monitor.state(), MonitorState::kFallback);
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kFallback);
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kFallback);
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kNominal);
+}
+
+TEST_F(MonitorFixture, NovelFrameDuringReleaseResetsCount) {
+  MonitorConfig config;
+  config.trigger_frames = 1;
+  config.release_frames = 2;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(15);
+  monitor.update(novel_frame(rng));
+  ASSERT_EQ(monitor.state(), MonitorState::kFallback);
+  monitor.update(familiar_frame(rng));
+  monitor.update(novel_frame(rng));  // interrupts the release streak
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kFallback);
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kNominal);
+}
+
+TEST_F(MonitorFixture, SmoothedScoreTracksEma) {
+  MonitorConfig config;
+  config.score_smoothing = 0.5;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(17);
+  const MonitorUpdate first = monitor.update(familiar_frame(rng));
+  EXPECT_DOUBLE_EQ(first.smoothed_score, first.raw_score);
+  const MonitorUpdate second = monitor.update(familiar_frame(rng));
+  EXPECT_NEAR(second.smoothed_score, 0.5 * first.raw_score + 0.5 * second.raw_score, 1e-12);
+}
+
+TEST_F(MonitorFixture, ResetClearsState) {
+  MonitorConfig config;
+  config.trigger_frames = 1;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(19);
+  monitor.update(novel_frame(rng));
+  ASSERT_EQ(monitor.state(), MonitorState::kFallback);
+  monitor.reset();
+  EXPECT_EQ(monitor.state(), MonitorState::kNominal);
+}
+
+TEST_F(MonitorFixture, InvalidConfigThrows) {
+  MonitorConfig bad;
+  bad.trigger_frames = 0;
+  EXPECT_THROW(NoveltyMonitor(*detector_, bad), std::invalid_argument);
+  bad = MonitorConfig{};
+  bad.score_smoothing = 0.0;
+  EXPECT_THROW(NoveltyMonitor(*detector_, bad), std::invalid_argument);
+}
+
+TEST(MonitorStandalone, UnfittedDetectorRejected) {
+  NoveltyDetectorConfig config;
+  config.height = kH;
+  config.width = kW;
+  config.preprocessing = Preprocessing::kRaw;
+  config.autoencoder = AutoencoderConfig::tiny(kH, kW);
+  NoveltyDetector detector(config);
+  EXPECT_THROW(NoveltyMonitor{detector}, std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Configurable saliency preprocessing (extension): every saliency method
+// must work as the preprocessing stage end-to-end.
+
+class SaliencyPreprocessingSweep : public ::testing::TestWithParam<Preprocessing> {};
+
+TEST_P(SaliencyPreprocessingSweep, FitsAndScores) {
+  const int64_t h = 24, w = 48;
+  roadsim::OutdoorSceneGenerator gen;
+  Rng rng(21);
+  const auto data = roadsim::DrivingDataset::generate(gen, 24, h, w, rng);
+  nn::Sequential steering =
+      driving::build_pilotnet(driving::PilotNetConfig::tiny(h, w), rng);
+
+  NoveltyDetectorConfig config;
+  config.height = h;
+  config.width = w;
+  config.preprocessing = GetParam();
+  config.score = ReconstructionScore::kSsim;
+  config.autoencoder = AutoencoderConfig::tiny(h, w);
+  config.train_epochs = 10;
+  NoveltyDetector detector(config);
+  detector.attach_steering_model(&steering);
+  detector.fit(data.images(), rng);
+
+  const double score = detector.score(data.image(0));
+  EXPECT_GE(score, -1.0);
+  EXPECT_LE(score, 1.0);
+  const Image mask = detector.preprocess(data.image(0));
+  EXPECT_GE(mask.min(), 0.0f);
+  EXPECT_LE(mask.max(), 1.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSaliencyMethods, SaliencyPreprocessingSweep,
+                         ::testing::Values(Preprocessing::kVbp, Preprocessing::kGradient,
+                                           Preprocessing::kLrp),
+                         [](const ::testing::TestParamInfo<Preprocessing>& info) {
+                           switch (info.param) {
+                             case Preprocessing::kVbp:
+                               return "Vbp";
+                             case Preprocessing::kGradient:
+                               return "Gradient";
+                             case Preprocessing::kLrp:
+                               return "Lrp";
+                             default:
+                               return "Raw";
+                           }
+                         });
+
+}  // namespace
+}  // namespace salnov::core

@@ -1,0 +1,320 @@
+// Unit tests for nn layers: forward correctness on hand-computed examples
+// and numerical gradient checks (central differences) for every layer.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "test_util.hpp"
+
+namespace salnov::nn {
+namespace {
+
+TEST(Dense, ForwardMatchesHandComputation) {
+  // y = x W + b with known numbers.
+  Dense dense(Tensor({2, 2}, {1, 2, 3, 4}), Tensor({2}, {10, 20}));
+  const Tensor out = dense.forward(Tensor({1, 2}, {1, 1}), Mode::kInfer);
+  test::expect_tensors_near(out, Tensor({1, 2}, {1 + 3 + 10, 2 + 4 + 20}));
+}
+
+TEST(Dense, ForwardBatch) {
+  Dense dense(Tensor({1, 1}, {2}), Tensor({1}, {1}));
+  const Tensor out = dense.forward(Tensor({3, 1}, {1, 2, 3}), Mode::kInfer);
+  test::expect_tensors_near(out, Tensor({3, 1}, {3, 5, 7}));
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Dense dense(3, 2, rng);
+  EXPECT_THROW(dense.forward(Tensor({1, 4}), Mode::kInfer), std::invalid_argument);
+}
+
+TEST(Dense, BackwardWithoutForwardThrows) {
+  Rng rng(1);
+  Dense dense(2, 2, rng);
+  EXPECT_THROW(dense.backward(Tensor({1, 2})), std::logic_error);
+}
+
+TEST(Dense, GradientCheck) {
+  Rng rng(42);
+  Dense dense(4, 3, rng);
+  const Tensor input = rng.uniform_tensor({2, 4}, -1.0, 1.0);
+  test::check_layer_gradients(dense, input, rng);
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(7);
+  Dense dense(2, 2, rng);
+  const Tensor input = rng.uniform_tensor({1, 2}, -1.0, 1.0);
+  const Tensor seed = Tensor::ones({1, 2});
+  dense.forward(input, Mode::kTrain);
+  dense.backward(seed);
+  const Tensor first = dense.weight().grad;
+  dense.forward(input, Mode::kTrain);
+  dense.backward(seed);
+  test::expect_tensors_near(dense.weight().grad, first * 2.0f, 1e-5f);
+}
+
+TEST(Dense, InvalidConstructionThrows) {
+  Rng rng(1);
+  EXPECT_THROW(Dense(0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(Dense(Tensor({2, 2}), Tensor({3})), std::invalid_argument);
+}
+
+TEST(Conv2d, ForwardIdentityKernel) {
+  // 1x1 kernel with weight 1: output equals input.
+  Conv2dConfig cfg{1, 1, 1, 1, 1, 0};
+  Conv2d conv(cfg, Tensor({1, 1, 1, 1}, {1.0f}), Tensor({1}, {0.0f}));
+  const Tensor input = Tensor({1, 1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  test::expect_tensors_near(conv.forward(input, Mode::kInfer), input);
+}
+
+TEST(Conv2d, ForwardSumKernel) {
+  // 2x2 all-ones kernel computes window sums.
+  Conv2dConfig cfg{1, 1, 2, 2, 1, 0};
+  Conv2d conv(cfg, Tensor::ones({1, 1, 2, 2}), Tensor({1}, {0.0f}));
+  const Tensor input = Tensor({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor out = conv.forward(input, Mode::kInfer);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 10.0f);
+}
+
+TEST(Conv2d, BiasAddedPerChannel) {
+  Conv2dConfig cfg{1, 2, 1, 1, 1, 0};
+  Conv2d conv(cfg, Tensor::zeros({2, 1, 1, 1}), Tensor({2}, {1.5f, -2.0f}));
+  const Tensor out = conv.forward(Tensor({1, 1, 2, 2}), Mode::kInfer);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1, 1}), 1.5f);
+  EXPECT_FLOAT_EQ(out.at({0, 1, 0, 0}), -2.0f);
+}
+
+TEST(Conv2d, StrideGeometry) {
+  Conv2dConfig cfg{1, 1, 5, 5, 2, 0};
+  Rng rng(1);
+  Conv2d conv(cfg, rng);
+  EXPECT_EQ(conv.output_shape({1, 1, 60, 160}), (Shape{1, 1, 28, 78}));
+}
+
+TEST(Conv2d, PaddingGeometry) {
+  Conv2dConfig cfg{1, 1, 3, 3, 1, 1};
+  Rng rng(1);
+  Conv2d conv(cfg, rng);
+  EXPECT_EQ(conv.output_shape({2, 1, 7, 9}), (Shape{2, 1, 7, 9}));
+}
+
+TEST(Conv2d, PaddingTreatedAsZeros) {
+  Conv2dConfig cfg{1, 1, 3, 3, 1, 1};
+  Conv2d conv(cfg, Tensor::ones({1, 1, 3, 3}), Tensor({1}, {0.0f}));
+  Tensor input = Tensor::ones({1, 1, 3, 3});
+  const Tensor out = conv.forward(input, Mode::kInfer);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1, 1}), 9.0f);  // center sees full window
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0, 0}), 4.0f);  // corner sees 2x2 of ones
+}
+
+TEST(Conv2d, TooSmallInputThrows) {
+  Conv2dConfig cfg{1, 1, 5, 5, 1, 0};
+  Rng rng(1);
+  Conv2d conv(cfg, rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 1, 4, 4}), Mode::kInfer), std::invalid_argument);
+}
+
+TEST(Conv2d, WrongChannelCountThrows) {
+  Conv2dConfig cfg{2, 1, 3, 3, 1, 0};
+  Rng rng(1);
+  Conv2d conv(cfg, rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 1, 5, 5}), Mode::kInfer), std::invalid_argument);
+}
+
+TEST(Conv2d, GradientCheckValidConv) {
+  Rng rng(3);
+  Conv2dConfig cfg{2, 3, 3, 3, 1, 0};
+  Conv2d conv(cfg, rng);
+  const Tensor input = rng.uniform_tensor({2, 2, 5, 5}, -1.0, 1.0);
+  test::check_layer_gradients(conv, input, rng);
+}
+
+TEST(Conv2d, GradientCheckStridedPaddedConv) {
+  Rng rng(5);
+  Conv2dConfig cfg{1, 2, 3, 3, 2, 1};
+  Conv2d conv(cfg, rng);
+  const Tensor input = rng.uniform_tensor({1, 1, 6, 6}, -1.0, 1.0);
+  test::check_layer_gradients(conv, input, rng);
+}
+
+TEST(Conv2d, GradientCheckRectangularKernel) {
+  Rng rng(9);
+  Conv2dConfig cfg{1, 2, 2, 4, 1, 0};
+  Conv2d conv(cfg, rng);
+  const Tensor input = rng.uniform_tensor({1, 1, 4, 6}, -1.0, 1.0);
+  test::check_layer_gradients(conv, input, rng);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  const Tensor out = relu.forward(Tensor({4}, {-1, 0, 2, -3}), Mode::kInfer);
+  test::expect_tensors_near(out, Tensor({4}, {0, 0, 2, 0}));
+}
+
+TEST(ReLU, GradientCheck) {
+  Rng rng(11);
+  ReLU relu;
+  // Keep inputs away from the kink at 0 for a clean finite-difference check.
+  Tensor input = rng.uniform_tensor({2, 6}, 0.2, 1.0);
+  for (int64_t i = 0; i < input.numel(); i += 2) input[i] = -input[i];
+  test::check_layer_gradients(relu, input, rng);
+}
+
+TEST(Sigmoid, ForwardKnownValues) {
+  Sigmoid sigmoid;
+  const Tensor out = sigmoid.forward(Tensor({2}, {0.0f, 100.0f}), Mode::kInfer);
+  EXPECT_NEAR(out[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(out[1], 1.0f, 1e-6f);
+}
+
+TEST(Sigmoid, GradientCheck) {
+  Rng rng(13);
+  Sigmoid sigmoid;
+  const Tensor input = rng.uniform_tensor({3, 4}, -2.0, 2.0);
+  test::check_layer_gradients(sigmoid, input, rng);
+}
+
+TEST(Tanh, ForwardKnownValues) {
+  Tanh tanh_layer;
+  const Tensor out = tanh_layer.forward(Tensor({2}, {0.0f, 20.0f}), Mode::kInfer);
+  EXPECT_NEAR(out[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(out[1], 1.0f, 1e-5f);
+}
+
+TEST(Tanh, GradientCheck) {
+  Rng rng(17);
+  Tanh tanh_layer;
+  const Tensor input = rng.uniform_tensor({2, 5}, -1.5, 1.5);
+  test::check_layer_gradients(tanh_layer, input, rng);
+}
+
+TEST(MaxPool2d, ForwardPicksWindowMaxima) {
+  MaxPool2d pool(2);
+  const Tensor input = Tensor({1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 1});
+  const Tensor out = pool.forward(input, Mode::kInfer);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 8.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToWinner) {
+  MaxPool2d pool(2);
+  const Tensor input = Tensor({1, 1, 2, 2}, {1, 9, 2, 3});
+  pool.forward(input, Mode::kTrain);
+  const Tensor grad = pool.backward(Tensor({1, 1, 1, 1}, {5.0f}));
+  test::expect_tensors_near(grad, Tensor({1, 1, 2, 2}, {0, 5, 0, 0}));
+}
+
+TEST(MaxPool2d, GradientCheck) {
+  Rng rng(19);
+  MaxPool2d pool(2);
+  // Distinct values avoid argmax ties, which break finite differences.
+  Tensor input({1, 2, 4, 4});
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    input[i] = static_cast<float>((i * 7919) % 97) / 97.0f;
+  }
+  test::check_layer_gradients(pool, input, rng);
+}
+
+TEST(MaxPool2d, InvalidConfigThrows) { EXPECT_THROW(MaxPool2d(0), std::invalid_argument); }
+
+TEST(Flatten, CollapsesTrailingDims) {
+  Flatten flatten;
+  const Tensor out = flatten.forward(Tensor({2, 3, 4, 5}), Mode::kInfer);
+  EXPECT_EQ(out.shape(), (Shape{2, 60}));
+}
+
+TEST(Flatten, BackwardRestoresShape) {
+  Flatten flatten;
+  flatten.forward(Tensor({2, 3, 2, 2}), Mode::kTrain);
+  const Tensor grad = flatten.backward(Tensor({2, 12}));
+  EXPECT_EQ(grad.shape(), (Shape{2, 3, 2, 2}));
+}
+
+TEST(Sequential, ChainsLayers) {
+  Rng rng(23);
+  Sequential model;
+  model.emplace<Dense>(Tensor({2, 2}, {1, 0, 0, 1}), Tensor({2}, {1, 1}));
+  model.emplace<ReLU>();
+  const Tensor out = model.forward(Tensor({1, 2}, {-5, 3}), Mode::kInfer);
+  test::expect_tensors_near(out, Tensor({1, 2}, {0, 4}));
+}
+
+TEST(Sequential, ForwardCollectReturnsAllActivations) {
+  Sequential model;
+  model.emplace<Dense>(Tensor({1, 1}, {2}), Tensor({1}, {0}));
+  model.emplace<ReLU>();
+  const auto acts = model.forward_collect(Tensor({1, 1}, {3}));
+  ASSERT_EQ(acts.size(), 2u);
+  EXPECT_FLOAT_EQ(acts[0][0], 6.0f);
+  EXPECT_FLOAT_EQ(acts[1][0], 6.0f);
+}
+
+TEST(Sequential, EndToEndGradientCheck) {
+  Rng rng(29);
+  Sequential model;
+  model.emplace<Dense>(3, 4, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(4, 2, rng);
+  model.emplace<Tanh>();
+
+  const Tensor input = rng.uniform_tensor({2, 3}, -1.0, 1.0);
+  const Tensor seed = rng.uniform_tensor({2, 2}, -1.0, 1.0);
+
+  model.zero_grad();
+  model.forward(input, Mode::kTrain);
+  const Tensor grad_input = model.backward(seed);
+
+  auto scalar = [&](const Tensor& x) {
+    const Tensor out = model.forward(x, Mode::kInfer);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) acc += static_cast<double>(out[i]) * seed[i];
+    return acc;
+  };
+  Tensor x = input;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float saved = x[i];
+    const double h = 1e-3;
+    x[i] = saved + static_cast<float>(h);
+    const double up = scalar(x);
+    x[i] = saved - static_cast<float>(h);
+    const double down = scalar(x);
+    x[i] = saved;
+    EXPECT_NEAR(grad_input[i], (up - down) / (2 * h), 2e-2) << "at " << i;
+  }
+}
+
+TEST(Sequential, ParameterCountSumsLayers) {
+  Rng rng(31);
+  Sequential model;
+  model.emplace<Dense>(10, 5, rng);  // 10*5 + 5
+  model.emplace<Dense>(5, 2, rng);   // 5*2 + 2
+  EXPECT_EQ(model.parameter_count(), 55 + 12);
+}
+
+TEST(Sequential, OutputShapePropagates) {
+  Rng rng(37);
+  Sequential model;
+  Conv2dConfig cfg{1, 4, 3, 3, 1, 0};
+  model.emplace<Conv2d>(cfg, rng);
+  model.emplace<ReLU>();
+  model.emplace<Flatten>();
+  model.emplace<Dense>(4 * 4 * 4, 2, rng);
+  EXPECT_EQ(model.output_shape({5, 1, 6, 6}), (Shape{5, 2}));
+}
+
+TEST(Sequential, AddNullThrows) {
+  Sequential model;
+  EXPECT_THROW(model.add(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace salnov::nn

@@ -1,0 +1,217 @@
+// Property-based sweeps over the scene generators: invariants that must
+// hold for *every* sampled scene, checked over many random draws and over a
+// parameter grid (TEST_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "roadsim/dataset.hpp"
+#include "roadsim/indoor_generator.hpp"
+#include "roadsim/outdoor_generator.hpp"
+#include "roadsim/rasterizer.hpp"
+
+namespace salnov::roadsim {
+namespace {
+
+TEST(SteeringProperty, MonotoneInCurvature) {
+  SceneParams params;
+  double previous = -2.0;
+  for (double curvature = -1.0; curvature <= 1.0; curvature += 0.1) {
+    params.curvature = curvature;
+    const double steer = steering_for_scene(params);
+    EXPECT_GE(steer, previous);
+    previous = steer;
+  }
+}
+
+TEST(SteeringProperty, AntitoneInOffset) {
+  SceneParams params;
+  double previous = 2.0;
+  for (double offset = -1.0; offset <= 1.0; offset += 0.1) {
+    params.camera_offset = offset;
+    const double steer = steering_for_scene(params);
+    EXPECT_LE(steer, previous);
+    previous = steer;
+  }
+}
+
+TEST(SteeringProperty, AlwaysInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    SceneParams params;
+    params.curvature = rng.uniform(-2.0, 2.0);
+    params.camera_offset = rng.uniform(-2.0, 2.0);
+    const double steer = steering_for_scene(params);
+    EXPECT_GE(steer, -1.0);
+    EXPECT_LE(steer, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry invariants over a random parameter sweep.
+
+class GeometryPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeometryPropertySweep, InvariantsHoldForRandomScenes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    SceneParams params;
+    params.curvature = rng.uniform(-1.4, 1.4);
+    params.camera_offset = rng.uniform(-1.1, 1.1);
+    params.horizon_frac = rng.uniform(0.25, 0.65);
+    params.road_half_width = rng.uniform(0.12, 0.5);
+    const int64_t h = 40 + rng.uniform_int(0, 60);
+    const int64_t w = 80 + rng.uniform_int(0, 200);
+    const RoadGeometry geo(params, h, w);
+
+    // Horizon inside the frame.
+    EXPECT_GE(geo.horizon_row(), 1);
+    EXPECT_LE(geo.horizon_row(), h - 2);
+
+    // Depth is monotone in row and bounded.
+    double prev_depth = -1.0;
+    for (int64_t y = geo.horizon_row(); y < h; ++y) {
+      const double d = geo.depth(y);
+      EXPECT_GE(d, prev_depth);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+      prev_depth = d;
+    }
+
+    // Half-width grows (weakly) with depth and is positive.
+    double prev_width = 0.0;
+    for (int64_t y = geo.horizon_row() + 1; y < h; ++y) {
+      const double hw = geo.half_width(y);
+      EXPECT_GT(hw, 0.0);
+      EXPECT_GE(hw, prev_width - 1e-9);
+      prev_width = hw;
+    }
+
+    // At the bottom row the road is anchored near the camera: the center
+    // offset from mid-frame is bounded by half the lane width.
+    const double bottom_center = geo.center_x(h - 1);
+    EXPECT_LE(std::abs(bottom_center - static_cast<double>(w) / 2.0),
+              0.55 * params.road_half_width * static_cast<double>(w) + 1.0);
+
+    // Edge pixels are never road-interior pixels' complement violation:
+    // a pixel on the center marking must be on the road.
+    for (int64_t y = geo.horizon_row() + 1; y < h; y += 7) {
+      for (int64_t x = 0; x < w; x += 11) {
+        if (geo.on_center_marking(y, x)) {
+          EXPECT_TRUE(geo.on_road(y, x));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryPropertySweep, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Generator invariants, parameterized over both generators.
+
+enum class Which { kOutdoor, kIndoor };
+
+class GeneratorPropertySweep : public ::testing::TestWithParam<Which> {
+ protected:
+  std::unique_ptr<SceneGenerator> make() const {
+    if (GetParam() == Which::kOutdoor) return std::make_unique<OutdoorSceneGenerator>();
+    return std::make_unique<IndoorSceneGenerator>();
+  }
+};
+
+TEST_P(GeneratorPropertySweep, SamplesAreValid) {
+  auto gen = make();
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const Sample s = gen->generate(rng);
+    EXPECT_EQ(s.rgb.height(), gen->render_height());
+    EXPECT_EQ(s.rgb.width(), gen->render_width());
+    EXPECT_GE(s.rgb.tensor().min(), 0.0f);
+    EXPECT_LE(s.rgb.tensor().max(), 1.0f);
+    EXPECT_GE(s.steering, -1.0);
+    EXPECT_LE(s.steering, 1.0);
+    EXPECT_DOUBLE_EQ(s.steering, steering_for_scene(s.params));
+  }
+}
+
+TEST_P(GeneratorPropertySweep, DeterministicPerSeed) {
+  auto gen = make();
+  Rng a(42), b(42);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(gen->generate(a).rgb.tensor(), gen->generate(b).rgb.tensor());
+  }
+}
+
+TEST_P(GeneratorPropertySweep, RelevanceMaskIsBinaryAndBelowHorizon) {
+  auto gen = make();
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    const Sample s = gen->generate(rng);
+    const Image mask = gen->relevance_mask(s.params, 60, 160);
+    const RoadGeometry geo(s.params, 60, 160);
+    for (int64_t y = 0; y < mask.height(); ++y) {
+      for (int64_t x = 0; x < mask.width(); ++x) {
+        const float v = mask(y, x);
+        EXPECT_TRUE(v == 0.0f || v == 1.0f);
+        if (y <= geo.horizon_row()) {
+          EXPECT_EQ(v, 0.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(GeneratorPropertySweep, DatasetSplitIsDisjointAndComplete) {
+  auto gen = make();
+  Rng rng(17);
+  const DrivingDataset ds = DrivingDataset::generate(*gen, 40, 30, 80, rng);
+  const auto [train, test] = ds.split(0.75, rng);
+  EXPECT_EQ(train.size() + test.size(), ds.size());
+  // No image appears in both halves (images are distinct scenes with
+  // overwhelming probability, so tensor equality identifies duplicates).
+  for (int64_t i = 0; i < train.size(); ++i) {
+    for (int64_t j = 0; j < test.size(); ++j) {
+      EXPECT_NE(train.image(i).tensor(), test.image(j).tensor());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, GeneratorPropertySweep,
+                         ::testing::Values(Which::kOutdoor, Which::kIndoor),
+                         [](const ::testing::TestParamInfo<Which>& info) {
+                           return info.param == Which::kOutdoor ? "Outdoor" : "Indoor";
+                         });
+
+// ---------------------------------------------------------------------------
+// Cross-generator contrast: the datasets must be statistically different
+// (that is their role), measured over a modest sample.
+
+TEST(GeneratorContrast, GrayscaleStatisticsDiffer) {
+  OutdoorSceneGenerator outdoor;
+  IndoorSceneGenerator indoor;
+  Rng rng(19);
+  double outdoor_mean = 0.0, indoor_mean = 0.0;
+  const int n = 16;
+  for (int i = 0; i < n; ++i) {
+    outdoor_mean += outdoor.generate(rng).rgb.to_grayscale().mean();
+    indoor_mean += indoor.generate(rng).rgb.to_grayscale().mean();
+  }
+  EXPECT_GT(std::abs(outdoor_mean - indoor_mean) / n, 0.02);
+}
+
+TEST(GeneratorContrast, IndoorTrackNarrowerThanOutdoorRoad) {
+  OutdoorSceneGenerator outdoor;
+  IndoorSceneGenerator indoor;
+  Rng rng(23);
+  double outdoor_width = 0.0, indoor_width = 0.0;
+  const int n = 16;
+  for (int i = 0; i < n; ++i) {
+    outdoor_width += outdoor.generate(rng).params.road_half_width;
+    indoor_width += indoor.generate(rng).params.road_half_width;
+  }
+  EXPECT_GT(outdoor_width / n, indoor_width / n * 1.5);
+}
+
+}  // namespace
+}  // namespace salnov::roadsim

@@ -1,0 +1,260 @@
+// Failure-injection tests for every serialized format in the library:
+// model files, pipeline files, and PNM images. A loader must never crash or
+// silently accept corrupted input — every injected fault must surface as a
+// typed exception.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/novelty_detector.hpp"
+#include "core/pipeline_io.hpp"
+#include "image/image_io.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/model_io.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/serialize.hpp"
+
+namespace salnov {
+namespace {
+
+std::string serialized_model() {
+  Rng rng(1);
+  nn::Sequential model;
+  nn::Conv2dConfig cfg{1, 2, 3, 3, 1, 0};
+  model.emplace<nn::Conv2d>(cfg, rng);
+  model.emplace<nn::ReLU>();
+  std::stringstream ss;
+  nn::save_model(ss, model);
+  return ss.str();
+}
+
+std::string serialized_pipeline() {
+  core::NoveltyDetectorConfig config;
+  config.height = 16;
+  config.width = 20;
+  config.preprocessing = core::Preprocessing::kRaw;
+  config.score = core::ReconstructionScore::kMse;
+  config.autoencoder = core::AutoencoderConfig::tiny(16, 20);
+  config.train_epochs = 2;
+  core::NoveltyDetector detector(config);
+  Rng rng(2);
+  std::vector<Image> images;
+  for (int i = 0; i < 6; ++i) images.emplace_back(16, 20, rng.uniform_tensor({320}, 0.0, 1.0));
+  detector.fit(images, rng);
+  std::stringstream ss;
+  core::PipelineIo::save(ss, detector, nullptr);
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Truncation sweeps: cutting a valid file at any of several points must
+// throw, never crash or return a half-initialized object.
+
+class ModelTruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelTruncationSweep, TruncatedModelRejected) {
+  static const std::string full = serialized_model();
+  const size_t keep = full.size() * static_cast<size_t>(GetParam()) / 100;
+  std::stringstream ss(full.substr(0, keep));
+  EXPECT_THROW(nn::load_model(ss), SerializationError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ModelTruncationSweep,
+                         ::testing::Values(1, 5, 10, 25, 50, 75, 90, 99));
+
+class PipelineTruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineTruncationSweep, TruncatedPipelineRejected) {
+  static const std::string full = serialized_pipeline();
+  const size_t keep = full.size() * static_cast<size_t>(GetParam()) / 100;
+  std::stringstream ss(full.substr(0, keep));
+  EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, PipelineTruncationSweep,
+                         ::testing::Values(1, 5, 10, 25, 50, 75, 90, 99));
+
+// ---------------------------------------------------------------------------
+// Targeted corruption.
+
+TEST(ModelCorruption, FlippedMagicByteRejected) {
+  std::string data = serialized_model();
+  data[5] ^= 0x40;  // inside the magic string
+  std::stringstream ss(data);
+  EXPECT_THROW(nn::load_model(ss), SerializationError);
+}
+
+TEST(ModelCorruption, BumpedVersionRejected) {
+  std::string data = serialized_model();
+  // Header layout: u32 strlen, magic bytes, u32 version.
+  const size_t version_offset = 4 + std::string("salnov-model").size();
+  data[version_offset] = 99;
+  std::stringstream ss(data);
+  EXPECT_THROW(nn::load_model(ss), SerializationError);
+}
+
+TEST(ModelCorruption, UnknownLayerTypeRejected) {
+  Rng rng(3);
+  std::stringstream ss;
+  write_header(ss, "salnov-model", 1);
+  write_u32(ss, 1);
+  write_string(ss, "not-a-layer");
+  EXPECT_THROW(nn::load_model(ss), SerializationError);
+}
+
+TEST(ModelCorruption, ParameterNameMismatchRejected) {
+  Rng rng(4);
+  std::stringstream ss;
+  write_header(ss, "salnov-model", 1);
+  write_u32(ss, 1);
+  write_string(ss, "dense");
+  write_i64(ss, 2);  // in
+  write_i64(ss, 2);  // out
+  write_u32(ss, 2);  // param count
+  write_string(ss, "weight-wrong-name");
+  write_tensor(ss, Tensor::zeros({2, 2}));
+  write_string(ss, "bias");
+  write_tensor(ss, Tensor::zeros({2}));
+  EXPECT_THROW(nn::load_model(ss), SerializationError);
+}
+
+TEST(ModelCorruption, ParameterShapeMismatchRejected) {
+  std::stringstream ss;
+  write_header(ss, "salnov-model", 1);
+  write_u32(ss, 1);
+  write_string(ss, "dense");
+  write_i64(ss, 2);
+  write_i64(ss, 2);
+  write_u32(ss, 2);
+  write_string(ss, "weight");
+  write_tensor(ss, Tensor::zeros({3, 3}));  // wrong shape
+  write_string(ss, "bias");
+  write_tensor(ss, Tensor::zeros({2}));
+  EXPECT_THROW(nn::load_model(ss), SerializationError);
+}
+
+TEST(ModelCorruption, WrongParameterCountRejected) {
+  std::stringstream ss;
+  write_header(ss, "salnov-model", 1);
+  write_u32(ss, 1);
+  write_string(ss, "relu");
+  write_u32(ss, 3);  // ReLU has zero parameters
+  EXPECT_THROW(nn::load_model(ss), SerializationError);
+}
+
+TEST(PipelineCorruption, UnknownPreprocessingTagRejected) {
+  std::string data = serialized_pipeline();
+  // Config layout after header("salnov-pipeline", v1): i64 height, i64
+  // width, u32 preprocessing tag.
+  const size_t offset = (4 + std::string("salnov-pipeline").size() + 4) + 8 + 8;
+  data[offset] = 17;
+  std::stringstream ss(data);
+  EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+TEST(PipelineCorruption, ImplausibleHiddenLayerCountRejected) {
+  std::stringstream ss;
+  write_header(ss, "salnov-pipeline", 1);
+  write_i64(ss, 16);
+  write_i64(ss, 20);
+  write_u32(ss, 0);      // raw
+  write_u32(ss, 0);      // mse
+  write_u32(ss, 70000);  // absurd hidden layer count
+  EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+// ---------------------------------------------------------------------------
+// PNM robustness.
+
+std::string temp_file(const std::string& name, const std::string& contents) {
+  const std::string path = (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream os(path, std::ios::binary);
+  os << contents;
+  return path;
+}
+
+TEST(PnmCorruption, TruncatedPixelDataRejected) {
+  const std::string path = temp_file("salnov_trunc.pgm", "P5\n4 4\n255\nab");
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PnmCorruption, NonNumericDimensionsRejected) {
+  const std::string path = temp_file("salnov_dims.pgm", "P5\nxx yy\n255\n");
+  EXPECT_ANY_THROW(read_pgm(path));
+  std::remove(path.c_str());
+}
+
+TEST(PnmCorruption, ZeroDimensionsRejected) {
+  const std::string path = temp_file("salnov_zero.pgm", "P5\n0 5\n255\n");
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PnmCorruption, SixteenBitDepthRejected) {
+  const std::string path = temp_file("salnov_depth.pgm", "P5\n2 2\n65535\n");
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PnmCorruption, CommentsInHeaderAccepted) {
+  std::string contents = "P5\n# a comment line\n2 1\n255\n";
+  contents.push_back(static_cast<char>(10));
+  contents.push_back(static_cast<char>(200));
+  const std::string path = temp_file("salnov_comment.pgm", contents);
+  const Image img = read_pgm(path);
+  EXPECT_EQ(img.width(), 2);
+  EXPECT_NEAR(img(0, 1), 200.0f / 255.0f, 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(PnmCorruption, EmptyFileRejected) {
+  const std::string path = temp_file("salnov_empty.pgm", "");
+  EXPECT_ANY_THROW(read_pgm(path));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip invariants under repeated save/load cycles.
+
+TEST(RoundTripStability, ModelSurvivesRepeatedCycles) {
+  Rng rng(5);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(4, 3, rng);
+  model.emplace<nn::Tanh>();
+  const Tensor probe = rng.uniform_tensor({2, 4}, -1.0, 1.0);
+  const Tensor reference = model.forward(probe, nn::Mode::kInfer);
+
+  std::string blob;
+  {
+    std::stringstream ss;
+    nn::save_model(ss, model);
+    blob = ss.str();
+  }
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    std::stringstream in(blob);
+    nn::Sequential loaded = nn::load_model(in);
+    std::stringstream out;
+    nn::save_model(out, loaded);
+    EXPECT_EQ(out.str(), blob) << "byte-stability broken at cycle " << cycle;
+    EXPECT_EQ(loaded.forward(probe, nn::Mode::kInfer), reference);
+    blob = out.str();
+  }
+}
+
+TEST(RoundTripStability, PipelineSurvivesRepeatedCycles) {
+  const std::string blob = serialized_pipeline();
+  std::stringstream in(blob);
+  core::LoadedPipeline first = core::PipelineIo::load(in);
+  std::stringstream out;
+  core::PipelineIo::save(out, *first.detector, nullptr);
+  EXPECT_EQ(out.str(), blob);
+}
+
+}  // namespace
+}  // namespace salnov

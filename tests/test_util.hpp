@@ -1,0 +1,91 @@
+// Shared test helpers: numerical gradient checking and tensor comparison.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace salnov::test {
+
+/// EXPECT that two tensors have the same shape and elementwise agree
+/// within `tol`.
+inline void expect_tensors_near(const Tensor& actual, const Tensor& expected, float tol = 1e-4f) {
+  ASSERT_EQ(actual.shape(), expected.shape())
+      << "shape " << shape_to_string(actual.shape()) << " vs " << shape_to_string(expected.shape());
+  for (int64_t i = 0; i < actual.numel(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], tol) << "at flat index " << i;
+  }
+}
+
+/// Checks a layer's input gradient against central finite differences of the
+/// scalar L = sum(seed * forward(x)), where `seed` is a fixed random
+/// weighting. Also checks every parameter gradient.
+inline void check_layer_gradients(nn::Layer& layer, const Tensor& input, Rng& rng,
+                                  double step = 1e-3, double tol = 2e-2) {
+  const Tensor base_out = layer.forward(input, nn::Mode::kTrain);
+  const Tensor seed = rng.uniform_tensor(base_out.shape(), -1.0, 1.0);
+
+  auto scalar_loss = [&](const Tensor& x) {
+    Tensor out = layer.forward(x, nn::Mode::kInfer);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) acc += static_cast<double>(out[i]) * seed[i];
+    return acc;
+  };
+
+  // Analytic gradients.
+  for (nn::Parameter* p : layer.parameters()) p->zero_grad();
+  layer.forward(input, nn::Mode::kTrain);
+  const Tensor grad_input = layer.backward(seed);
+
+  // Numeric input gradient.
+  Tensor x = input;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(step);
+    const double up = scalar_loss(x);
+    x[i] = saved - static_cast<float>(step);
+    const double down = scalar_loss(x);
+    x[i] = saved;
+    const double numeric = (up - down) / (2.0 * step);
+    EXPECT_NEAR(grad_input[i], numeric, tol) << "input gradient at " << i;
+  }
+
+  // Numeric parameter gradients.
+  for (nn::Parameter* p : layer.parameters()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + static_cast<float>(step);
+      const double up = scalar_loss(input);
+      p->value[i] = saved - static_cast<float>(step);
+      const double down = scalar_loss(input);
+      p->value[i] = saved;
+      const double numeric = (up - down) / (2.0 * step);
+      EXPECT_NEAR(p->grad[i], numeric, tol) << "parameter '" << p->name << "' gradient at " << i;
+    }
+  }
+}
+
+/// Checks a loss's gradient against central finite differences.
+inline void check_loss_gradient(const nn::Loss& loss, const Tensor& prediction, const Tensor& target,
+                                double step = 1e-3, double tol = 2e-3) {
+  const Tensor grad = loss.gradient(prediction, target);
+  Tensor p = prediction;
+  for (int64_t i = 0; i < p.numel(); ++i) {
+    const float saved = p[i];
+    p[i] = saved + static_cast<float>(step);
+    const double up = loss.value(p, target);
+    p[i] = saved - static_cast<float>(step);
+    const double down = loss.value(p, target);
+    p[i] = saved;
+    const double numeric = (up - down) / (2.0 * step);
+    EXPECT_NEAR(grad[i], numeric, tol) << "loss gradient at " << i;
+  }
+}
+
+}  // namespace salnov::test

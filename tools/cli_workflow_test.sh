@@ -1,0 +1,38 @@
+#!/bin/sh
+# End-to-end smoke test of the salnov CLI: generate -> train-steering ->
+# fit -> classify -> saliency, asserting the novelty verdicts.
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+"$CLI" generate --out target --dataset outdoor --count 60 --height 30 --width 80 --seed 5
+"$CLI" generate --out novel --dataset indoor --count 6 --height 30 --width 80 --seed 6
+test -f target/labels.csv
+test -f target/img00059.pgm
+
+"$CLI" train-steering --data target --out steering.model --epochs 10
+test -f steering.model
+
+"$CLI" fit --data target --steering steering.model --out detector.pipeline --epochs 60
+test -f detector.pipeline
+
+OUT="$("$CLI" classify --pipeline detector.pipeline novel/img00000.pgm novel/img00001.pgm \
+        novel/img00002.pgm target/img00000.pgm target/img00001.pgm)"
+echo "$OUT"
+# The three indoor images must be flagged; the two training images must not.
+echo "$OUT" | grep -q "3/5 flagged novel"
+
+"$CLI" saliency --steering steering.model --out sal target/img00002.pgm
+test -f sal/img00002_mask.pgm
+test -f sal/img00002_overlay.pgm
+
+# Unknown command prints usage and exits nonzero.
+if "$CLI" frobnicate 2>/dev/null; then
+  echo "expected nonzero exit for unknown command" >&2
+  exit 1
+fi
+
+echo "cli workflow ok"

@@ -1,0 +1,290 @@
+// salnov — command-line front end for the library.
+//
+// Subcommands cover the full offline workflow so the pipeline can be driven
+// without writing C++:
+//
+//   salnov generate --out DIR --dataset outdoor|indoor --count N [--seed S]
+//       Render scenes to PGM files plus a labels.csv (file, steering).
+//   salnov train-steering --data DIR --out MODEL [--epochs N] [--config compact|paper]
+//       Train the steering CNN on a generated directory.
+//   salnov fit --data DIR --steering MODEL --out PIPELINE
+//       [--preprocessing vbp|raw|gradient|lrp] [--score ssim|mse] [--epochs N]
+//       Fit the novelty detector and save the whole pipeline.
+//   salnov classify --pipeline PIPELINE IMAGE...
+//       Score images; prints score, threshold, verdict per image.
+//   salnov saliency --steering MODEL --out DIR IMAGE...
+//       Dump VBP masks and overlays for images.
+//
+// All images are 8-bit PGM at the pipeline resolution (60x160 by default;
+// --height/--width override consistently across subcommands).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "salnov.hpp"
+
+namespace {
+
+using namespace salnov;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  int64_t get_int(const std::string& key, int64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoll(it->second);
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: salnov <command> [options]\n"
+               "  generate        --out DIR --dataset outdoor|indoor --count N [--seed S]\n"
+               "  train-steering  --data DIR --out MODEL [--epochs N] [--config compact|paper]\n"
+               "  fit             --data DIR --steering MODEL --out PIPELINE\n"
+               "                  [--preprocessing vbp|raw|gradient|lrp] [--score ssim|mse]\n"
+               "                  [--epochs N]\n"
+               "  classify        --pipeline PIPELINE IMAGE...\n"
+               "  saliency        --steering MODEL --out DIR IMAGE...\n"
+               "common: --height H --width W (default 60 160), --seed S\n");
+  return 2;
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "salnov: %s\n", message.c_str());
+  return 1;
+}
+
+// --- generate ---------------------------------------------------------------
+
+int cmd_generate(const Args& args) {
+  const std::string out_dir = args.get("out");
+  const std::string dataset = args.get("dataset", "outdoor");
+  const int64_t count = args.get_int("count", 100);
+  const int64_t height = args.get_int("height", 60);
+  const int64_t width = args.get_int("width", 160);
+  if (out_dir.empty()) return fail("generate: --out is required");
+  std::filesystem::create_directories(out_dir);
+
+  Rng rng(static_cast<uint64_t>(args.get_int("seed", 1)));
+  std::unique_ptr<roadsim::SceneGenerator> generator;
+  if (dataset == "outdoor") {
+    generator = std::make_unique<roadsim::OutdoorSceneGenerator>();
+  } else if (dataset == "indoor") {
+    generator = std::make_unique<roadsim::IndoorSceneGenerator>();
+  } else {
+    return fail("generate: unknown dataset '" + dataset + "'");
+  }
+
+  const auto data = roadsim::DrivingDataset::generate(*generator, count, height, width, rng);
+  std::ofstream labels(out_dir + "/labels.csv");
+  labels << "file,steering\n";
+  for (int64_t i = 0; i < data.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "img%05lld.pgm", static_cast<long long>(i));
+    write_pgm(out_dir + "/" + name, data.image(i));
+    labels << name << ',' << data.steering(i) << '\n';
+  }
+  std::printf("wrote %lld %s scenes to %s (labels.csv included)\n", static_cast<long long>(count),
+              dataset.c_str(), out_dir.c_str());
+  return 0;
+}
+
+// --- shared data loading ----------------------------------------------------
+
+struct LoadedData {
+  std::vector<Image> images;
+  std::vector<double> steering;
+};
+
+std::optional<LoadedData> load_directory(const std::string& dir) {
+  std::ifstream labels(dir + "/labels.csv");
+  if (!labels) return std::nullopt;
+  LoadedData data;
+  std::string line;
+  std::getline(labels, line);  // header
+  while (std::getline(labels, line)) {
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    data.images.push_back(read_pgm(dir + "/" + line.substr(0, comma)));
+    data.steering.push_back(std::stod(line.substr(comma + 1)));
+  }
+  if (data.images.empty()) return std::nullopt;
+  return data;
+}
+
+// --- train-steering -----------------------------------------------------------
+
+int cmd_train_steering(const Args& args) {
+  const std::string data_dir = args.get("data");
+  const std::string out_path = args.get("out");
+  if (data_dir.empty() || out_path.empty()) {
+    return fail("train-steering: --data and --out are required");
+  }
+  const auto data = load_directory(data_dir);
+  if (!data) return fail("train-steering: cannot load " + data_dir + "/labels.csv");
+
+  roadsim::DrivingDataset dataset;
+  for (size_t i = 0; i < data->images.size(); ++i) {
+    dataset.add(data->images[i], data->steering[i], roadsim::SceneParams{});
+  }
+
+  Rng rng(static_cast<uint64_t>(args.get_int("seed", 1)));
+  auto config = args.get("config", "compact") == "paper" ? driving::PilotNetConfig::paper()
+                                                         : driving::PilotNetConfig::compact();
+  config.input_height = dataset.height();
+  config.input_width = dataset.width();
+  nn::Sequential model = driving::build_pilotnet(config, rng);
+
+  driving::SteeringTrainOptions options;
+  options.epochs = args.get_int("epochs", 25);
+  options.verbose = args.has("verbose");
+  const auto result = driving::train_steering_model(model, dataset, options, rng);
+  nn::save_model_file(out_path, model);
+  std::printf("trained steering model on %lld images (final loss %.5f); saved to %s\n",
+              static_cast<long long>(dataset.size()), result.train_mse, out_path.c_str());
+  return 0;
+}
+
+// --- fit ---------------------------------------------------------------------
+
+int cmd_fit(const Args& args) {
+  const std::string data_dir = args.get("data");
+  const std::string steering_path = args.get("steering");
+  const std::string out_path = args.get("out");
+  if (data_dir.empty() || out_path.empty()) return fail("fit: --data and --out are required");
+  const auto data = load_directory(data_dir);
+  if (!data) return fail("fit: cannot load " + data_dir + "/labels.csv");
+
+  core::NoveltyDetectorConfig config;
+  config.height = data->images.front().height();
+  config.width = data->images.front().width();
+  const std::string pre = args.get("preprocessing", "vbp");
+  if (pre == "vbp") {
+    config.preprocessing = core::Preprocessing::kVbp;
+  } else if (pre == "raw") {
+    config.preprocessing = core::Preprocessing::kRaw;
+  } else if (pre == "gradient") {
+    config.preprocessing = core::Preprocessing::kGradient;
+  } else if (pre == "lrp") {
+    config.preprocessing = core::Preprocessing::kLrp;
+  } else {
+    return fail("fit: unknown preprocessing '" + pre + "'");
+  }
+  config.score = args.get("score", "ssim") == "mse" ? core::ReconstructionScore::kMse
+                                                    : core::ReconstructionScore::kSsim;
+  config.train_epochs = args.get_int("epochs", 100);
+  config.verbose = args.has("verbose");
+
+  std::unique_ptr<nn::Sequential> steering;
+  if (core::uses_saliency(config.preprocessing)) {
+    if (steering_path.empty()) return fail("fit: --steering is required for saliency preprocessing");
+    steering = std::make_unique<nn::Sequential>(nn::load_model_file(steering_path));
+  }
+
+  core::NoveltyDetector detector(config);
+  if (steering) detector.attach_steering_model(steering.get());
+  Rng rng(static_cast<uint64_t>(args.get_int("seed", 1)));
+  const auto history = detector.fit(data->images, rng);
+  core::PipelineIo::save_file(out_path, detector, steering.get());
+  std::printf("fitted detector on %lld images (final loss %.4f, threshold %.4f); saved to %s\n",
+              static_cast<long long>(data->images.size()), history.final_loss(),
+              detector.threshold().threshold(), out_path.c_str());
+  return 0;
+}
+
+// --- classify ------------------------------------------------------------------
+
+int cmd_classify(const Args& args) {
+  const std::string pipeline_path = args.get("pipeline");
+  if (pipeline_path.empty() || args.positional.empty()) {
+    return fail("classify: --pipeline and at least one image are required");
+  }
+  core::LoadedPipeline pipeline = core::PipelineIo::load_file(pipeline_path);
+  std::printf("%-40s %10s %10s  %s\n", "image", "score", "threshold", "verdict");
+  int novel_count = 0;
+  for (const std::string& path : args.positional) {
+    const Image image = read_pgm(path);
+    const core::NoveltyResult result = pipeline.detector->classify(image);
+    novel_count += result.is_novel ? 1 : 0;
+    std::printf("%-40s %10.4f %10.4f  %s\n", path.c_str(), result.score, result.threshold,
+                result.is_novel ? "NOVEL" : "ok");
+  }
+  std::printf("%d/%zu flagged novel\n", novel_count, args.positional.size());
+  return 0;
+}
+
+// --- saliency -------------------------------------------------------------------
+
+int cmd_saliency(const Args& args) {
+  const std::string steering_path = args.get("steering");
+  const std::string out_dir = args.get("out", ".");
+  if (steering_path.empty() || args.positional.empty()) {
+    return fail("saliency: --steering and at least one image are required");
+  }
+  std::filesystem::create_directories(out_dir);
+  nn::Sequential model = nn::load_model_file(steering_path);
+  saliency::VisualBackProp vbp;
+  for (const std::string& path : args.positional) {
+    const Image image = read_pgm(path);
+    const Image mask = vbp.compute(model, image);
+    Image overlay(image.height(), image.width());
+    for (int64_t i = 0; i < overlay.numel(); ++i) {
+      overlay.tensor()[i] = 0.45f * image.tensor()[i] + 0.55f * mask.tensor()[i];
+    }
+    const std::string stem =
+        out_dir + "/" + std::filesystem::path(path).stem().string();
+    write_pgm(stem + "_mask.pgm", mask);
+    write_pgm(stem + "_overlay.pgm", overlay);
+    std::printf("%s -> %s_mask.pgm, %s_overlay.pgm (steering %.3f)\n", path.c_str(), stem.c_str(),
+                stem.c_str(), driving::predict_steering(model, image));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "train-steering") return cmd_train_steering(args);
+    if (args.command == "fit") return cmd_fit(args);
+    if (args.command == "classify") return cmd_classify(args);
+    if (args.command == "saliency") return cmd_saliency(args);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  return usage();
+}
