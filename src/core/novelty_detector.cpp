@@ -6,11 +6,42 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/trainer.hpp"
+#include "parallel/parallel_for.hpp"
 #include "saliency/gradient_saliency.hpp"
 #include "saliency/lrp.hpp"
 #include "saliency/visual_backprop.hpp"
 
 namespace salnov::core {
+namespace {
+
+std::unique_ptr<saliency::SaliencyMethod> make_saliency(Preprocessing preprocessing) {
+  switch (preprocessing) {
+    case Preprocessing::kVbp:
+      return std::make_unique<saliency::VisualBackProp>();
+    case Preprocessing::kGradient:
+      return std::make_unique<saliency::GradientSaliency>();
+    case Preprocessing::kLrp:
+      return std::make_unique<saliency::LayerwiseRelevancePropagation>();
+    case Preprocessing::kRaw:
+      return nullptr;
+  }
+  throw std::logic_error("make_saliency: unknown preprocessing");
+}
+
+/// Runs fn(i) for i in [0, n), fanning out across the pool when the
+/// per-index work is reentrant. Each index owns its own output slot, so the
+/// parallel and serial paths are bit-identical.
+void fan_out(int64_t n, bool parallel_ok, const std::function<void(int64_t)>& fn) {
+  if (!parallel_ok) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  parallel::parallel_for(0, n, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace
 
 NoveltyDetectorConfig NoveltyDetectorConfig::proposed() { return NoveltyDetectorConfig{}; }
 
@@ -29,7 +60,9 @@ NoveltyDetectorConfig NoveltyDetectorConfig::vbp_mse() {
 }
 
 NoveltyDetector::NoveltyDetector(NoveltyDetectorConfig config)
-    : config_(std::move(config)), ssim_(config_.height, config_.width, config_.ssim) {
+    : config_(std::move(config)),
+      saliency_(make_saliency(config_.preprocessing)),
+      ssim_(config_.height, config_.width, config_.ssim) {
   if (config_.height <= 0 || config_.width <= 0) {
     throw std::invalid_argument("NoveltyDetector: non-positive input size");
   }
@@ -52,31 +85,24 @@ Image NoveltyDetector::preprocess(const Image& input) const {
   if (steering_model_ == nullptr) {
     throw std::logic_error("NoveltyDetector: saliency preprocessing requires attach_steering_model()");
   }
-  if (!saliency_) {
-    switch (config_.preprocessing) {
-      case Preprocessing::kVbp:
-        saliency_ = std::make_unique<saliency::VisualBackProp>();
-        break;
-      case Preprocessing::kGradient:
-        saliency_ = std::make_unique<saliency::GradientSaliency>();
-        break;
-      case Preprocessing::kLrp:
-        saliency_ = std::make_unique<saliency::LayerwiseRelevancePropagation>();
-        break;
-      case Preprocessing::kRaw:
-        break;  // unreachable
-    }
-  }
+  // saliency_ exists since construction, so this const path mutates nothing
+  // of the detector's and is safe under the concurrent batch fan-out.
   return saliency_->compute(*steering_model_, input);
+}
+
+bool NoveltyDetector::batch_parallel_safe() const {
+  return saliency_ == nullptr || saliency_->thread_safe();
 }
 
 nn::TrainHistory NoveltyDetector::fit(const std::vector<Image>& training_images, Rng& rng) {
   if (training_images.empty()) throw std::invalid_argument("NoveltyDetector::fit: no training images");
 
-  // Stage 1: preprocess every training image (VBP mask or pass-through).
-  std::vector<Image> preprocessed;
-  preprocessed.reserve(training_images.size());
-  for (const Image& image : training_images) preprocessed.push_back(preprocess(image));
+  // Stage 1: preprocess every training image (VBP mask or pass-through),
+  // one image per pool chunk.
+  std::vector<Image> preprocessed(training_images.size());
+  fan_out(static_cast<int64_t>(training_images.size()), batch_parallel_safe(), [&](int64_t i) {
+    preprocessed[static_cast<size_t>(i)] = preprocess(training_images[static_cast<size_t>(i)]);
+  });
 
   const int64_t n = static_cast<int64_t>(preprocessed.size());
   const int64_t dim = config_.height * config_.width;
@@ -104,11 +130,13 @@ nn::TrainHistory NoveltyDetector::fit(const std::vector<Image>& training_images,
   fitted_ = true;
 
   // Stage 3: calibrate the novelty threshold on the training-score ECDF.
-  std::vector<double> training_scores;
-  training_scores.reserve(preprocessed.size());
-  for (const Image& image : preprocessed) {
-    training_scores.push_back(score_pair(image, reconstruct(image)));
-  }
+  // Reconstruction + scoring per image is independent (inference-mode
+  // forwards only), so calibration fans out unconditionally.
+  std::vector<double> training_scores(preprocessed.size());
+  fan_out(n, true, [&](int64_t i) {
+    const Image& image = preprocessed[static_cast<size_t>(i)];
+    training_scores[static_cast<size_t>(i)] = score_pair(image, reconstruct(image));
+  });
   const ScoreOrientation orientation = config_.score == ReconstructionScore::kMse
                                            ? ScoreOrientation::kHighIsNovel
                                            : ScoreOrientation::kLowIsNovel;
@@ -136,9 +164,10 @@ double NoveltyDetector::score(const Image& input) const {
 }
 
 std::vector<double> NoveltyDetector::scores(const std::vector<Image>& inputs) const {
-  std::vector<double> result;
-  result.reserve(inputs.size());
-  for (const Image& image : inputs) result.push_back(score(image));
+  std::vector<double> result(inputs.size());
+  fan_out(static_cast<int64_t>(inputs.size()), batch_parallel_safe(), [&](int64_t i) {
+    result[static_cast<size_t>(i)] = score(inputs[static_cast<size_t>(i)]);
+  });
   return result;
 }
 

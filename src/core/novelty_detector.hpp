@@ -95,7 +95,10 @@ class NoveltyDetector {
   /// Similarity/error score of one input (runs the full pipeline).
   double score(const Image& input) const;
 
-  /// Scores a batch of inputs.
+  /// Scores a batch of inputs. Frames fan out across the parallel worker
+  /// pool (see parallel/parallel_for.hpp; SALNOV_THREADS) whenever the
+  /// configured preprocessing is safe to run concurrently; results are
+  /// bit-identical to scoring each input serially, at any thread count.
   std::vector<double> scores(const std::vector<Image>& inputs) const;
 
   /// Full classification of one input. Requires fit() (or a loaded model).
@@ -112,10 +115,17 @@ class NoveltyDetector {
   /// Scores a reconstruction against its (preprocessed) input.
   double score_pair(const Image& preprocessed, const Image& reconstruction) const;
 
+  /// True when batches may be preprocessed/scored on multiple threads:
+  /// either no saliency stage, or one whose compute() is reentrant.
+  bool batch_parallel_safe() const;
+
   NoveltyDetectorConfig config_;
   nn::Sequential autoencoder_;
   nn::Sequential* steering_model_ = nullptr;
-  mutable std::unique_ptr<saliency::SaliencyMethod> saliency_;  ///< per config_.preprocessing
+  /// Built eagerly in the constructor (per config_.preprocessing) so that
+  /// const scoring paths never mutate shared state — lazy construction here
+  /// was a data race under concurrent scores()/classify() calls.
+  std::unique_ptr<saliency::SaliencyMethod> saliency_;
   nn::SsimLoss ssim_;  ///< Shared SSIM machinery (also used for scoring).
   std::optional<NoveltyThreshold> threshold_;
   bool fitted_ = false;

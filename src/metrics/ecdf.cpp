@@ -30,6 +30,8 @@ double quantile(const std::vector<double>& samples, double q) {
   return EmpiricalCdf(samples).quantile(q);
 }
 
+double quantile(const EmpiricalCdf& cdf, double q) { return cdf.quantile(q); }
+
 double mean(const std::vector<double>& samples) {
   if (samples.empty()) throw std::invalid_argument("mean: empty sample set");
   double acc = 0.0;

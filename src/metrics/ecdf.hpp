@@ -31,8 +31,14 @@ class EmpiricalCdf {
   std::vector<double> sorted_;
 };
 
-/// Convenience: q-th quantile of a sample set (builds a temporary ECDF).
+/// Convenience: q-th quantile of a sample set. Copies and sorts `samples`
+/// (O(n log n)) on EVERY call — callers reading several percentiles of the
+/// same sample set should construct one EmpiricalCdf (or use the overload
+/// below) so the sort happens once.
 double quantile(const std::vector<double>& samples, double q);
+
+/// q-th quantile from an already-built ECDF: O(1), no copy, no re-sort.
+double quantile(const EmpiricalCdf& cdf, double q);
 
 /// Sample mean; throws on empty input.
 double mean(const std::vector<double>& samples);

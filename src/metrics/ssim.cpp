@@ -1,10 +1,13 @@
 #include "metrics/ssim.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "metrics/summed_area.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace salnov {
 namespace {
@@ -42,9 +45,15 @@ WindowStats window_stats(const Image& x, const Image& y, int64_t y0, int64_t x0,
   }
   s.mu_x = sum_x / n;
   s.mu_y = sum_y / n;
-  s.var_x = sum_xx / n - s.mu_x * s.mu_x;
-  s.var_y = sum_yy / n - s.mu_y * s.mu_y;
-  s.cov_xy = sum_xy / n - s.mu_x * s.mu_y;
+  // Clamp the catastrophic-cancellation negatives on near-constant windows,
+  // exactly as the summed-area fast path does: without this, ssim() and
+  // ssim_reference() disagree and SSIM can exceed 1.0. The covariance gets
+  // the matching Cauchy-Schwarz bound so x == y still scores exactly 1 once
+  // the (identical) rounding error in var and cov is clamped away.
+  s.var_x = std::max(0.0, sum_xx / n - s.mu_x * s.mu_x);
+  s.var_y = std::max(0.0, sum_yy / n - s.mu_y * s.mu_y);
+  const double cov_cap = std::sqrt(s.var_x * s.var_y);
+  s.cov_xy = std::clamp(sum_xy / n - s.mu_x * s.mu_y, -cov_cap, cov_cap);
   return s;
 }
 
@@ -69,21 +78,29 @@ double ssim_sat(const Image& x, const Image& y, const SsimOptions& options, Imag
   const int64_t sat_size = (h + 1) * (w + 1);
   std::vector<double> sx(sat_size), sy(sat_size), sxx(sat_size), syy(sat_size), sxy(sat_size);
   {
-    std::vector<double> gx(h * w), gy(h * w), gxx(h * w), gyy(h * w), gxy(h * w);
-    for (int64_t i = 0; i < h * w; ++i) {
-      const double xv = x.tensor()[i];
-      const double yv = y.tensor()[i];
-      gx[i] = xv;
-      gy[i] = yv;
-      gxx[i] = xv * xv;
-      gyy[i] = yv * yv;
-      gxy[i] = xv * yv;
-    }
-    build_summed_area(gx.data(), h, w, sx.data());
-    build_summed_area(gy.data(), h, w, sy.data());
-    build_summed_area(gxx.data(), h, w, sxx.data());
-    build_summed_area(gyy.data(), h, w, syy.data());
-    build_summed_area(gxy.data(), h, w, sxy.data());
+    // The five tables (x, y, x^2, y^2, xy) are independent, so each builds
+    // on its own pool worker; the grid fill + prefix-sum per table is the
+    // same arithmetic at any thread count.
+    double* const sats[5] = {sx.data(), sy.data(), sxx.data(), syy.data(), sxy.data()};
+    const float* xs = x.tensor().data();
+    const float* ys = y.tensor().data();
+    parallel::parallel_for(0, 5, 1, [&](int64_t table_begin, int64_t table_end) {
+      std::vector<double> grid(static_cast<size_t>(h * w));
+      for (int64_t t = table_begin; t < table_end; ++t) {
+        for (int64_t i = 0; i < h * w; ++i) {
+          const double xv = xs[i];
+          const double yv = ys[i];
+          switch (t) {
+            case 0: grid[i] = xv; break;
+            case 1: grid[i] = yv; break;
+            case 2: grid[i] = xv * xv; break;
+            case 3: grid[i] = yv * yv; break;
+            default: grid[i] = xv * yv; break;
+          }
+        }
+        build_summed_area(grid.data(), h, w, sats[t]);
+      }
+    });
   }
 
   const int64_t rows = (h - win) / stride + 1;
@@ -100,8 +117,10 @@ double ssim_sat(const Image& x, const Image& y, const SsimOptions& options, Imag
           0.0, summed_area_rect(sxx.data(), w, y0, x0, y0 + win, x0 + win) / n_win - s.mu_x * s.mu_x);
       s.var_y = std::max(
           0.0, summed_area_rect(syy.data(), w, y0, x0, y0 + win, x0 + win) / n_win - s.mu_y * s.mu_y);
-      s.cov_xy =
-          summed_area_rect(sxy.data(), w, y0, x0, y0 + win, x0 + win) / n_win - s.mu_x * s.mu_y;
+      const double cov_cap = std::sqrt(s.var_x * s.var_y);
+      s.cov_xy = std::clamp(
+          summed_area_rect(sxy.data(), w, y0, x0, y0 + win, x0 + win) / n_win - s.mu_x * s.mu_y,
+          -cov_cap, cov_cap);
       const double value = ssim_from_stats(s, options);
       acc += value;
       if (map != nullptr) (*map)(r, c) = static_cast<float>(value);

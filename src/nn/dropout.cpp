@@ -14,9 +14,13 @@ Dropout::Dropout(double probability, Rng& rng) : probability_(probability), rng_
 }
 
 Tensor Dropout::forward(const Tensor& input, Mode mode) {
-  if (mode == Mode::kInfer || probability_ == 0.0) {
-    have_cache_ = mode == Mode::kTrain;
-    if (have_cache_) mask_ = Tensor::ones(input.shape());
+  // Inference must not touch members: concurrent kInfer forwards through a
+  // shared model (the detector's scoring fan-out) rely on it being
+  // read-only, per the Layer contract.
+  if (mode == Mode::kInfer) return input;
+  if (probability_ == 0.0) {
+    mask_ = Tensor::ones(input.shape());
+    have_cache_ = true;
     return input;
   }
   const float keep_scale = static_cast<float>(1.0 / (1.0 - probability_));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "metrics/summed_area.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace salnov::nn {
 namespace {
@@ -54,21 +55,26 @@ double SsimLoss::sample_ssim(const float* y_recon, const float* x_input, float* 
   const int64_t sat_size = (h + 1) * (w + 1);
   std::vector<double> sx(sat_size), sy(sat_size), sxx(sat_size), syy(sat_size), sxy(sat_size);
   {
-    std::vector<double> gx(h * w), gy(h * w), gxx(h * w), gyy(h * w), gxy(h * w);
-    for (int64_t i = 0; i < h * w; ++i) {
-      const double xv = x_input[i];
-      const double yv = y_recon[i];
-      gx[i] = xv;
-      gy[i] = yv;
-      gxx[i] = xv * xv;
-      gyy[i] = yv * yv;
-      gxy[i] = xv * yv;
-    }
-    build_sat(gx.data(), h, w, sx.data());
-    build_sat(gy.data(), h, w, sy.data());
-    build_sat(gxx.data(), h, w, sxx.data());
-    build_sat(gyy.data(), h, w, syy.data());
-    build_sat(gxy.data(), h, w, sxy.data());
+    // Five independent tables, one pool chunk each (nested calls — e.g.
+    // from the batch fan-out in value()/gradient() — run inline).
+    double* const sats[5] = {sx.data(), sy.data(), sxx.data(), syy.data(), sxy.data()};
+    parallel::parallel_for(0, 5, 1, [&](int64_t table_begin, int64_t table_end) {
+      std::vector<double> grid(static_cast<size_t>(h * w));
+      for (int64_t t = table_begin; t < table_end; ++t) {
+        for (int64_t i = 0; i < h * w; ++i) {
+          const double xv = x_input[i];
+          const double yv = y_recon[i];
+          switch (t) {
+            case 0: grid[i] = xv; break;
+            case 1: grid[i] = yv; break;
+            case 2: grid[i] = xv * xv; break;
+            case 3: grid[i] = yv * yv; break;
+            default: grid[i] = xv * yv; break;
+          }
+        }
+        build_sat(grid.data(), h, w, sats[t]);
+      }
+    });
   }
 
   std::vector<double> alpha, beta, gamma;
@@ -151,10 +157,17 @@ double SsimLoss::value(const Tensor& prediction, const Tensor& target) const {
   validate_batch(prediction, target);
   const int64_t batch = prediction.dim(0);
   const int64_t dim = height_ * width_;
+  // Per-sample SSIM in parallel; the final reduction runs in ascending
+  // sample order, which is exactly the serial path's association.
+  std::vector<double> per_sample(static_cast<size_t>(batch));
+  parallel::parallel_for(0, batch, 1, [&](int64_t n_begin, int64_t n_end) {
+    for (int64_t n = n_begin; n < n_end; ++n) {
+      per_sample[static_cast<size_t>(n)] =
+          1.0 - sample_ssim(prediction.data() + n * dim, target.data() + n * dim, nullptr);
+    }
+  });
   double acc = 0.0;
-  for (int64_t n = 0; n < batch; ++n) {
-    acc += 1.0 - sample_ssim(prediction.data() + n * dim, target.data() + n * dim, nullptr);
-  }
+  for (int64_t n = 0; n < batch; ++n) acc += per_sample[static_cast<size_t>(n)];
   return acc / static_cast<double>(batch);
 }
 
@@ -162,16 +175,19 @@ Tensor SsimLoss::gradient(const Tensor& prediction, const Tensor& target) const 
   validate_batch(prediction, target);
   const int64_t batch = prediction.dim(0);
   const int64_t dim = height_ * width_;
-  // grad of L = (1/B) sum (1 - meanSSIM) is -(1/B) * dmeanSSIM/dy.
+  // grad of L = (1/B) sum (1 - meanSSIM) is -(1/B) * dmeanSSIM/dy. Each
+  // sample writes a disjoint row of `grad`, so the batch fans out cleanly.
   Tensor grad(prediction.shape());
-  std::vector<float> sample_grad(static_cast<size_t>(dim));
-  for (int64_t n = 0; n < batch; ++n) {
-    std::fill(sample_grad.begin(), sample_grad.end(), 0.0f);
-    sample_ssim(prediction.data() + n * dim, target.data() + n * dim, sample_grad.data());
-    float* out = grad.data() + n * dim;
-    const float scale = -1.0f / static_cast<float>(batch);
-    for (int64_t k = 0; k < dim; ++k) out[k] = scale * sample_grad[static_cast<size_t>(k)];
-  }
+  const float scale = -1.0f / static_cast<float>(batch);
+  parallel::parallel_for(0, batch, 1, [&](int64_t n_begin, int64_t n_end) {
+    std::vector<float> sample_grad(static_cast<size_t>(dim));
+    for (int64_t n = n_begin; n < n_end; ++n) {
+      std::fill(sample_grad.begin(), sample_grad.end(), 0.0f);
+      sample_ssim(prediction.data() + n * dim, target.data() + n * dim, sample_grad.data());
+      float* out = grad.data() + n * dim;
+      for (int64_t k = 0; k < dim; ++k) out[k] = scale * sample_grad[static_cast<size_t>(k)];
+    }
+  });
   return grad;
 }
 

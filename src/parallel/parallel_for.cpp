@@ -1,0 +1,203 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace salnov::parallel {
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+int env_thread_override() {
+  static const int cached = [] {
+    const char* value = std::getenv("SALNOV_THREADS");
+    if (value == nullptr || *value == '\0') return 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || parsed < 1 || parsed > 1024) return 0;  // ignore junk
+    return static_cast<int>(parsed);
+  }();
+  return cached;
+}
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Global pool. Workers are detached-on-exit by design: the pool lives for
+/// the whole process and is only constructed once a parallel_for actually
+/// needs a second thread.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    // Intentionally leaked: workers block on the pool's condition variable
+    // for the process lifetime, so destroying it during static teardown
+    // while they wait would be undefined behaviour.
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  /// Executes job(chunk) for every chunk in [0, chunk_count) using up to
+  /// `threads` threads including the caller. Blocks until every chunk is
+  /// done; rethrows the first exception any chunk raised.
+  void run(int64_t chunk_count, int threads, const ChunkFn& body, int64_t begin, int64_t end,
+           int64_t grain) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // One parallel region at a time: outer regions from different user
+      // threads serialize here rather than interleave chunk pools.
+      owner_cv_.wait(lock, [&] { return job_ == nullptr; });
+      ensure_workers(threads - 1, lock);
+      job_ = &body;
+      job_begin_ = begin;
+      job_end_ = end;
+      job_grain_ = grain;
+      chunk_count_ = chunk_count;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      workers_running_ = 0;
+      error_ = nullptr;
+      ++job_id_;
+      work_cv_.notify_all();
+    }
+
+    work_chunks();  // the caller is a full participant
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return workers_running_ == 0 &&
+             next_chunk_.load(std::memory_order_relaxed) >= chunk_count_;
+    });
+    job_ = nullptr;
+    std::exception_ptr error = error_;
+    owner_cv_.notify_one();
+    lock.unlock();
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void ensure_workers(int wanted, std::unique_lock<std::mutex>&) {
+    while (static_cast<int>(workers_.size()) < wanted) {
+      workers_.emplace_back([this] { worker_loop(); });
+      workers_.back().detach();
+    }
+  }
+
+  void worker_loop() {
+    tls_in_parallel_region = true;  // workers never spawn nested pools
+    uint64_t seen_job = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return job_ != nullptr && job_id_ != seen_job; });
+        seen_job = job_id_;
+        ++workers_running_;
+      }
+      work_chunks();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --workers_running_;
+        if (workers_running_ == 0 &&
+            next_chunk_.load(std::memory_order_relaxed) >= chunk_count_) {
+          done_cv_.notify_one();
+        }
+      }
+    }
+  }
+
+  /// Pulls chunk indices until the job is exhausted (or poisoned by an
+  /// earlier exception). Safe to call from the owner and from workers.
+  void work_chunks() {
+    const ChunkFn* body = job_;
+    for (;;) {
+      const int64_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunk_count_) break;
+      const int64_t chunk_begin = job_begin_ + chunk * job_grain_;
+      const int64_t chunk_end = std::min(chunk_begin + job_grain_, job_end_);
+      try {
+        (*body)(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        // Poison the counter so remaining chunks are skipped quickly.
+        next_chunk_.store(chunk_count_, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< wakes workers for a new job
+  std::condition_variable done_cv_;   ///< signals the owner that chunks drained
+  std::condition_variable owner_cv_;  ///< serializes concurrent outer regions
+  std::vector<std::thread> workers_;
+
+  // Current job (guarded by mutex_ except next_chunk_).
+  const ChunkFn* job_ = nullptr;
+  int64_t job_begin_ = 0;
+  int64_t job_end_ = 0;
+  int64_t job_grain_ = 1;
+  int64_t chunk_count_ = 0;
+  std::atomic<int64_t> next_chunk_{0};
+  uint64_t job_id_ = 0;
+  int workers_running_ = 0;
+  std::exception_ptr error_;
+};
+
+std::atomic<int> explicit_threads{0};
+
+}  // namespace
+
+void set_num_threads(int threads) {
+  if (threads < 0) throw std::invalid_argument("set_num_threads: negative thread count");
+  explicit_threads.store(threads, std::memory_order_relaxed);
+}
+
+int num_threads() {
+  const int forced = explicit_threads.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  const int env = env_thread_override();
+  if (env > 0) return env;
+  return hardware_threads();
+}
+
+bool in_parallel_region() { return tls_in_parallel_region; }
+
+void parallel_for(int64_t begin, int64_t end, int64_t grain, const ChunkFn& fn) {
+  if (grain < 1) throw std::invalid_argument("parallel_for: grain must be >= 1");
+  if (begin >= end) return;
+  const int64_t chunk_count = (end - begin + grain - 1) / grain;
+  const int threads = num_threads();
+
+  // Serial execution still walks the identical chunk partition, so the
+  // per-chunk arithmetic (and therefore every bit of output) matches the
+  // threaded path exactly.
+  if (threads <= 1 || chunk_count <= 1 || tls_in_parallel_region) {
+    for (int64_t chunk = 0; chunk < chunk_count; ++chunk) {
+      const int64_t chunk_begin = begin + chunk * grain;
+      fn(chunk_begin, std::min(chunk_begin + grain, end));
+    }
+    return;
+  }
+
+  tls_in_parallel_region = true;
+  try {
+    ThreadPool::instance().run(chunk_count,
+                               static_cast<int>(std::min<int64_t>(threads, chunk_count)), fn, begin,
+                               end, grain);
+  } catch (...) {
+    tls_in_parallel_region = false;
+    throw;
+  }
+  tls_in_parallel_region = false;
+}
+
+}  // namespace salnov::parallel

@@ -1,0 +1,51 @@
+// Deterministic data-parallel execution over a lazily-constructed global
+// thread pool.
+//
+// The paper motivates VisualBackProp as a *real-time* saliency method
+// (Bojarski et al., arXiv:1704.07911), so the runtime monitor's hot loops —
+// GEMM, the SSIM summed-area tables, per-frame scoring fan-out, scene
+// generation — are parallelized through this one primitive.
+//
+// Determinism contract: parallel_for(begin, end, grain, fn) partitions
+// [begin, end) into FIXED chunks of `grain` iterations (the partition
+// depends only on the arguments, never on the thread count), and `fn`
+// must touch only state owned by its chunk range. Under that contract the
+// results are bit-identical whether the chunks run on 1 thread or N, which
+// is what lets SALNOV_THREADS scale throughput without perturbing a single
+// score, threshold, or trained weight.
+//
+// Thread-count resolution order: set_num_threads() override, then the
+// SALNOV_THREADS environment variable, then std::thread::hardware_concurrency.
+// Nested parallel_for calls (e.g. gemm inside a per-frame fan-out) execute
+// inline on the calling worker, so arbitrary composition cannot deadlock or
+// oversubscribe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace salnov::parallel {
+
+/// Chunk body: processes the half-open iteration range [chunk_begin,
+/// chunk_end). Must only write state owned by that range.
+using ChunkFn = std::function<void(int64_t chunk_begin, int64_t chunk_end)>;
+
+/// Overrides the worker count (1 = fully serial). 0 restores automatic
+/// resolution (SALNOV_THREADS env, else hardware concurrency). Thread-safe;
+/// growing the pool is lazy, shrinking just idles the surplus workers.
+void set_num_threads(int threads);
+
+/// The resolved worker count parallel_for will use right now (>= 1).
+int num_threads();
+
+/// Runs fn over [begin, end) in fixed chunks of `grain` iterations. The
+/// chunk partition is independent of the thread count; chunks may execute
+/// in any order and on any thread. Exceptions thrown by fn are rethrown on
+/// the calling thread (first one wins). `grain` must be >= 1.
+void parallel_for(int64_t begin, int64_t end, int64_t grain, const ChunkFn& fn);
+
+/// True while the calling thread is executing inside a parallel_for chunk
+/// (used by nested calls to fall back to inline execution).
+bool in_parallel_region();
+
+}  // namespace salnov::parallel

@@ -4,22 +4,41 @@
 #include <stdexcept>
 
 #include "image/transforms.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace salnov::roadsim {
 
 DrivingDataset DrivingDataset::generate(const SceneGenerator& generator, int64_t count, int64_t height,
                                         int64_t width, Rng& rng) {
   if (count < 0) throw std::invalid_argument("DrivingDataset::generate: negative count");
+
+  // Parameter sampling walks `rng` sequentially (the exact draws the old
+  // serial loop made); rendering + grayscale + resize is a pure function of
+  // the params, so scenes rasterize on the worker pool. The dataset is
+  // bit-identical at any thread count — and to the fully serial path.
+  std::vector<SceneParams> params(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) params[static_cast<size_t>(i)] = generator.sample_params(rng);
+
+  std::vector<Image> grays(static_cast<size_t>(count));
+  std::vector<double> steering(static_cast<size_t>(count));
+  parallel::parallel_for(0, count, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      Sample sample = generator.render_scene(params[static_cast<size_t>(i)]);
+      Image gray = sample.rgb.to_grayscale();
+      if (gray.height() != height || gray.width() != width) {
+        gray = resize_bilinear(gray, height, width);
+      }
+      gray.clamp01();
+      grays[static_cast<size_t>(i)] = std::move(gray);
+      steering[static_cast<size_t>(i)] = sample.steering;
+    }
+  });
+
   DrivingDataset dataset(height, width);
   dataset.images_.reserve(static_cast<size_t>(count));
   for (int64_t i = 0; i < count; ++i) {
-    Sample sample = generator.generate(rng);
-    Image gray = sample.rgb.to_grayscale();
-    if (gray.height() != height || gray.width() != width) {
-      gray = resize_bilinear(gray, height, width);
-    }
-    gray.clamp01();
-    dataset.add(std::move(gray), sample.steering, sample.params);
+    const auto idx = static_cast<size_t>(i);
+    dataset.add(std::move(grays[idx]), steering[idx], params[idx]);
   }
   return dataset;
 }

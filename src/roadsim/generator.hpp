@@ -28,7 +28,20 @@ class SceneGenerator {
   virtual ~SceneGenerator() = default;
 
   /// Renders one scene drawn from this dataset's parameter distribution.
-  virtual Sample generate(Rng& rng) const = 0;
+  /// Equivalent to render_scene(sample_params(rng)).
+  virtual Sample generate(Rng& rng) const { return render_scene(sample_params(rng)); }
+
+  /// Draws one scene's parameters — the exact RNG consumption generate()
+  /// makes — without rendering. Splitting the cheap, stream-ordered draws
+  /// from the expensive, purely-functional rendering lets DrivingDataset
+  /// sample sequentially and rasterize on the worker pool while producing
+  /// bit-identical datasets at any thread count.
+  virtual SceneParams sample_params(Rng& rng) const = 0;
+
+  /// Renders previously drawn parameters. Pure function of `params`
+  /// (clutter placement derives from params.detail_seed), safe to call
+  /// concurrently.
+  virtual Sample render_scene(const SceneParams& params) const = 0;
 
   /// Dataset name ("outdoor-sim" / "indoor-sim") used in reports.
   virtual std::string name() const = 0;

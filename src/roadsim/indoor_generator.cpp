@@ -14,7 +14,7 @@ IndoorSceneGenerator::IndoorSceneGenerator(IndoorConfig config) : config_(config
   }
 }
 
-Sample IndoorSceneGenerator::generate(Rng& rng) const {
+SceneParams IndoorSceneGenerator::sample_params(Rng& rng) const {
   SceneParams params;
   params.curvature = rng.uniform(-config_.max_curvature, config_.max_curvature);
   params.camera_offset = rng.uniform(-config_.max_offset, config_.max_offset);
@@ -29,6 +29,10 @@ Sample IndoorSceneGenerator::generate(Rng& rng) const {
   // outdoor-trained network's VBP masks come out garbled on this data.
   params.texture_noise = rng.uniform(0.06, 0.14);
   params.detail_seed = rng.next_u64();
+  return params;
+}
+
+Sample IndoorSceneGenerator::render_scene(const SceneParams& params) const {
   return render(params, params.detail_seed);
 }
 

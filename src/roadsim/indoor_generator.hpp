@@ -28,7 +28,8 @@ class IndoorSceneGenerator : public SceneGenerator {
  public:
   explicit IndoorSceneGenerator(IndoorConfig config = {});
 
-  Sample generate(Rng& rng) const override;
+  SceneParams sample_params(Rng& rng) const override;
+  Sample render_scene(const SceneParams& params) const override;
   std::string name() const override { return "indoor-sim"; }
   int64_t render_height() const override { return config_.height; }
   int64_t render_width() const override { return config_.width; }

@@ -14,7 +14,7 @@ OutdoorSceneGenerator::OutdoorSceneGenerator(OutdoorConfig config) : config_(con
   }
 }
 
-Sample OutdoorSceneGenerator::generate(Rng& rng) const {
+SceneParams OutdoorSceneGenerator::sample_params(Rng& rng) const {
   SceneParams params;
   params.curvature = rng.uniform(-config_.max_curvature, config_.max_curvature);
   params.camera_offset = rng.uniform(-config_.max_offset, config_.max_offset);
@@ -23,6 +23,10 @@ Sample OutdoorSceneGenerator::generate(Rng& rng) const {
   params.brightness = rng.uniform(0.75, 1.20);
   params.texture_noise = rng.uniform(0.03, 0.09);
   params.detail_seed = rng.next_u64();
+  return params;
+}
+
+Sample OutdoorSceneGenerator::render_scene(const SceneParams& params) const {
   return render(params, params.detail_seed);
 }
 

@@ -21,6 +21,9 @@ class LayerwiseRelevancePropagation : public SaliencyMethod {
   explicit LayerwiseRelevancePropagation(double epsilon = 1e-6) : epsilon_(epsilon) {}
 
   Image compute(nn::Sequential& model, const Image& input) override;
+  /// Walks weights via inference-mode forward_collect only; no per-call
+  /// member scratch, so concurrent compute() calls are safe.
+  bool thread_safe() const override { return true; }
   std::string name() const override { return "lrp"; }
 
   /// Raw signed relevance at the input, before abs/normalization

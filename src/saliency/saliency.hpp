@@ -24,6 +24,12 @@ class SaliencyMethod {
   /// run a backward pass through the layer caches; no weights are modified.
   virtual Image compute(nn::Sequential& model, const Image& input) = 0;
 
+  /// True when concurrent compute() calls on the same method + model are
+  /// safe (the method keeps no per-call scratch in members and only runs
+  /// inference-mode forwards). The batch fan-out in NoveltyDetector checks
+  /// this before scoring frames on multiple threads.
+  virtual bool thread_safe() const { return false; }
+
   virtual std::string name() const = 0;
 };
 

@@ -80,23 +80,29 @@ Tensor deconv_ones(const Tensor& map, int64_t kernel_h, int64_t kernel_w, int64_
 }
 
 Image VisualBackProp::compute(nn::Sequential& model, const Image& input) {
+  std::vector<Tensor> averaged_maps;
+  return compute_with_maps(model, input, averaged_maps);
+}
+
+Image VisualBackProp::compute_with_maps(nn::Sequential& model, const Image& input,
+                                        std::vector<Tensor>& averaged_maps) const {
   const auto stages = find_conv_stages(model);
   if (stages.empty()) {
     throw std::invalid_argument("VisualBackProp: model has no convolutional stages");
   }
   const auto activations = model.forward_collect(input.as_nchw());
 
-  averaged_maps_.clear();
-  averaged_maps_.reserve(stages.size());
+  averaged_maps.clear();
+  averaged_maps.reserve(stages.size());
   for (const auto& stage : stages) {
-    averaged_maps_.push_back(channel_average(activations[stage.output_index]));
+    averaged_maps.push_back(channel_average(activations[stage.output_index]));
   }
 
-  Tensor relevance = averaged_maps_.back();
+  Tensor relevance = averaged_maps.back();
   normalize_by_max(relevance);
   for (size_t i = stages.size() - 1; i-- > 0;) {
     const nn::Conv2dConfig& geo = stages[i + 1].conv->config();
-    const Tensor& target = averaged_maps_[i];
+    const Tensor& target = averaged_maps[i];
     relevance = deconv_ones(relevance, geo.kernel_h, geo.kernel_w, geo.stride, geo.padding,
                             target.dim(0), target.dim(1));
     relevance *= target;

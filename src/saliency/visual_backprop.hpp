@@ -25,16 +25,17 @@ class VisualBackProp : public SaliencyMethod {
  public:
   VisualBackProp() = default;
 
+  /// Stateless per call: all scratch (the per-stage averaged maps) is local,
+  /// so one VisualBackProp instance may serve concurrent compute() calls —
+  /// the detector's parallel scoring fan-out relies on this.
   Image compute(nn::Sequential& model, const Image& input) override;
+  bool thread_safe() const override { return true; }
   std::string name() const override { return "vbp"; }
 
-  /// The averaged (over channels) feature map of each conv stage from the
-  /// most recent compute() call, shallow to deep. Exposed for inspection
-  /// and tests.
-  const std::vector<Tensor>& averaged_maps() const { return averaged_maps_; }
-
- private:
-  std::vector<Tensor> averaged_maps_;
+  /// As compute(), but also returns the averaged (over channels) feature
+  /// map of each conv stage, shallow to deep (for inspection and tests).
+  Image compute_with_maps(nn::Sequential& model, const Image& input,
+                          std::vector<Tensor>& averaged_maps) const;
 };
 
 /// Transposed convolution with all-ones weights: scatters each input value

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "parallel/parallel_for.hpp"
+
 namespace salnov {
 namespace {
 
@@ -13,9 +15,22 @@ namespace {
 constexpr int64_t kBlockM = 32;
 constexpr int64_t kBlockK = 128;
 
-void gemm_impl(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
-  for (int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const int64_t i_end = std::min(i0 + kBlockM, m);
+// Row-chunk size handed to the thread pool. Fixed (never derived from the
+// thread count) so the chunk partition — and with it every bit of output —
+// is identical at any SALNOV_THREADS setting. Each chunk owns a disjoint
+// band of C's rows, so chunks never write the same cache line's worth of
+// output rows.
+constexpr int64_t kRowGrain = 16;
+
+// Below this many multiply-adds the pool dispatch overhead dominates; the
+// serial path walks the same per-row arithmetic, so results are unchanged.
+constexpr int64_t kMinParallelFlops = 1 << 15;
+
+/// C rows [row_begin, row_end) += A x B, cache-blocked.
+void gemm_rows(const float* a, const float* b, float* c, int64_t row_begin, int64_t row_end,
+               int64_t n, int64_t k) {
+  for (int64_t i0 = row_begin; i0 < row_end; i0 += kBlockM) {
+    const int64_t i_end = std::min(i0 + kBlockM, row_end);
     for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
       const int64_t k_end = std::min(k0 + kBlockK, k);
       for (int64_t i = i0; i < i_end; ++i) {
@@ -39,47 +54,91 @@ void check_dims(int64_t m, int64_t n, int64_t k) {
   }
 }
 
+/// True when the problem is worth fanning out to the pool.
+bool parallel_worthwhile(int64_t m, int64_t n, int64_t k) {
+  return m > kRowGrain && m * n * k >= kMinParallelFlops;
+}
+
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
   check_dims(m, n, k);
-  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
-  gemm_impl(a, b, c, m, n, k);
+  if (m == 0 || n == 0) return;  // empty output: nothing to touch (c may be null)
+  if (k == 0) {
+    // A [m, 0] x B [0, n] is a zero matrix; a and b may be null.
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    return;
+  }
+  if (!parallel_worthwhile(m, n, k)) {
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    gemm_rows(a, b, c, 0, m, n, k);
+    return;
+  }
+  parallel::parallel_for(0, m, kRowGrain, [&](int64_t row_begin, int64_t row_end) {
+    std::memset(c + row_begin * n, 0, static_cast<size_t>((row_end - row_begin) * n) * sizeof(float));
+    gemm_rows(a, b, c, row_begin, row_end, n, k);
+  });
 }
 
 void gemm_accumulate(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
   check_dims(m, n, k);
-  gemm_impl(a, b, c, m, n, k);
+  if (m == 0 || n == 0 || k == 0) return;
+  if (!parallel_worthwhile(m, n, k)) {
+    gemm_rows(a, b, c, 0, m, n, k);
+    return;
+  }
+  parallel::parallel_for(0, m, kRowGrain, [&](int64_t row_begin, int64_t row_end) {
+    gemm_rows(a, b, c, row_begin, row_end, n, k);
+  });
 }
 
 void gemm_nt_accumulate(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
   check_dims(m, n, k);
+  if (m == 0 || n == 0 || k == 0) return;
   // C[i][j] += dot(A row i, B row j): both rows contiguous, vectorizes well.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-      c_row[j] += acc;
+  const auto rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * k;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+        c_row[j] += acc;
+      }
     }
+  };
+  if (!parallel_worthwhile(m, n, k)) {
+    rows(0, m);
+    return;
   }
+  parallel::parallel_for(0, m, kRowGrain, rows);
 }
 
 void gemm_tn_accumulate(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k) {
   check_dims(m, n, k);
-  // C[i][j] += sum_k A[k][i] * B[k][j]: iterate k outermost so B rows stream.
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* a_row = a + kk * m;
-    const float* b_row = b + kk * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float a_ki = a_row[i];
-      if (a_ki == 0.0f) continue;
-      float* c_row = c + i * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
+  if (m == 0 || n == 0 || k == 0) return;
+  // C[i][j] += sum_k A[k][i] * B[k][j]. Parallel chunks own disjoint row
+  // bands of C; within a band k stays the outermost loop so B rows stream
+  // and every element accumulates in the same (ascending k) order as the
+  // serial path.
+  const auto rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* a_row = a + kk * m;
+      const float* b_row = b + kk * n;
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        const float a_ki = a_row[i];
+        if (a_ki == 0.0f) continue;
+        float* c_row = c + i * n;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += a_ki * b_row[j];
+      }
     }
+  };
+  if (!parallel_worthwhile(m, n, k)) {
+    rows(0, m);
+    return;
   }
+  parallel::parallel_for(0, m, kRowGrain, rows);
 }
 
 }  // namespace salnov

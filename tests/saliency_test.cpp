@@ -99,8 +99,9 @@ TEST(Vbp, AveragedMapsMatchStageCount) {
   Rng rng(3);
   nn::Sequential model = tiny_model(rng);
   VisualBackProp vbp;
-  vbp.compute(model, Image(24, 48));
-  EXPECT_EQ(vbp.averaged_maps().size(), driving::conv_stage_outputs(model).size());
+  std::vector<Tensor> maps;
+  vbp.compute_with_maps(model, Image(24, 48), maps);
+  EXPECT_EQ(maps.size(), driving::conv_stage_outputs(model).size());
 }
 
 TEST(Vbp, RequiresConvStages) {

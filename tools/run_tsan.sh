@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the test suite with ThreadSanitizer and runs the parallel-layer
+# tests (plus any extra ctest -R pattern passed as $1).
+#
+# Usage:
+#   tools/run_tsan.sh              # run parallel_test under TSan
+#   tools/run_tsan.sh 'Detector'   # run tests matching 'Detector' instead
+#
+# Uses a dedicated build tree (build-tsan) so the regular build stays warm.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+PATTERN="${1:-parallel_test|ParallelFor|GemmParallel|SsimParallel|DetectorParallel|DatasetParallel}"
+
+cmake -B "$BUILD_DIR" -S . -DSALNOV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# second_deadlock_stack gives both stacks on lock-order reports.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$PATTERN"
