@@ -1,0 +1,164 @@
+// Fault-robustness matrix (extends the Fig. 7 noise experiment).
+//
+// The paper perturbs test frames with Gaussian noise and reports detection
+// rate vs noise level. This bench generalizes that protocol to a matrix of
+// realistic sensor faults (see faults/fault_injector.hpp) x severity, and
+// asks: does the *guarded* pipeline — FrameValidator screening + frozen-frame
+// detection + the novelty threshold — flag the faulty stream? A frame counts
+// as detected when any guard fires:
+//   * the validator rejects it (NaN, out-of-range, dead-constant),
+//   * it repeats the previous frame bit-identically (frozen camera),
+//   * the detector scores it past the calibrated novelty threshold,
+//   * the score itself is non-finite.
+// A clean pass over the same images reports the false-positive floor (~1% by
+// construction of the 99th-percentile rule). A second table corrupts the
+// *model* instead of the camera: random bit-flips in the autoencoder weights,
+// where self-detection shows up as the clean stream turning "novel".
+//
+// Artifacts: bench_artifacts/fault_matrix.csv (one row per cell).
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common.hpp"
+#include "faults/fault_injector.hpp"
+
+namespace salnov::bench {
+namespace {
+
+constexpr uint64_t kDetectorSeed = 5;
+constexpr uint64_t kInjectorSeed = 7;
+
+struct CellResult {
+  double detection_rate = 0.0;   ///< any guard fired
+  double validator_rate = 0.0;   ///< validator or frozen-frame screening
+  double novelty_rate = 0.0;     ///< scored past the threshold (or non-finite)
+};
+
+/// Streams `images` through the guarded pipeline after per-frame injection
+/// of (fault, severity). `severity < 0` means "no injection" (clean floor).
+CellResult run_cell(const core::NoveltyDetector& detector, const std::vector<Image>& images,
+                    faults::CameraFault fault, double severity) {
+  faults::FaultInjector injector(kInjectorSeed);
+  const int64_t n = static_cast<int64_t>(images.size());
+
+  // Screening pass (cheap, serial): validator verdict + frozen-frame check,
+  // mirroring NoveltyMonitor::update's order.
+  std::vector<Image> injected(images.size());
+  std::vector<bool> screened(images.size(), false);
+  std::vector<Image> scoreable;
+  std::vector<size_t> scoreable_at;
+  const Tensor* last_valid = nullptr;
+  for (size_t i = 0; i < images.size(); ++i) {
+    injected[i] = severity < 0.0 ? images[i] : injector.apply(fault, severity, images[i]);
+    const core::FrameFault verdict = detector.frame_validator().check(injected[i]);
+    const bool frozen =
+        verdict == core::FrameFault::kNone && last_valid != nullptr && *last_valid == injected[i].tensor();
+    last_valid = verdict == core::FrameFault::kNone ? &injected[i].tensor() : nullptr;
+    if (verdict != core::FrameFault::kNone || frozen) {
+      screened[i] = true;
+    } else {
+      scoreable.push_back(injected[i]);
+      scoreable_at.push_back(i);
+    }
+  }
+
+  // Scoring pass for the frames that survived screening (fans out across the
+  // worker pool).
+  const std::vector<double> scores = detector.scores(scoreable);
+  const core::NoveltyThreshold& threshold = detector.threshold();
+
+  CellResult cell;
+  int64_t detected = 0, by_validator = 0, by_novelty = 0;
+  for (size_t i = 0; i < images.size(); ++i) {
+    if (screened[i]) {
+      ++by_validator;
+      ++detected;
+    }
+  }
+  for (double s : scores) {
+    if (!std::isfinite(s) || threshold.is_novel(s)) {
+      ++by_novelty;
+      ++detected;
+    }
+  }
+  cell.detection_rate = static_cast<double>(detected) / static_cast<double>(n);
+  cell.validator_rate = static_cast<double>(by_validator) / static_cast<double>(n);
+  cell.novelty_rate = static_cast<double>(by_novelty) / static_cast<double>(n);
+  return cell;
+}
+
+}  // namespace
+
+int run() {
+  print_header("Fault matrix (extends Fig. 7)",
+               "Detection rate of the guarded VBP+SSIM pipeline per sensor-fault type x severity,\n"
+               "plus a weight-corruption (bit-flip) sweep on the autoencoder.");
+
+  Env& env = environment();
+  DetectorHandle handle = fit_or_load_detector(
+      env, bench_detector_config(core::Preprocessing::kVbp, core::ReconstructionScore::kSsim),
+      kDetectorSeed);
+  const core::NoveltyDetector& detector = *handle.detector;
+  const std::vector<Image>& images = env.outdoor_test.images();
+
+  const std::vector<double> severities = {0.1, 0.25, 0.5, 1.0};
+  const CellResult clean =
+      run_cell(detector, images, faults::CameraFault::kFrozenFrame, /*severity=*/-1.0);
+  std::printf("\nClean stream (no fault): %.1f%% flagged (false-positive floor; 99th-pct rule)\n",
+              100.0 * clean.detection_rate);
+
+  std::ofstream csv(artifact_dir() + "/fault_matrix.csv");
+  csv << "fault,severity,detection_rate,validator_rate,novelty_rate\n";
+  csv << "none,0," << clean.detection_rate << "," << clean.validator_rate << ","
+      << clean.novelty_rate << "\n";
+
+  std::printf("\nDetection rate per cell (v = screened by validator/frozen guard share):\n");
+  std::printf("%-16s", "fault \\ sev");
+  for (double s : severities) std::printf("   %10.2f", s);
+  std::printf("\n");
+  for (faults::CameraFault fault : faults::all_camera_faults()) {
+    std::printf("%-16s", faults::camera_fault_name(fault));
+    for (double severity : severities) {
+      const CellResult cell = run_cell(detector, images, fault, severity);
+      std::printf("  %5.1f%% v%3.0f%%", 100.0 * cell.detection_rate, 100.0 * cell.validator_rate);
+      csv << faults::camera_fault_name(fault) << "," << severity << "," << cell.detection_rate
+          << "," << cell.validator_rate << "," << cell.novelty_rate << "\n";
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nWeight corruption (random bit-flips in the autoencoder, clean input stream):\n");
+  std::printf("%-12s %-18s %s\n", "bit flips", "flagged novel", "non-finite scores");
+  for (int64_t flips : {int64_t{1}, int64_t{16}, int64_t{256}, int64_t{4096}}) {
+    // Reload the cached pipeline so every row corrupts pristine weights.
+    DetectorHandle corrupted = fit_or_load_detector(
+        env, bench_detector_config(core::Preprocessing::kVbp, core::ReconstructionScore::kSsim),
+        kDetectorSeed);
+    Rng rng(kInjectorSeed + static_cast<uint64_t>(flips));
+    faults::flip_weight_bits(corrupted.detector->autoencoder(), flips, rng);
+    const std::vector<double> scores = corrupted.detector->scores(images);
+    const core::NoveltyThreshold& threshold = corrupted.detector->threshold();
+    int64_t novel = 0, non_finite = 0;
+    for (double s : scores) {
+      if (!std::isfinite(s)) {
+        ++non_finite;
+        ++novel;
+      } else if (threshold.is_novel(s)) {
+        ++novel;
+      }
+    }
+    const double rate = static_cast<double>(novel) / static_cast<double>(scores.size());
+    std::printf("%-12" PRId64 " %6.1f%%            %" PRId64 "\n", flips, 100.0 * rate, non_finite);
+    csv << "weight-bit-flip," << flips << "," << rate << ",0," << rate << "\n";
+  }
+
+  std::printf("\nWrote %s/fault_matrix.csv\n", artifact_dir().c_str());
+  return 0;
+}
+
+}  // namespace salnov::bench
+
+int main() { return salnov::bench::run(); }

@@ -9,6 +9,7 @@
 #include "metrics/histogram.hpp"
 #include "metrics/roc.hpp"
 #include "nn/model_io.hpp"
+#include "tensor/serialize.hpp"
 
 namespace salnov::bench {
 
@@ -32,10 +33,17 @@ Env& environment() {
     e->indoor_test = roadsim::DrivingDataset::generate(e->indoor, kTestImages, kHeight, kWidth, rng);
 
     const std::string model_path = artifact_dir() + "/steering_compact.model";
+    bool loaded = false;
     if (std::filesystem::exists(model_path)) {
       std::fprintf(stderr, "[env] loading cached steering model from %s\n", model_path.c_str());
-      e->steering = nn::load_model_file(model_path);
-    } else {
+      try {
+        e->steering = nn::load_model_file(model_path);
+        loaded = true;
+      } catch (const SerializationError& err) {
+        std::fprintf(stderr, "[env] cached model unusable (%s); retraining\n", err.what());
+      }
+    }
+    if (!loaded) {
       std::fprintf(stderr, "[env] training steering model (25 epochs, ~30 s on one core)...\n");
       e->steering = driving::build_pilotnet(driving::PilotNetConfig::compact(), rng);
       driving::SteeringTrainOptions options;
@@ -77,10 +85,15 @@ DetectorHandle fit_or_load_detector(Env& env, core::NoveltyDetectorConfig config
   DetectorHandle handle;
   if (std::filesystem::exists(cache_path)) {
     std::fprintf(stderr, "[fit] loading cached detector from %s\n", cache_path.c_str());
-    core::LoadedPipeline loaded = core::PipelineIo::load_file(cache_path);
-    handle.steering = std::move(loaded.steering_model);
-    handle.detector = std::move(loaded.detector);
-    return handle;
+    try {
+      core::LoadedPipeline loaded = core::PipelineIo::load_file(cache_path);
+      handle.steering = std::move(loaded.steering_model);
+      handle.detector = std::move(loaded.detector);
+      return handle;
+    } catch (const SerializationError& err) {
+      // Pre-trailer or damaged cache entry: refit and overwrite it.
+      std::fprintf(stderr, "[fit] cached detector unusable (%s); refitting\n", err.what());
+    }
   }
 
   handle.detector = std::make_unique<core::NoveltyDetector>(std::move(config));

@@ -1,12 +1,19 @@
 #include "core/monitor.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace salnov::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
 
 NoveltyMonitor::NoveltyMonitor(const NoveltyDetector& detector, MonitorConfig config)
     : detector_(detector), config_(config) {
-  if (config_.trigger_frames < 1 || config_.release_frames < 1) {
+  if (config_.trigger_frames < 1 || config_.release_frames < 1 ||
+      config_.sensor_trigger_frames < 1 || config_.sensor_release_frames < 1) {
     throw std::invalid_argument("NoveltyMonitor: frame counts must be >= 1");
   }
   if (config_.score_smoothing <= 0.0 || config_.score_smoothing > 1.0) {
@@ -18,54 +25,107 @@ NoveltyMonitor::NoveltyMonitor(const NoveltyDetector& detector, MonitorConfig co
 }
 
 MonitorUpdate NoveltyMonitor::update(const Image& frame) {
-  const NoveltyResult result = detector_.classify(frame);
   ++frames_seen_;
+  MonitorUpdate u;
 
-  if (smoothed_.has_value()) {
-    smoothed_ = (1.0 - config_.score_smoothing) * *smoothed_ + config_.score_smoothing * result.score;
+  // Sensor screening runs before the detector: a malformed frame must not be
+  // scored (its "novelty" would be meaningless), and a frozen frame must not
+  // be scored either — a stuck camera showing a familiar scene would
+  // otherwise keep releasing the fallback it should be triggering.
+  u.frame_fault = detector_.frame_validator().check(frame);
+  if (u.frame_fault == FrameFault::kNone) {
+    u.frame_frozen = config_.detect_frozen_frames && last_valid_frame_.has_value() &&
+                     last_valid_frame_->tensor() == frame.tensor();
+    last_valid_frame_ = frame;
   } else {
-    smoothed_ = result.score;
+    // An invalid frame breaks any identical-frame chain.
+    last_valid_frame_.reset();
   }
 
-  if (result.is_novel) {
-    ++consecutive_novel_;
-    consecutive_familiar_ = 0;
-  } else {
-    ++consecutive_familiar_;
+  const bool sensor_bad = u.frame_fault != FrameFault::kNone || u.frame_frozen;
+  if (sensor_bad) {
+    ++consecutive_sensor_bad_;
+    consecutive_sensor_good_ = 0;
+    // A broken frame is evidence of neither novelty nor familiarity.
     consecutive_novel_ = 0;
+    consecutive_familiar_ = 0;
+    u.frame_scored = false;
+    u.frame_novel = false;
+    u.raw_score = kNaN;
+    u.smoothed_score = smoothed_.value_or(kNaN);
+  } else {
+    consecutive_sensor_bad_ = 0;
+    ++consecutive_sensor_good_;
+    const NoveltyResult result = detector_.classify(frame);
+
+    if (smoothed_.has_value()) {
+      smoothed_ = (1.0 - config_.score_smoothing) * *smoothed_ + config_.score_smoothing * result.score;
+    } else {
+      smoothed_ = result.score;
+    }
+
+    if (result.is_novel) {
+      ++consecutive_novel_;
+      consecutive_familiar_ = 0;
+    } else {
+      ++consecutive_familiar_;
+      consecutive_novel_ = 0;
+    }
+    u.frame_scored = true;
+    u.frame_novel = result.is_novel;
+    u.raw_score = result.score;
+    u.smoothed_score = *smoothed_;
   }
 
-  switch (state_) {
-    case MonitorState::kNominal:
-    case MonitorState::kAlert:
-      if (consecutive_novel_ >= config_.trigger_frames) {
-        state_ = MonitorState::kFallback;
-      } else if (consecutive_novel_ > 0) {
-        state_ = MonitorState::kAlert;
-      } else {
-        state_ = MonitorState::kNominal;
-      }
-      break;
-    case MonitorState::kFallback:
-      if (consecutive_familiar_ >= config_.release_frames) {
-        state_ = MonitorState::kNominal;
-      }
-      break;
+  // State transitions. Sensor faults dominate: they can be entered from any
+  // state, and while in kSensorFault the novelty machine is suspended (its
+  // streaks still accumulate on scored frames, so a release into a novel
+  // world re-triggers the novelty path immediately afterwards).
+  if (state_ == MonitorState::kSensorFault) {
+    if (consecutive_sensor_good_ >= config_.sensor_release_frames) {
+      state_ = MonitorState::kNominal;
+    }
+  } else if (consecutive_sensor_bad_ >= config_.sensor_trigger_frames) {
+    state_ = MonitorState::kSensorFault;
+  } else if (!sensor_bad) {
+    switch (state_) {
+      case MonitorState::kNominal:
+      case MonitorState::kAlert:
+        if (consecutive_novel_ >= config_.trigger_frames) {
+          state_ = MonitorState::kFallback;
+        } else if (consecutive_novel_ > 0) {
+          state_ = MonitorState::kAlert;
+        } else {
+          state_ = MonitorState::kNominal;
+        }
+        break;
+      case MonitorState::kFallback:
+        if (consecutive_familiar_ >= config_.release_frames) {
+          state_ = MonitorState::kNominal;
+        }
+        break;
+      case MonitorState::kSensorFault:
+        break;  // unreachable: handled above
+    }
   }
+  // Remaining case — a sensor-bad frame below the trigger count — holds the
+  // current state (mirroring how a single novel frame only raises kAlert).
 
-  MonitorUpdate update;
-  update.raw_score = result.score;
-  update.smoothed_score = *smoothed_;
-  update.frame_novel = result.is_novel;
-  update.state = state_;
-  return update;
+  u.state = state_;
+  u.fallback_path = state_ == MonitorState::kFallback      ? FallbackPath::kNovelty
+                    : state_ == MonitorState::kSensorFault ? FallbackPath::kSensorFault
+                                                           : FallbackPath::kNone;
+  return u;
 }
 
 void NoveltyMonitor::reset() {
   state_ = MonitorState::kNominal;
   consecutive_novel_ = 0;
   consecutive_familiar_ = 0;
+  consecutive_sensor_bad_ = 0;
+  consecutive_sensor_good_ = 0;
   smoothed_.reset();
+  last_valid_frame_.reset();
 }
 
 }  // namespace salnov::core

@@ -60,12 +60,15 @@ NoveltyDetectorConfig NoveltyDetectorConfig::vbp_mse() {
 }
 
 NoveltyDetector::NoveltyDetector(NoveltyDetectorConfig config)
-    : config_(std::move(config)),
+    : config_([&] {
+        if (config.height <= 0 || config.width <= 0) {
+          throw std::invalid_argument("NoveltyDetector: non-positive input size");
+        }
+        return std::move(config);
+      }()),
       saliency_(make_saliency(config_.preprocessing)),
-      ssim_(config_.height, config_.width, config_.ssim) {
-  if (config_.height <= 0 || config_.width <= 0) {
-    throw std::invalid_argument("NoveltyDetector: non-positive input size");
-  }
+      ssim_(config_.height, config_.width, config_.ssim),
+      validator_(config_.height, config_.width, config_.frame_validator) {
   config_.autoencoder.input_height = config_.height;
   config_.autoencoder.input_width = config_.width;
 }
@@ -77,14 +80,19 @@ void NoveltyDetector::attach_steering_model(nn::Sequential* model) {
 
 Image NoveltyDetector::preprocess(const Image& input) const {
   if (input.height() != config_.height || input.width() != config_.width) {
-    throw std::invalid_argument("NoveltyDetector: input is " + std::to_string(input.height()) + "x" +
-                                std::to_string(input.width()) + ", pipeline expects " +
-                                std::to_string(config_.height) + "x" + std::to_string(config_.width));
+    throw InvalidFrameError(
+        FrameFault::kWrongSize,
+        "NoveltyDetector: input is " + std::to_string(input.height()) + "x" +
+            std::to_string(input.width()) + ", pipeline expects " + std::to_string(config_.height) +
+            "x" + std::to_string(config_.width));
   }
-  if (config_.preprocessing == Preprocessing::kRaw) return input;
-  if (steering_model_ == nullptr) {
+  if (config_.preprocessing != Preprocessing::kRaw && steering_model_ == nullptr) {
     throw std::logic_error("NoveltyDetector: saliency preprocessing requires attach_steering_model()");
   }
+  // Content checks run after the configuration errors above so that a
+  // mis-wired pipeline surfaces as logic_error, not as a sensor fault.
+  if (config_.validate_frames) validator_.require_valid(input, "NoveltyDetector");
+  if (config_.preprocessing == Preprocessing::kRaw) return input;
   // saliency_ exists since construction, so this const path mutates nothing
   // of the detector's and is safe under the concurrent batch fan-out.
   return saliency_->compute(*steering_model_, input);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/autoencoder.hpp"
+#include "core/frame_validator.hpp"
 #include "core/threshold.hpp"
 #include "image/image.hpp"
 #include "nn/sequential.hpp"
@@ -57,6 +58,13 @@ struct NoveltyDetectorConfig {
   double threshold_percentile = 0.99;  ///< Paper: 99th percentile of the ECDF.
   bool verbose = false;
 
+  /// Guarded inference: when true (default), every frame entering the
+  /// pipeline is screened by a FrameValidator and malformed frames (NaN/Inf,
+  /// out-of-range, dead-constant) raise InvalidFrameError instead of being
+  /// scored as if the world were novel. Runtime policy — not serialized.
+  bool validate_frames = true;
+  FrameValidatorConfig frame_validator;
+
   /// The paper's proposed configuration (VBP + SSIM).
   static NoveltyDetectorConfig proposed();
   /// The Richter & Roy baseline (raw images + MSE).
@@ -86,8 +94,13 @@ class NoveltyDetector {
   /// Returns the autoencoder's per-epoch loss history.
   nn::TrainHistory fit(const std::vector<Image>& training_images, Rng& rng);
 
-  /// Preprocessing stage only (VBP mask or pass-through).
+  /// Preprocessing stage only (VBP mask or pass-through). Throws
+  /// InvalidFrameError on malformed frames when config().validate_frames.
   Image preprocess(const Image& input) const;
+
+  /// The input guard used by the full pipeline (and by NoveltyMonitor for
+  /// its sensor-fault path).
+  const FrameValidator& frame_validator() const { return validator_; }
 
   /// Autoencoder reconstruction of a *preprocessed* image.
   Image reconstruct(const Image& preprocessed) const;
@@ -127,6 +140,7 @@ class NoveltyDetector {
   /// was a data race under concurrent scores()/classify() calls.
   std::unique_ptr<saliency::SaliencyMethod> saliency_;
   nn::SsimLoss ssim_;  ///< Shared SSIM machinery (also used for scoring).
+  FrameValidator validator_;  ///< Input guard (see config_.validate_frames).
   std::optional<NoveltyThreshold> threshold_;
   bool fitted_ = false;
 };

@@ -1,6 +1,6 @@
 #include "core/pipeline_io.hpp"
 
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "nn/model_io.hpp"
@@ -101,9 +101,7 @@ void PipelineIo::save(std::ostream& os, const NoveltyDetector& detector, nn::Seq
 
 void PipelineIo::save_file(const std::string& path, const NoveltyDetector& detector,
                            nn::Sequential* steering_model) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("PipelineIo::save_file: cannot open " + path);
-  save(os, detector, steering_model);
+  save_file_checked(path, [&](std::ostream& os) { save(os, detector, steering_model); });
 }
 
 LoadedPipeline PipelineIo::load(std::istream& is) {
@@ -128,8 +126,7 @@ LoadedPipeline PipelineIo::load(std::istream& is) {
 }
 
 LoadedPipeline PipelineIo::load_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("PipelineIo::load_file: cannot open " + path);
+  std::istringstream is(load_file_checked(path), std::ios::binary);
   return load(is);
 }
 

@@ -25,10 +25,17 @@ class PipelineIo {
  public:
   /// `steering_model` may be null when the detector uses raw preprocessing.
   static void save(std::ostream& os, const NoveltyDetector& detector, nn::Sequential* steering_model);
+
+  /// Crash-safe save: writes payload + CRC32 trailer to a temp file and
+  /// atomically renames it over `path`, so a kill mid-save never leaves a
+  /// partial file at the target.
   static void save_file(const std::string& path, const NoveltyDetector& detector,
                         nn::Sequential* steering_model);
 
   static LoadedPipeline load(std::istream& is);
+
+  /// Verifies the CRC32 trailer before parsing; throws TruncatedFileError /
+  /// CorruptFileError (both SerializationError) on damaged files.
   static LoadedPipeline load_file(const std::string& path);
 };
 

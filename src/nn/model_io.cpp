@@ -1,6 +1,6 @@
 #include "nn/model_io.hpp"
 
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "nn/activations.hpp"
@@ -85,9 +85,7 @@ void save_model(std::ostream& os, Sequential& model) {
 }
 
 void save_model_file(const std::string& path, Sequential& model) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("save_model_file: cannot open " + path);
-  save_model(os, model);
+  save_file_checked(path, [&](std::ostream& os) { save_model(os, model); });
 }
 
 Sequential load_model(std::istream& is) {
@@ -123,8 +121,7 @@ Sequential load_model(std::istream& is) {
 }
 
 Sequential load_model_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_model_file: cannot open " + path);
+  std::istringstream is(load_file_checked(path), std::ios::binary);
   return load_model(is);
 }
 

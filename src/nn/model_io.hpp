@@ -14,10 +14,16 @@
 namespace salnov::nn {
 
 void save_model(std::ostream& os, Sequential& model);
+
+/// Crash-safe save: payload + CRC32 trailer, temp file + atomic rename (a
+/// kill mid-save never leaves a partial file at `path`).
 void save_model_file(const std::string& path, Sequential& model);
 
 /// Throws SerializationError on malformed input or unknown layer types.
 Sequential load_model(std::istream& is);
+
+/// Verifies the CRC32 trailer before parsing; throws TruncatedFileError /
+/// CorruptFileError (both SerializationError) on damaged files.
 Sequential load_model_file(const std::string& path);
 
 }  // namespace salnov::nn

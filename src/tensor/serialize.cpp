@@ -1,9 +1,22 @@
 #include "tensor/serialize.hpp"
 
+#include <array>
 #include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <istream>
+#include <iterator>
 #include <limits>
 #include <ostream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace salnov {
 namespace {
@@ -26,6 +39,14 @@ T read_raw(std::istream& is) {
 }
 
 constexpr int64_t kMaxReasonableElements = int64_t{1} << 32;
+
+/// Strings in our formats are magic tags, layer types, and parameter names;
+/// anything longer means the length field is garbage.
+constexpr uint32_t kMaxReasonableString = 1u << 20;
+
+/// File trailer: u64 payload size + u32 crc + 4-byte magic.
+constexpr size_t kTrailerSize = 16;
+constexpr char kTrailerMagic[4] = {'S', 'N', 'V', 'C'};
 
 }  // namespace
 
@@ -58,6 +79,9 @@ double read_f64(std::istream& is) { return read_raw<double>(is); }
 
 std::string read_string(std::istream& is) {
   const uint32_t size = read_u32(is);
+  if (size > kMaxReasonableString) {
+    throw SerializationError("read_string: implausible string length " + std::to_string(size));
+  }
   std::string value(size, '\0');
   is.read(value.data(), static_cast<std::streamsize>(size));
   if (!is) throw SerializationError("read_string: unexpected end of stream");
@@ -68,11 +92,18 @@ Tensor read_tensor(std::istream& is) {
   const uint32_t rank = read_u32(is);
   if (rank > 8) throw SerializationError("read_tensor: implausible rank " + std::to_string(rank));
   Shape shape(rank);
+  // The element count is accumulated with an overflow guard *before* the
+  // shape reaches any allocator: an adversarial header like [2^62, 2^62, 0]
+  // must not wrap the int64 product around the plausibility check below.
+  int64_t n = 1;
   for (auto& d : shape) {
     d = read_i64(is);
     if (d < 0) throw SerializationError("read_tensor: negative dimension");
+    if (d > 0 && n > kMaxReasonableElements / d) {
+      throw SerializationError("read_tensor: element count overflows plausibility bound");
+    }
+    n *= d;
   }
-  const int64_t n = shape_numel(shape);
   if (n > kMaxReasonableElements) {
     throw SerializationError("read_tensor: implausible element count " + std::to_string(n));
   }
@@ -97,6 +128,97 @@ void read_header(std::istream& is, const std::string& magic, uint32_t version) {
     throw SerializationError("read_header: '" + magic + "' version " + std::to_string(got_version) +
                              " unsupported (want " + std::to_string(version) + ")");
   }
+}
+
+uint32_t crc32(const void* data, size_t size, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+void save_file_checked(const std::string& path,
+                       const std::function<void(std::ostream&)>& write_payload) {
+  std::ostringstream buffer(std::ios::binary);
+  write_payload(buffer);
+  const std::string payload = buffer.str();
+  const uint64_t size = payload.size();
+  const uint32_t crc = crc32(payload.data(), payload.size());
+
+  // The temp file lives next to the target so the final rename stays within
+  // one filesystem (rename is only atomic then); the pid suffix keeps
+  // concurrent writers (e.g. two bench binaries) from clobbering each other.
+  const std::string tmp = path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os) throw std::runtime_error("save_file_checked: cannot open " + tmp);
+      os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+      os.write(reinterpret_cast<const char*>(&size), sizeof(size));
+      os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+      os.write(kTrailerMagic, sizeof(kTrailerMagic));
+      os.flush();
+      if (!os) throw std::runtime_error("save_file_checked: write failed for " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      throw std::runtime_error("save_file_checked: cannot rename " + tmp + " to " + path + ": " +
+                               ec.message());
+    }
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+}
+
+std::string load_file_checked(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_file_checked: cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  if (!is.good() && !is.eof()) {
+    throw std::runtime_error("load_file_checked: read failed for " + path);
+  }
+
+  if (data.size() < kTrailerSize ||
+      std::memcmp(data.data() + data.size() - sizeof(kTrailerMagic), kTrailerMagic,
+                  sizeof(kTrailerMagic)) != 0) {
+    throw TruncatedFileError(path +
+                             ": missing integrity trailer — the file is truncated, predates the "
+                             "checksummed format, or is not a salnov file; re-create it with the "
+                             "step that produced it");
+  }
+  uint64_t recorded_size = 0;
+  uint32_t recorded_crc = 0;
+  const char* trailer = data.data() + data.size() - kTrailerSize;
+  std::memcpy(&recorded_size, trailer, sizeof(recorded_size));
+  std::memcpy(&recorded_crc, trailer + sizeof(recorded_size), sizeof(recorded_crc));
+  const uint64_t payload_size = data.size() - kTrailerSize;
+  if (recorded_size != payload_size) {
+    throw TruncatedFileError(path + ": trailer records " + std::to_string(recorded_size) +
+                             " payload bytes but the file holds " + std::to_string(payload_size) +
+                             " — the file was cut short or spliced; re-create it");
+  }
+  const uint32_t computed_crc = crc32(data.data(), payload_size);
+  if (computed_crc != recorded_crc) {
+    char detail[64];
+    std::snprintf(detail, sizeof detail, " (stored %08x, computed %08x)", recorded_crc,
+                  computed_crc);
+    throw CorruptFileError(path + ": CRC32 mismatch" + detail +
+                           " — the bytes on disk are corrupt; re-create the file");
+  }
+  data.resize(payload_size);
+  return data;
 }
 
 }  // namespace salnov

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
@@ -19,6 +20,20 @@ namespace salnov {
 class SerializationError : public std::runtime_error {
  public:
   explicit SerializationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A file ended before its format says it should — it was cut short by a
+/// crash, a partial copy, or it predates the integrity-trailer format.
+class TruncatedFileError : public SerializationError {
+ public:
+  explicit TruncatedFileError(const std::string& what) : SerializationError(what) {}
+};
+
+/// A file's CRC32 trailer does not match its payload: the bytes on disk are
+/// not the bytes that were written.
+class CorruptFileError : public SerializationError {
+ public:
+  explicit CorruptFileError(const std::string& what) : SerializationError(what) {}
 };
 
 void write_u32(std::ostream& os, uint32_t value);
@@ -41,5 +56,30 @@ void write_header(std::ostream& os, const std::string& magic, uint32_t version);
 /// Reads and validates a header written by write_header. Throws
 /// SerializationError on magic or version mismatch.
 void read_header(std::istream& is, const std::string& magic, uint32_t version);
+
+// --- Crash-safe, integrity-checked file IO ---------------------------------
+//
+// Every model/pipeline *file* is the serialized payload followed by a
+// 16-byte trailer: u64 payload size, u32 CRC32 of the payload, and the
+// 4-byte trailer magic. Saving goes through a temp file in the same
+// directory plus an atomic rename, so a crash mid-save leaves either the
+// previous file or the complete new one at the target path — never a
+// partial write.
+
+/// CRC-32 (IEEE 802.3 / zlib polynomial) of a byte range. Chain blocks by
+/// passing the previous result as `crc`.
+uint32_t crc32(const void* data, size_t size, uint32_t crc = 0);
+
+/// Serializes `write_payload`'s output, appends the integrity trailer, and
+/// atomically replaces `path` (temp file + rename). On any failure the temp
+/// file is removed and the previous `path` contents are left untouched.
+void save_file_checked(const std::string& path,
+                       const std::function<void(std::ostream&)>& write_payload);
+
+/// Reads `path`, verifies the integrity trailer, and returns the payload
+/// bytes. Throws TruncatedFileError when the trailer is missing/short or the
+/// recorded size disagrees with the file, CorruptFileError on CRC mismatch,
+/// and std::runtime_error when the file cannot be opened.
+std::string load_file_checked(const std::string& path);
 
 }  // namespace salnov

@@ -28,7 +28,10 @@ int64_t shape_numel(const Shape& shape) {
     if (d < 0) {
       throw std::invalid_argument("shape_numel: negative dimension in " + shape_to_string(shape));
     }
-    n *= d;
+    if (__builtin_mul_overflow(n, d, &n)) {
+      throw std::invalid_argument("shape_numel: element count overflows int64 in " +
+                                  shape_to_string(shape));
+    }
   }
   return n;
 }

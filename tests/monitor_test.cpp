@@ -2,6 +2,8 @@
 // saliency-preprocessing extension.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/monitor.hpp"
@@ -163,6 +165,153 @@ TEST_F(MonitorFixture, InvalidConfigThrows) {
   EXPECT_THROW(NoveltyMonitor(*detector_, bad), std::invalid_argument);
   bad = MonitorConfig{};
   bad.score_smoothing = 0.0;
+  EXPECT_THROW(NoveltyMonitor(*detector_, bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Sensor-fault path: validator rejections and frozen frames drive their own
+// hysteresis into kSensorFault, distinct from the novelty kFallback path.
+
+TEST_F(MonitorFixture, FrozenStreamEntersSensorFaultNotFallback) {
+  MonitorConfig config;
+  config.sensor_trigger_frames = 3;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(23);
+  const Image stuck = familiar_frame(rng);
+  // First sighting is a normal frame; repeats are bit-identical -> frozen.
+  EXPECT_EQ(monitor.update(stuck).state, MonitorState::kNominal);
+  for (int repeat = 1; repeat <= 3; ++repeat) {
+    const MonitorUpdate u = monitor.update(stuck);
+    EXPECT_TRUE(u.frame_frozen);
+    EXPECT_FALSE(u.frame_scored);
+    EXPECT_TRUE(std::isnan(u.raw_score));
+    EXPECT_NE(u.state, MonitorState::kFallback);
+    if (repeat < 3) {
+      EXPECT_EQ(u.state, MonitorState::kNominal) << "held until the trigger count";
+    } else {
+      EXPECT_EQ(u.state, MonitorState::kSensorFault);
+      EXPECT_EQ(u.fallback_path, FallbackPath::kSensorFault);
+    }
+  }
+}
+
+TEST_F(MonitorFixture, NanStreamEntersSensorFault) {
+  MonitorConfig config;
+  config.sensor_trigger_frames = 2;
+  NoveltyMonitor monitor(*detector_, config);
+  Image bad(kH, kW);
+  bad(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(monitor.update(bad).frame_fault, FrameFault::kNonFinite);
+  const MonitorUpdate u = monitor.update(bad);
+  EXPECT_EQ(u.state, MonitorState::kSensorFault);
+  EXPECT_EQ(u.fallback_path, FallbackPath::kSensorFault);
+  EXPECT_FALSE(u.frame_scored);
+}
+
+TEST_F(MonitorFixture, SensorFaultReleasesAfterGoodFrames) {
+  MonitorConfig config;
+  config.sensor_trigger_frames = 2;
+  config.sensor_release_frames = 3;
+  NoveltyMonitor monitor(*detector_, config);
+  Image bad(kH, kW);  // dead-constant frame
+  monitor.update(bad);
+  monitor.update(bad);
+  ASSERT_EQ(monitor.state(), MonitorState::kSensorFault);
+
+  Rng rng(25);
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kSensorFault);
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kSensorFault);
+  const MonitorUpdate recovered = monitor.update(familiar_frame(rng));
+  EXPECT_EQ(recovered.state, MonitorState::kNominal);
+  EXPECT_EQ(recovered.fallback_path, FallbackPath::kNone);
+}
+
+TEST_F(MonitorFixture, BadFrameInterruptsSensorRelease) {
+  MonitorConfig config;
+  config.sensor_trigger_frames = 1;
+  config.sensor_release_frames = 2;
+  NoveltyMonitor monitor(*detector_, config);
+  Image bad(kH, kW);
+  monitor.update(bad);
+  ASSERT_EQ(monitor.state(), MonitorState::kSensorFault);
+  Rng rng(27);
+  monitor.update(familiar_frame(rng));
+  monitor.update(bad);  // interrupts the release streak
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kSensorFault);
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kNominal);
+}
+
+TEST_F(MonitorFixture, InterleavedNoveltyAndSensorFault) {
+  MonitorConfig config;
+  config.trigger_frames = 2;
+  config.release_frames = 2;
+  config.sensor_trigger_frames = 2;
+  config.sensor_release_frames = 2;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(29);
+
+  // Novel world engages the novelty path...
+  monitor.update(novel_frame(rng));
+  const MonitorUpdate fb = monitor.update(novel_frame(rng));
+  ASSERT_EQ(fb.state, MonitorState::kFallback);
+  EXPECT_EQ(fb.fallback_path, FallbackPath::kNovelty);
+
+  // ...then the camera dies: the sensor path takes over from kFallback.
+  Image bad(kH, kW);
+  monitor.update(bad);
+  const MonitorUpdate sf = monitor.update(bad);
+  EXPECT_EQ(sf.state, MonitorState::kSensorFault);
+  EXPECT_EQ(sf.fallback_path, FallbackPath::kSensorFault);
+
+  // Camera recovers onto a familiar world: full recovery to nominal.
+  monitor.update(familiar_frame(rng));
+  EXPECT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kNominal);
+
+  // And the novelty machine still works afterwards.
+  monitor.update(novel_frame(rng));
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kFallback);
+}
+
+TEST_F(MonitorFixture, FrozenDetectionCanBeDisabled) {
+  MonitorConfig config;
+  config.detect_frozen_frames = false;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(31);
+  const Image stuck = familiar_frame(rng);
+  for (int i = 0; i < 6; ++i) {
+    const MonitorUpdate u = monitor.update(stuck);
+    EXPECT_FALSE(u.frame_frozen);
+    EXPECT_TRUE(u.frame_scored);
+    EXPECT_EQ(u.state, MonitorState::kNominal);
+  }
+}
+
+TEST_F(MonitorFixture, SmoothedScoreHoldsThroughSensorFault) {
+  NoveltyMonitor monitor(*detector_);
+  Rng rng(33);
+  const MonitorUpdate scored = monitor.update(familiar_frame(rng));
+  Image bad(kH, kW);
+  const MonitorUpdate unscored = monitor.update(bad);
+  EXPECT_TRUE(std::isnan(unscored.raw_score));
+  EXPECT_DOUBLE_EQ(unscored.smoothed_score, scored.smoothed_score);
+}
+
+TEST_F(MonitorFixture, WrongSizeFrameIsSensorFaultNotThrow) {
+  MonitorConfig config;
+  config.sensor_trigger_frames = 1;
+  NoveltyMonitor monitor(*detector_, config);
+  MonitorUpdate u;
+  EXPECT_NO_THROW(u = monitor.update(Image(kH + 2, kW)));
+  EXPECT_EQ(u.frame_fault, FrameFault::kWrongSize);
+  EXPECT_EQ(u.state, MonitorState::kSensorFault);
+}
+
+TEST_F(MonitorFixture, SensorConfigValidated) {
+  MonitorConfig bad;
+  bad.sensor_trigger_frames = 0;
+  EXPECT_THROW(NoveltyMonitor(*detector_, bad), std::invalid_argument);
+  bad = MonitorConfig{};
+  bad.sensor_release_frames = 0;
   EXPECT_THROW(NoveltyMonitor(*detector_, bad), std::invalid_argument);
 }
 

@@ -1,0 +1,284 @@
+// Crash-safety and integrity tests for the checked file IO layer
+// (save_file_checked / load_file_checked) and the model/pipeline files
+// built on it. The acceptance bar: a saved file round-trips, ANY flipped
+// payload byte is rejected with a CRC error, and a failure mid-save never
+// corrupts an existing target file.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "core/autoencoder.hpp"
+#include "core/novelty_detector.hpp"
+#include "core/pipeline_io.hpp"
+#include "nn/dense.hpp"
+#include "nn/model_io.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/serialize.hpp"
+
+namespace salnov {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() : path_(fs::temp_directory_path() / fs::path("salnov_persist_" + unique())) {
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string file(const std::string& name) const { return (path_ / name).string(); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  static std::string unique() {
+    static int counter = 0;
+    return std::to_string(::getpid()) + "_" + std::to_string(counter++);
+  }
+  fs::path path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Number of non-directory entries in a directory (leak check for temps).
+int64_t file_count(const fs::path& dir) {
+  int64_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+TEST(Crc32, MatchesReferenceVector) {
+  // The standard CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const char data[] = "123456789";
+  EXPECT_EQ(crc32(data, 9), 0xCBF43926u);
+  // Chaining blocks equals one pass.
+  const uint32_t first = crc32(data, 4);
+  EXPECT_EQ(crc32(data + 4, 5, first), 0xCBF43926u);
+  EXPECT_EQ(crc32(data, 0), 0u);
+}
+
+TEST(CheckedFileIo, RoundTripsPayload) {
+  TempDir dir;
+  const std::string path = dir.file("payload.bin");
+  const std::string payload("hello\0binary\xFFpayload", 20);  // embedded NUL + high byte
+  save_file_checked(path, [&](std::ostream& os) {
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  });
+  EXPECT_EQ(load_file_checked(path), payload);
+  // The file itself carries the 16-byte trailer on top of the payload.
+  EXPECT_EQ(fs::file_size(path), payload.size() + 16);
+}
+
+TEST(CheckedFileIo, EveryFlippedByteIsRejected) {
+  TempDir dir;
+  const std::string path = dir.file("flip.bin");
+  save_file_checked(path, [](std::ostream& os) {
+    for (int i = 0; i < 64; ++i) write_u32(os, static_cast<uint32_t>(i * 2654435761u));
+  });
+  const std::string good = slurp(path);
+  ASSERT_GT(good.size(), 16u);
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    dump(path, bad);
+    EXPECT_THROW(load_file_checked(path), SerializationError) << "flip at byte " << i;
+  }
+}
+
+TEST(CheckedFileIo, EveryTruncationIsRejected) {
+  TempDir dir;
+  const std::string path = dir.file("trunc.bin");
+  save_file_checked(path, [](std::ostream& os) { write_string(os, "short payload"); });
+  const std::string good = slurp(path);
+  for (size_t keep = 0; keep < good.size(); ++keep) {
+    dump(path, good.substr(0, keep));
+    EXPECT_THROW(load_file_checked(path), SerializationError) << "truncated to " << keep;
+  }
+}
+
+TEST(CheckedFileIo, MissingTrailerIsTruncatedFileError) {
+  TempDir dir;
+  const std::string path = dir.file("legacy.bin");
+  dump(path, "a legacy file without any integrity trailer at all.......");
+  EXPECT_THROW(load_file_checked(path), TruncatedFileError);
+}
+
+TEST(CheckedFileIo, CrcMismatchIsCorruptFileError) {
+  TempDir dir;
+  const std::string path = dir.file("corrupt.bin");
+  save_file_checked(path, [](std::ostream& os) { write_string(os, "payload payload"); });
+  std::string bytes = slurp(path);
+  bytes[2] = static_cast<char>(bytes[2] ^ 0x01);  // damage the payload, keep the trailer
+  dump(path, bytes);
+  EXPECT_THROW(load_file_checked(path), CorruptFileError);
+}
+
+TEST(CheckedFileIo, MissingFileThrows) {
+  TempDir dir;
+  EXPECT_THROW(load_file_checked(dir.file("nope.bin")), std::runtime_error);
+}
+
+TEST(CheckedFileIo, FailedSaveLeavesTargetUntouchedAndNoTemps) {
+  TempDir dir;
+  const std::string path = dir.file("precious.bin");
+  save_file_checked(path, [](std::ostream& os) { write_string(os, "the original"); });
+  const std::string original = slurp(path);
+  ASSERT_EQ(file_count(dir.path()), 1);
+
+  // A writer that dies mid-payload must not touch the target and must not
+  // leave its temp file behind ("kill during save never corrupts").
+  EXPECT_THROW(save_file_checked(path,
+                                 [](std::ostream& os) {
+                                   write_string(os, "half-written replacement");
+                                   throw std::runtime_error("simulated crash");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(slurp(path), original);
+  EXPECT_EQ(file_count(dir.path()), 1);
+  // Payload = u32 length prefix (12) + the string bytes.
+  EXPECT_EQ(load_file_checked(path), std::string("\x0c\x00\x00\x00the original", 16));
+}
+
+TEST(CheckedFileIo, UnwritableDirectoryFailsCleanly) {
+  TempDir dir;
+  const std::string path = dir.file("no/such/subdir/out.bin");
+  EXPECT_THROW(save_file_checked(path, [](std::ostream& os) { write_u32(os, 1); }),
+               std::runtime_error);
+  EXPECT_FALSE(fs::exists(path));
+}
+
+// ---------------------------------------------------------------------------
+// The real file formats on top of the checked layer.
+
+nn::Sequential tiny_model() {
+  Rng rng(5);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Dense>(6, 3, rng));
+  return model;
+}
+
+TEST(ModelFilePersistence, RoundTripsAndRejectsEveryByteFlip) {
+  TempDir dir;
+  const std::string path = dir.file("model.bin");
+  nn::Sequential model = tiny_model();
+  nn::save_model_file(path, model);
+
+  nn::Sequential loaded = nn::load_model_file(path);
+  const auto pa = model.parameters(), pb = loaded.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value == pb[i]->value);
+  }
+
+  const std::string good = slurp(path);
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x80);
+    dump(path, bad);
+    EXPECT_THROW(nn::load_model_file(path), SerializationError) << "flip at byte " << i;
+  }
+}
+
+class PipelinePersistence : public ::testing::Test {
+ protected:
+  static constexpr int64_t kH = 12;
+  static constexpr int64_t kW = 16;
+
+  static void SetUpTestSuite() {
+    core::NoveltyDetectorConfig config;
+    config.height = kH;
+    config.width = kW;
+    config.preprocessing = core::Preprocessing::kRaw;
+    config.score = core::ReconstructionScore::kMse;
+    config.autoencoder = core::AutoencoderConfig::tiny(kH, kW);
+    config.train_epochs = 3;
+    detector_ = new core::NoveltyDetector(config);
+    Rng rng(9);
+    std::vector<Image> train;
+    for (int i = 0; i < 10; ++i) {
+      train.push_back(Image(kH, kW, rng.uniform_tensor({kH * kW}, 0.0, 1.0)));
+    }
+    detector_->fit(train, rng);
+  }
+
+  static void TearDownTestSuite() {
+    delete detector_;
+    detector_ = nullptr;
+  }
+
+  static core::NoveltyDetector* detector_;
+};
+
+core::NoveltyDetector* PipelinePersistence::detector_ = nullptr;
+
+TEST_F(PipelinePersistence, FileRoundTripPreservesScores) {
+  TempDir dir;
+  const std::string path = dir.file("detector.pipeline");
+  core::PipelineIo::save_file(path, *detector_, nullptr);
+
+  core::LoadedPipeline loaded = core::PipelineIo::load_file(path);
+  Rng rng(11);
+  const Image probe(kH, kW, rng.uniform_tensor({kH * kW}, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(loaded.detector->score(probe), detector_->score(probe));
+  EXPECT_DOUBLE_EQ(loaded.detector->threshold().threshold(), detector_->threshold().threshold());
+}
+
+TEST_F(PipelinePersistence, SampledByteFlipsAreRejected) {
+  TempDir dir;
+  const std::string path = dir.file("detector.pipeline");
+  core::PipelineIo::save_file(path, *detector_, nullptr);
+  const std::string good = slurp(path);
+  ASSERT_GT(good.size(), 64u);
+  // Pipeline files are a few KB; a stride keeps the sweep fast while still
+  // hitting header, tensors, threshold block, and the trailer itself.
+  for (size_t i = 0; i < good.size(); i += 7) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x20);
+    dump(path, bad);
+    EXPECT_THROW(core::PipelineIo::load_file(path), SerializationError) << "flip at byte " << i;
+  }
+}
+
+TEST_F(PipelinePersistence, TruncatedPipelineIsTypedError) {
+  TempDir dir;
+  const std::string path = dir.file("detector.pipeline");
+  core::PipelineIo::save_file(path, *detector_, nullptr);
+  const std::string good = slurp(path);
+  dump(path, good.substr(0, good.size() / 2));
+  EXPECT_THROW(core::PipelineIo::load_file(path), TruncatedFileError);
+  dump(path, good.substr(0, 8));  // shorter than the trailer itself
+  EXPECT_THROW(core::PipelineIo::load_file(path), TruncatedFileError);
+}
+
+TEST_F(PipelinePersistence, SaveOverwritesAtomically) {
+  TempDir dir;
+  const std::string path = dir.file("detector.pipeline");
+  core::PipelineIo::save_file(path, *detector_, nullptr);
+  const std::string first = slurp(path);
+  // Overwriting the same pipeline goes through the temp + rename path and
+  // produces an identical, loadable file with no stray siblings.
+  core::PipelineIo::save_file(path, *detector_, nullptr);
+  EXPECT_EQ(slurp(path), first);
+  EXPECT_EQ(file_count(dir.path()), 1);
+  EXPECT_NO_THROW(core::PipelineIo::load_file(path));
+}
+
+}  // namespace
+}  // namespace salnov

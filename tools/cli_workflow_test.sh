@@ -29,6 +29,25 @@ echo "$OUT" | grep -q "3/5 flagged novel"
 test -f sal/img00002_mask.pgm
 test -f sal/img00002_overlay.pgm
 
+# A truncated pipeline file must be rejected with a diagnostic, not crash.
+head -c 100 detector.pipeline > truncated.pipeline
+if ERR="$("$CLI" classify --pipeline truncated.pipeline target/img00000.pgm 2>&1)"; then
+  echo "expected nonzero exit for truncated pipeline" >&2
+  exit 1
+fi
+echo "$ERR" | grep -qi "salnov:" || { echo "missing diagnostic for truncated file" >&2; exit 1; }
+
+# So must a pipeline with corrupted payload bytes (CRC trailer check).
+# Writing 0xFF and 0x00 at adjacent offsets guarantees at least one byte
+# actually changes, whatever the original contents.
+cp detector.pipeline corrupt.pipeline
+printf '\377\000' | dd of=corrupt.pipeline bs=1 seek=100 count=2 conv=notrunc 2>/dev/null
+if ERR="$("$CLI" classify --pipeline corrupt.pipeline target/img00000.pgm 2>&1)"; then
+  echo "expected nonzero exit for corrupted pipeline" >&2
+  exit 1
+fi
+echo "$ERR" | grep -qi "salnov:" || { echo "missing diagnostic for corrupted file" >&2; exit 1; }
+
 # Unknown command prints usage and exits nonzero.
 if "$CLI" frobnicate 2>/dev/null; then
   echo "expected nonzero exit for unknown command" >&2

@@ -283,6 +283,14 @@ int main(int argc, char** argv) {
     if (args.command == "fit") return cmd_fit(args);
     if (args.command == "classify") return cmd_classify(args);
     if (args.command == "saliency") return cmd_saliency(args);
+  } catch (const TruncatedFileError& e) {
+    return fail(std::string(e.what()) +
+                " (file is incomplete — re-run the fit/train step that produced it)");
+  } catch (const CorruptFileError& e) {
+    return fail(std::string(e.what()) +
+                " (file is damaged — restore it from backup or re-create it)");
+  } catch (const SerializationError& e) {
+    return fail(std::string("cannot read file: ") + e.what());
   } catch (const std::exception& e) {
     return fail(e.what());
   }
