@@ -1,0 +1,122 @@
+// GEMM kernel sweep: scalar vs SIMD vs SIMD+packed across square sizes and
+// thread counts, plus the batch-1 matvec shape the deployed detector hits
+// on every dense inference. Prints a table and writes the same numbers to
+// BENCH_gemm_kernels.json for CI trend tracking.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/pack.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using namespace salnov;
+using Clock = std::chrono::steady_clock;
+
+/// Times `fn` adaptively: at least 3 iterations and 0.2 s of work.
+/// Returns seconds per iteration (best of the measured batches).
+template <typename Fn>
+double time_per_call(Fn&& fn) {
+  fn();  // warm-up (page-in, lazy packs, workspace growth)
+  double best = 1e300;
+  int64_t iters = 1;
+  double total = 0.0;
+  int batches = 0;
+  while (total < 0.2 || batches < 3) {
+    const auto t0 = Clock::now();
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (dt / static_cast<double>(iters) < best) best = dt / static_cast<double>(iters);
+    total += dt;
+    ++batches;
+    if (dt < 0.02) iters *= 4;
+  }
+  return best;
+}
+
+struct Row {
+  std::string kernel;
+  int64_t m, n, k;
+  int threads;
+  double gflops;
+};
+
+double run_gemm(GemmKernel kernel, bool packed, int64_t m, int64_t n, int64_t k, int threads) {
+  parallel::set_num_threads(threads);
+  set_gemm_kernel(kernel);
+  Rng rng(17);
+  const Tensor a = rng.uniform_tensor({m, k}, -1.0, 1.0);
+  const Tensor b = rng.uniform_tensor({k, n}, -1.0, 1.0);
+  Tensor c({m, n});
+  PackedMatrix pa, pb;
+  const PackedMatrix* ppa = nullptr;
+  const PackedMatrix* ppb = nullptr;
+  if (packed) {
+    pa = pack_a_panels(a.data(), m, k);
+    pb = pack_b_panels(b.data(), k, n);
+    ppa = &pa;
+    ppb = &pb;
+  }
+  const double sec = time_per_call(
+      [&] { gemm_ex(a.data(), b.data(), c.data(), m, n, k, GemmEpilogue{}, ppa, ppb); });
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k) / sec / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GEMM kernel sweep (simd backend: %s, packing %s by default)\n",
+              gemm_simd_available() ? gemm_kernel_name(GemmKernel::kSimd) : "unavailable",
+              gemm_weight_packing_enabled() ? "on" : "off");
+  std::printf("%-12s %6s %6s %6s %8s %10s\n", "kernel", "m", "n", "k", "threads", "GFLOP/s");
+
+  std::vector<Row> rows;
+  const std::vector<int64_t> sizes = {64, 128, 256, 512};
+  const std::vector<int> thread_counts = {1, 4};
+
+  struct Variant {
+    const char* name;
+    GemmKernel kernel;
+    bool packed;
+  };
+  std::vector<Variant> variants = {{"scalar", GemmKernel::kScalar, false}};
+  if (gemm_simd_available()) {
+    variants.push_back({"simd", GemmKernel::kSimd, false});
+    variants.push_back({"simd+packed", GemmKernel::kSimd, true});
+  }
+
+  for (const Variant& v : variants) {
+    for (int threads : thread_counts) {
+      for (int64_t n : sizes) {
+        const double gflops = run_gemm(v.kernel, v.packed, n, n, n, threads);
+        rows.push_back({v.name, n, n, n, threads, gflops});
+        std::printf("%-12s %6lld %6lld %6lld %8d %10.2f\n", v.name, (long long)n, (long long)n,
+                    (long long)n, threads, gflops);
+      }
+      // The detector's hot dense-inference shape: batch-1 matvec through the
+      // autoencoder's input layer (9600 -> 1200).
+      const double gflops = run_gemm(v.kernel, v.packed, 1, 1200, 9600, threads);
+      rows.push_back({v.name, 1, 1200, 9600, threads, gflops});
+      std::printf("%-12s %6d %6d %6d %8d %10.2f\n", v.name, 1, 1200, 9600, threads, gflops);
+    }
+  }
+  parallel::set_num_threads(0);
+
+  std::ofstream json("BENCH_gemm_kernels.json");
+  json << "{\n  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"kernel\": \"" << r.kernel << "\", \"m\": " << r.m << ", \"n\": " << r.n
+         << ", \"k\": " << r.k << ", \"threads\": " << r.threads << ", \"gflops\": " << r.gflops
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_gemm_kernels.json (%zu rows)\n", rows.size());
+  return 0;
+}

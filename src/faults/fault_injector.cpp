@@ -213,6 +213,7 @@ int64_t flip_weight_bits(nn::Sequential& model, int64_t flips, Rng& rng) {
       if (element < p->value.numel()) {
         float& value = p->value[element];
         value = std::bit_cast<float>(std::bit_cast<uint32_t>(value) ^ (1u << bit));
+        p->bump_version();  // invalidate pre-packed inference weights
         break;
       }
       element -= p->value.numel();

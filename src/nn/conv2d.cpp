@@ -4,10 +4,10 @@
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
-#include <vector>
 
 #include "tensor/gemm.hpp"
 #include "tensor/serialize.hpp"
+#include "tensor/workspace.hpp"
 
 namespace salnov::nn {
 
@@ -111,7 +111,28 @@ void Conv2d::col2im(const float* cols, int64_t in_h, int64_t in_w, int64_t out_h
   }
 }
 
-Tensor Conv2d::forward(const Tensor& input, Mode mode) {
+const PackedMatrix* Conv2d::packed_weights() {
+  // As the GEMM's A operand the weight is reused across samples and frames;
+  // out_channels == 1 would take the matvec path where panels go unused.
+  if (config_.out_channels <= 1 || !gemm_weight_packing_enabled() ||
+      active_gemm_kernel() != GemmKernel::kSimd) {
+    return nullptr;
+  }
+  const int64_t patch = config_.in_channels * config_.kernel_h * config_.kernel_w;
+  const uint64_t want = weight_.version + 1;
+  if (packed_version_.load(std::memory_order_acquire) != want) {
+    std::lock_guard<std::mutex> lock(pack_mutex_);
+    if (packed_version_.load(std::memory_order_relaxed) != want) {
+      packed_weight_ = pack_a_panels(weight_.value.data(), config_.out_channels, patch);
+      packed_version_.store(want, std::memory_order_release);
+    }
+  }
+  return &packed_weight_;
+}
+
+Tensor Conv2d::forward(const Tensor& input, Mode mode) { return run_forward(input, mode, false); }
+
+Tensor Conv2d::run_forward(const Tensor& input, Mode mode, bool fuse_relu) {
   const Shape out_shape = output_shape(input.shape());
   const int64_t batch = input.dim(0);
   const int64_t in_h = input.dim(2);
@@ -122,21 +143,21 @@ Tensor Conv2d::forward(const Tensor& input, Mode mode) {
   const int64_t positions = out_h * out_w;
 
   Tensor output(out_shape);
-  std::vector<float> cols(static_cast<size_t>(patch * positions));
+  WorkspaceScope scratch;
+  float* cols = scratch.floats(patch * positions);
   const int64_t in_stride = config_.in_channels * in_h * in_w;
   const int64_t out_stride = config_.out_channels * positions;
 
+  GemmEpilogue epilogue;
+  epilogue.bias_row = bias_.value.data();
+  epilogue.relu = fuse_relu;
+  const PackedMatrix* packed = mode == Mode::kInfer ? packed_weights() : nullptr;
+
   for (int64_t n = 0; n < batch; ++n) {
-    im2col(input.data() + n * in_stride, in_h, in_w, out_h, out_w, cols.data());
-    // out[n] = W [out_c, patch] x cols [patch, positions]
-    gemm(weight_.value.data(), cols.data(), output.data() + n * out_stride, config_.out_channels,
-         positions, patch);
-    float* out_n = output.data() + n * out_stride;
-    for (int64_t oc = 0; oc < config_.out_channels; ++oc) {
-      const float b = bias_.value[oc];
-      float* plane = out_n + oc * positions;
-      for (int64_t p = 0; p < positions; ++p) plane[p] += b;
-    }
+    im2col(input.data() + n * in_stride, in_h, in_w, out_h, out_w, cols);
+    // out[n] = W [out_c, patch] x cols [patch, positions], bias fused.
+    gemm_ex(weight_.value.data(), cols, output.data() + n * out_stride, config_.out_channels,
+            positions, patch, epilogue, packed, nullptr);
   }
 
   if (mode == Mode::kTrain) {
@@ -164,15 +185,16 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const int64_t out_stride = config_.out_channels * positions;
 
   Tensor grad_input(cached_input_.shape());
-  std::vector<float> cols(static_cast<size_t>(patch * positions));
-  std::vector<float> grad_cols(static_cast<size_t>(patch * positions));
+  WorkspaceScope scratch;
+  float* cols = scratch.floats(patch * positions);
+  float* grad_cols = scratch.floats(patch * positions);
 
   for (int64_t n = 0; n < batch; ++n) {
     const float* g_n = grad_output.data() + n * out_stride;
 
     // dW += g_n [out_c, positions] x cols^T [positions, patch]
-    im2col(cached_input_.data() + n * in_stride, in_h, in_w, out_h, out_w, cols.data());
-    gemm_nt_accumulate(g_n, cols.data(), weight_.grad.data(), config_.out_channels, patch, positions);
+    im2col(cached_input_.data() + n * in_stride, in_h, in_w, out_h, out_w, cols);
+    gemm_nt_accumulate(g_n, cols, weight_.grad.data(), config_.out_channels, patch, positions);
 
     // db += row sums of g_n
     for (int64_t oc = 0; oc < config_.out_channels; ++oc) {
@@ -183,10 +205,10 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     }
 
     // dcols = W^T [patch, out_c] x g_n [out_c, positions]; scatter to input.
-    std::fill(grad_cols.begin(), grad_cols.end(), 0.0f);
-    gemm_tn_accumulate(weight_.value.data(), g_n, grad_cols.data(), patch, positions,
+    std::fill(grad_cols, grad_cols + patch * positions, 0.0f);
+    gemm_tn_accumulate(weight_.value.data(), g_n, grad_cols, patch, positions,
                        config_.out_channels);
-    col2im(grad_cols.data(), in_h, in_w, out_h, out_w, grad_input.data() + n * in_stride);
+    col2im(grad_cols, in_h, in_w, out_h, out_w, grad_input.data() + n * in_stride);
   }
   return grad_input;
 }

@@ -5,9 +5,19 @@
 // both spatial dimensions; padding is symmetric zero padding. PilotNet uses
 // valid (pad = 0) convolutions with stride 2 (5x5 kernels) and stride 1
 // (3x3 kernels), both of which this layer covers.
+//
+// The per-sample im2col/col2im buffers come from the calling thread's
+// workspace arena (zero heap allocations after warm-up), the bias add is
+// fused into the GEMM epilogue, and inference forwards reuse the weight
+// matrix pre-packed into micro-kernel panels (lazy, invalidated via
+// Parameter::version).
 #pragma once
 
+#include <atomic>
+#include <mutex>
+
 #include "nn/layer.hpp"
+#include "tensor/pack.hpp"
 #include "tensor/rng.hpp"
 
 namespace salnov::nn {
@@ -37,6 +47,13 @@ class Conv2d : public Layer {
   Shape output_shape(const Shape& input) const override;
   void save_config(std::ostream& os) const override;
 
+  /// Inference forward with the following ReLU fused into the GEMM
+  /// epilogue (used by Sequential in inference mode). Bit-identical to
+  /// forward(kInfer) followed by a ReLU layer.
+  Tensor forward_infer_fused_relu(const Tensor& input) {
+    return run_forward(input, Mode::kInfer, true);
+  }
+
   const Conv2dConfig& config() const { return config_; }
   const Parameter& weight() const { return weight_; }
 
@@ -45,6 +62,13 @@ class Conv2d : public Layer {
 
  private:
   void validate_config() const;
+
+  Tensor run_forward(const Tensor& input, Mode mode, bool fuse_relu);
+
+  /// Pre-packed weight panels ([out_c, patch] as GEMM A) for the SIMD
+  /// kernel, or nullptr when unavailable. Thread-safe; repacks when
+  /// weight_.version moved.
+  const PackedMatrix* packed_weights();
 
   /// Fills `cols` ([in_c * kh * kw, out_h * out_w]) with the unrolled
   /// patches of one sample `x` ([in_c, in_h, in_w] flat).
@@ -60,6 +84,10 @@ class Conv2d : public Layer {
   Parameter bias_;    ///< [out_c]
   Tensor cached_input_;
   bool have_cache_ = false;
+
+  std::mutex pack_mutex_;
+  std::atomic<uint64_t> packed_version_{0};  ///< weight version + 1; 0 = not packed
+  PackedMatrix packed_weight_;
 };
 
 }  // namespace salnov::nn

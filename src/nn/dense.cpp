@@ -36,21 +36,41 @@ Shape Dense::output_shape(const Shape& input) const {
   return {input[0], out_features()};
 }
 
-Tensor Dense::forward(const Tensor& input, Mode mode) {
+const PackedMatrix* Dense::packed_weights(int64_t batch) {
+  // Batch-1 inference takes the matvec path, which streams the row-major
+  // weight directly; panels would go unused.
+  if (batch <= 1 || !gemm_weight_packing_enabled() || active_gemm_kernel() != GemmKernel::kSimd) {
+    return nullptr;
+  }
+  const uint64_t want = weight_.version + 1;
+  if (packed_version_.load(std::memory_order_acquire) != want) {
+    std::lock_guard<std::mutex> lock(pack_mutex_);
+    if (packed_version_.load(std::memory_order_relaxed) != want) {
+      packed_weight_ = pack_b_panels(weight_.value.data(), in_features(), out_features());
+      packed_version_.store(want, std::memory_order_release);
+    }
+  }
+  return &packed_weight_;
+}
+
+Tensor Dense::run_forward(const Tensor& input, Mode mode, bool fuse_relu) {
   output_shape(input.shape());  // validates
   const int64_t batch = input.dim(0);
   Tensor out({batch, out_features()});
-  gemm(input.data(), weight_.value.data(), out.data(), batch, out_features(), in_features());
-  for (int64_t n = 0; n < batch; ++n) {
-    float* row = out.data() + n * out_features();
-    for (int64_t j = 0; j < out_features(); ++j) row[j] += bias_.value[j];
-  }
+  GemmEpilogue epilogue;
+  epilogue.bias_col = bias_.value.data();
+  epilogue.relu = fuse_relu;
+  const PackedMatrix* packed = mode == Mode::kInfer ? packed_weights(batch) : nullptr;
+  gemm_ex(input.data(), weight_.value.data(), out.data(), batch, out_features(), in_features(),
+          epilogue, nullptr, packed);
   if (mode == Mode::kTrain) {
     cached_input_ = input;
     have_cache_ = true;
   }
   return out;
 }
+
+Tensor Dense::forward(const Tensor& input, Mode mode) { return run_forward(input, mode, false); }
 
 Tensor Dense::backward(const Tensor& grad_output) {
   require_forward_cache(have_cache_, "Dense");
@@ -60,19 +80,21 @@ Tensor Dense::backward(const Tensor& grad_output) {
                                 " does not match output [batch, out]");
   }
 
-  // dW += x^T g ; db += sum over batch of g ; dx = g W^T.
-  const Tensor input_t = cached_input_.transposed();
-  gemm_accumulate(input_t.data(), grad_output.data(), weight_.grad.data(), in_features(),
-                  out_features(), batch);
+  // dW += x^T g, fed transposed straight from the row-major cache (no
+  // materialized x^T copy on the training hot loop).
+  gemm_tn_accumulate(cached_input_.data(), grad_output.data(), weight_.grad.data(), in_features(),
+                     out_features(), batch);
 
+  // db += sum over batch of g.
   for (int64_t n = 0; n < batch; ++n) {
     const float* row = grad_output.data() + n * out_features();
     for (int64_t j = 0; j < out_features(); ++j) bias_.grad[j] += row[j];
   }
 
-  const Tensor weight_t = weight_.value.transposed();
+  // dx = g W^T, with W consumed row-major as the transposed operand.
   Tensor grad_input({batch, in_features()});
-  gemm(grad_output.data(), weight_t.data(), grad_input.data(), batch, in_features(), out_features());
+  gemm_nt_accumulate(grad_output.data(), weight_.value.data(), grad_input.data(), batch,
+                     in_features(), out_features());
   return grad_input;
 }
 

@@ -1,7 +1,19 @@
 // Fully-connected layer: y = x W + b.
+//
+// The bias add is fused into the GEMM epilogue, and inference forwards with
+// batch > 1 use weight panels pre-packed for the SIMD kernel. Packing is
+// lazy (first kInfer forward) and invalidated by Parameter::version, which
+// every weight mutation (optimizer step, fault injection) bumps. The lazy
+// pack is guarded by a mutex so concurrent inference-mode forwards — the
+// detector's batch fan-out — stay safe; concurrent training and inference
+// on the same layer remain unsupported, as before.
 #pragma once
 
+#include <atomic>
+#include <mutex>
+
 #include "nn/layer.hpp"
+#include "tensor/pack.hpp"
 #include "tensor/rng.hpp"
 
 namespace salnov::nn {
@@ -22,16 +34,33 @@ class Dense : public Layer {
   Shape output_shape(const Shape& input) const override;
   void save_config(std::ostream& os) const override;
 
+  /// Inference forward with the following ReLU fused into the GEMM
+  /// epilogue (used by Sequential in inference mode). Bit-identical to
+  /// forward(kInfer) followed by a ReLU layer.
+  Tensor forward_infer_fused_relu(const Tensor& input) { return run_forward(input, Mode::kInfer, true); }
+
   int64_t in_features() const { return weight_.value.dim(0); }
   int64_t out_features() const { return weight_.value.dim(1); }
   const Parameter& weight() const { return weight_; }
   const Parameter& bias() const { return bias_; }
 
  private:
+  Tensor run_forward(const Tensor& input, Mode mode, bool fuse_relu);
+
+  /// Pre-packed weight panels for the SIMD kernel, or nullptr when packing
+  /// is off, the scalar kernel is active, or the shape cannot use panels
+  /// (batch 1 takes the matvec path). Thread-safe; repacks when
+  /// weight_.version moved.
+  const PackedMatrix* packed_weights(int64_t batch);
+
   Parameter weight_;  ///< [in, out]
   Parameter bias_;    ///< [out]
   Tensor cached_input_;
   bool have_cache_ = false;
+
+  std::mutex pack_mutex_;
+  std::atomic<uint64_t> packed_version_{0};  ///< weight version + 1; 0 = not packed
+  PackedMatrix packed_weight_;
 };
 
 }  // namespace salnov::nn

@@ -29,12 +29,17 @@ struct Parameter {
   std::string name;
   Tensor value;
   Tensor grad;
+  /// Mutation counter for `value`. Every in-place update (optimizer step,
+  /// fault injection) must call bump_version() so derived caches — e.g. the
+  /// pre-packed inference weight panels in Dense/Conv2d — know to rebuild.
+  uint64_t version = 0;
 
   Parameter() = default;
   Parameter(std::string parameter_name, Tensor initial)
       : name(std::move(parameter_name)), value(std::move(initial)), grad(value.shape()) {}
 
   void zero_grad() { grad.fill(0.0f); }
+  void bump_version() { ++version; }
 };
 
 enum class Mode { kTrain, kInfer };

@@ -20,6 +20,7 @@ void Sgd::step(const std::vector<Parameter*>& params) {
     for (int64_t i = 0; i < p->value.numel(); ++i) {
       value[i] -= static_cast<float>(lr_) * grad[i];
     }
+    p->bump_version();
   }
 }
 
@@ -45,6 +46,7 @@ void Momentum::step(const std::vector<Parameter*>& params) {
       v[j] = static_cast<float>(momentum_) * v[j] - static_cast<float>(lr_) * grad[j];
       value[j] += v[j];
     }
+    p->bump_version();
   }
 }
 
@@ -82,6 +84,7 @@ void Adam::step(const std::vector<Parameter*>& params) {
       const double v_hat = v[j] / bias2;
       value[j] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + epsilon_));
     }
+    p->bump_version();
   }
 }
 

@@ -1,8 +1,11 @@
 #include "saliency/visual_backprop.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "nn/conv2d.hpp"
+#include "tensor/workspace.hpp"
 
 namespace salnov::saliency {
 namespace {
@@ -47,21 +50,21 @@ Tensor channel_average(const Tensor& activation) {
 /// Scales a map so its max is 1 (keeps zeros if the map is all-zero).
 /// Normalizing every stage keeps the running product numerically stable
 /// across deep chains of pointwise multiplications.
-void normalize_by_max(Tensor& map) {
-  const float peak = map.max();
-  if (peak > 0.0f) map *= 1.0f / peak;
+void normalize_by_max(float* map, int64_t count) {
+  float peak = 0.0f;
+  for (int64_t i = 0; i < count; ++i) peak = std::max(peak, map[i]);
+  if (peak > 0.0f) {
+    const float inv = 1.0f / peak;
+    for (int64_t i = 0; i < count; ++i) map[i] *= inv;
+  }
 }
 
-}  // namespace
-
-Tensor deconv_ones(const Tensor& map, int64_t kernel_h, int64_t kernel_w, int64_t stride,
-                   int64_t padding, int64_t out_h, int64_t out_w) {
-  if (map.rank() != 2) {
-    throw std::invalid_argument("deconv_ones: expected [h, w] map, got " + shape_to_string(map.shape()));
-  }
-  const int64_t in_h = map.dim(0);
-  const int64_t in_w = map.dim(1);
-  Tensor out({out_h, out_w});
+/// Raw-buffer core of deconv_ones: scatters `map` [in_h, in_w] into
+/// `out` [out_h, out_w]. `out` is overwritten.
+void deconv_ones_into(const float* map, int64_t in_h, int64_t in_w, int64_t kernel_h,
+                      int64_t kernel_w, int64_t stride, int64_t padding, int64_t out_h,
+                      int64_t out_w, float* out) {
+  std::memset(out, 0, static_cast<size_t>(out_h * out_w) * sizeof(float));
   for (int64_t y = 0; y < in_h; ++y) {
     for (int64_t x = 0; x < in_w; ++x) {
       const float v = map[y * in_w + x];
@@ -76,6 +79,18 @@ Tensor deconv_ones(const Tensor& map, int64_t kernel_h, int64_t kernel_w, int64_
       }
     }
   }
+}
+
+}  // namespace
+
+Tensor deconv_ones(const Tensor& map, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                   int64_t padding, int64_t out_h, int64_t out_w) {
+  if (map.rank() != 2) {
+    throw std::invalid_argument("deconv_ones: expected [h, w] map, got " + shape_to_string(map.shape()));
+  }
+  Tensor out({out_h, out_w});
+  deconv_ones_into(map.data(), map.dim(0), map.dim(1), kernel_h, kernel_w, stride, padding, out_h,
+                   out_w, out.data());
   return out;
 }
 
@@ -98,20 +113,38 @@ Image VisualBackProp::compute_with_maps(nn::Sequential& model, const Image& inpu
     averaged_maps.push_back(channel_average(activations[stage.output_index]));
   }
 
-  Tensor relevance = averaged_maps.back();
-  normalize_by_max(relevance);
+  // The relevance chain ping-pongs between two workspace buffers sized for
+  // the largest intermediate map, so steady-state frames allocate nothing.
+  int64_t max_map = averaged_maps.back().numel();
+  for (size_t i = 0; i + 1 < stages.size(); ++i) max_map = std::max(max_map, averaged_maps[i].numel());
+  WorkspaceScope scratch;
+  float* cur = scratch.floats(max_map);
+  float* next = scratch.floats(max_map);
+
+  const Tensor& deepest = averaged_maps.back();
+  int64_t cur_h = deepest.dim(0);
+  int64_t cur_w = deepest.dim(1);
+  std::memcpy(cur, deepest.data(), static_cast<size_t>(deepest.numel()) * sizeof(float));
+  normalize_by_max(cur, cur_h * cur_w);
+
   for (size_t i = stages.size() - 1; i-- > 0;) {
     const nn::Conv2dConfig& geo = stages[i + 1].conv->config();
     const Tensor& target = averaged_maps[i];
-    relevance = deconv_ones(relevance, geo.kernel_h, geo.kernel_w, geo.stride, geo.padding,
-                            target.dim(0), target.dim(1));
-    relevance *= target;
-    normalize_by_max(relevance);
+    const int64_t th = target.dim(0);
+    const int64_t tw = target.dim(1);
+    deconv_ones_into(cur, cur_h, cur_w, geo.kernel_h, geo.kernel_w, geo.stride, geo.padding, th, tw,
+                     next);
+    for (int64_t j = 0; j < th * tw; ++j) next[j] *= target.data()[j];
+    normalize_by_max(next, th * tw);
+    std::swap(cur, next);
+    cur_h = th;
+    cur_w = tw;
   }
 
   const nn::Conv2dConfig& first = stages.front().conv->config();
-  relevance = deconv_ones(relevance, first.kernel_h, first.kernel_w, first.stride, first.padding,
-                          input.height(), input.width());
+  Tensor relevance({input.height(), input.width()});
+  deconv_ones_into(cur, cur_h, cur_w, first.kernel_h, first.kernel_w, first.stride, first.padding,
+                   input.height(), input.width(), relevance.data());
 
   Image mask(input.height(), input.width(), std::move(relevance));
   mask.normalize_minmax();

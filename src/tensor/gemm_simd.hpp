@@ -1,0 +1,28 @@
+// Internal interface of the SIMD GEMM kernel translation unit.
+//
+// gemm_simd.cpp is the only file compiled with architecture flags
+// (-mavx2 -mfma on x86); everything else, including the dispatcher, stays
+// portable. When the TU is built without SIMD support the functions below
+// degrade to "unavailable" stubs, so linking is unconditional.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/gemm.hpp"
+
+namespace salnov::detail {
+
+/// True when the running CPU can execute the compiled SIMD kernel.
+bool simd_gemm_available();
+
+/// Architecture tag of the compiled kernel: "avx2", "neon", or "none".
+const char* simd_arch_name();
+
+/// C = A * B with fused epilogue; the SIMD counterpart of gemm_ex. Caller
+/// guarantees m, n, k > 0 and simd_gemm_available(). Packed operands, when
+/// non-null, are trusted to match a/b (validated by the dispatcher).
+void simd_gemm(const float* a, const float* b, float* c, int64_t m, int64_t n, int64_t k,
+               const GemmEpilogue& epilogue, const PackedMatrix* packed_a,
+               const PackedMatrix* packed_b);
+
+}  // namespace salnov::detail

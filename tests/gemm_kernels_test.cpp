@@ -1,0 +1,260 @@
+// Property tests pinning the GEMM kernel-equivalence contracts:
+//   * every kernel matches a naive triple-loop reference over a shape grid
+//     that exercises empty dims, the matvec fast path, and tail tiles
+//     (scalar bit-exactly, SIMD within FMA-reassociation tolerance);
+//   * the packed and unpacked SIMD paths are bit-identical;
+//   * the fused bias/ReLU epilogue is bit-identical to a separate post-pass;
+//   * the transposed accumulate variants match their naive definitions
+//     bit-exactly (both sum k in ascending order);
+//   * detector scores are exactly invariant to weight pre-packing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/novelty_detector.hpp"
+#include "driving/pilotnet.hpp"
+#include "roadsim/dataset.hpp"
+#include "roadsim/outdoor_generator.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/pack.hpp"
+#include "tensor/rng.hpp"
+
+namespace salnov {
+namespace {
+
+/// Restores kernel selection and the packing switch when a test scope ends.
+struct KernelGuard {
+  GemmKernel saved_kernel = active_gemm_kernel();
+  bool saved_packing = gemm_weight_packing_enabled();
+  ~KernelGuard() {
+    set_gemm_kernel(saved_kernel);
+    set_gemm_weight_packing(saved_packing);
+  }
+};
+
+const std::vector<int64_t> kSizes = {0, 1, 3, 5, 17, 31, 64, 100};
+
+/// Reference GEMM: per-element float accumulation in ascending-k order,
+/// epilogue applied in the documented order (+bias_row, +bias_col, ReLU).
+std::vector<float> naive_gemm(const float* a, const float* b, int64_t m, int64_t n, int64_t k,
+                              const GemmEpilogue& epilogue = {}) {
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      if (epilogue.bias_row != nullptr) acc += epilogue.bias_row[i];
+      if (epilogue.bias_col != nullptr) acc += epilogue.bias_col[j];
+      if (epilogue.relu && acc < 0.0f) acc = 0.0f;
+      c[static_cast<size_t>(i * n + j)] = acc;
+    }
+  }
+  return c;
+}
+
+struct Operands {
+  Tensor a;
+  Tensor b;
+  Operands(Rng& rng, int64_t m, int64_t n, int64_t k)
+      : a(rng.uniform_tensor({m * k + 1}, -1.0, 1.0)),  // +1: non-null even when empty
+        b(rng.uniform_tensor({k * n + 1}, -1.0, 1.0)) {}
+};
+
+TEST(GemmKernels, ScalarMatchesNaiveBitExactly) {
+  // The scalar kernel also sums k in ascending order per element, so it must
+  // reproduce the reference exactly, not just approximately.
+  KernelGuard guard;
+  set_gemm_kernel(GemmKernel::kScalar);
+  Rng rng(1);
+  for (int64_t m : kSizes) {
+    for (int64_t n : kSizes) {
+      for (int64_t k : kSizes) {
+        Operands ops(rng, m, n, k);
+        const std::vector<float> expected = naive_gemm(ops.a.data(), ops.b.data(), m, n, k);
+        std::vector<float> c(static_cast<size_t>(m * n), 42.0f);
+        gemm(ops.a.data(), ops.b.data(), c.data(), m, n, k);
+        ASSERT_EQ(0, std::memcmp(c.data(), expected.data(), c.size() * sizeof(float)))
+            << "m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(GemmKernels, SimdMatchesNaiveWithinFmaTolerance) {
+  if (!gemm_simd_available()) GTEST_SKIP() << "SIMD kernel not available on this CPU";
+  KernelGuard guard;
+  set_gemm_kernel(GemmKernel::kSimd);
+  Rng rng(2);
+  for (int64_t m : kSizes) {
+    for (int64_t n : kSizes) {
+      for (int64_t k : kSizes) {
+        Operands ops(rng, m, n, k);
+        const std::vector<float> expected = naive_gemm(ops.a.data(), ops.b.data(), m, n, k);
+        std::vector<float> c(static_cast<size_t>(m * n), 42.0f);
+        gemm(ops.a.data(), ops.b.data(), c.data(), m, n, k);
+        // Operands are in [-1, 1], so |c| <= k; FMA only tightens per-term
+        // rounding, leaving reassociation-free ascending sums this close.
+        const float tol = 1e-5f * static_cast<float>(std::max<int64_t>(k, 1)) + 1e-6f;
+        for (int64_t i = 0; i < m * n; ++i) {
+          ASSERT_NEAR(c[static_cast<size_t>(i)], expected[static_cast<size_t>(i)], tol)
+              << "m=" << m << " n=" << n << " k=" << k << " flat=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmKernels, PackedOperandsBitIdenticalToUnpacked) {
+  if (!gemm_simd_available()) GTEST_SKIP() << "SIMD kernel not available on this CPU";
+  KernelGuard guard;
+  set_gemm_kernel(GemmKernel::kSimd);
+  Rng rng(3);
+  for (int64_t m : kSizes) {
+    for (int64_t n : kSizes) {
+      for (int64_t k : kSizes) {
+        Operands ops(rng, m, n, k);
+        std::vector<float> plain(static_cast<size_t>(m * n), 1.0f);
+        gemm_ex(ops.a.data(), ops.b.data(), plain.data(), m, n, k, GemmEpilogue{});
+
+        const PackedMatrix pa = pack_a_panels(ops.a.data(), m, k);
+        const PackedMatrix pb = pack_b_panels(ops.b.data(), k, n);
+        std::vector<float> both(static_cast<size_t>(m * n), 2.0f);
+        gemm_ex(ops.a.data(), ops.b.data(), both.data(), m, n, k, GemmEpilogue{}, &pa, &pb);
+        ASSERT_EQ(0, std::memcmp(both.data(), plain.data(), plain.size() * sizeof(float)))
+            << "packed A+B, m=" << m << " n=" << n << " k=" << k;
+
+        std::vector<float> only_b(static_cast<size_t>(m * n), 3.0f);
+        gemm_ex(ops.a.data(), ops.b.data(), only_b.data(), m, n, k, GemmEpilogue{}, nullptr, &pb);
+        ASSERT_EQ(0, std::memcmp(only_b.data(), plain.data(), plain.size() * sizeof(float)))
+            << "packed B, m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(GemmKernels, FusedEpilogueBitIdenticalToPostPass) {
+  std::vector<GemmKernel> kernels = {GemmKernel::kScalar};
+  if (gemm_simd_available()) kernels.push_back(GemmKernel::kSimd);
+  KernelGuard guard;
+  Rng rng(4);
+  for (GemmKernel kernel : kernels) {
+    set_gemm_kernel(kernel);
+    for (int64_t m : {1, 5, 24, 64}) {
+      for (int64_t n : {1, 17, 48}) {
+        const int64_t k = 33;
+        Operands ops(rng, m, n, k);
+        const Tensor bias_row = rng.uniform_tensor({m}, -1.0, 1.0);
+        const Tensor bias_col = rng.uniform_tensor({n}, -1.0, 1.0);
+        GemmEpilogue epilogue;
+        epilogue.bias_row = bias_row.data();
+        epilogue.bias_col = bias_col.data();
+        epilogue.relu = true;
+
+        std::vector<float> fused(static_cast<size_t>(m * n));
+        gemm_ex(ops.a.data(), ops.b.data(), fused.data(), m, n, k, epilogue);
+
+        // Same arithmetic as a separate post-pass over the plain product.
+        std::vector<float> manual(static_cast<size_t>(m * n));
+        gemm(ops.a.data(), ops.b.data(), manual.data(), m, n, k);
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            float v = manual[static_cast<size_t>(i * n + j)];
+            v += bias_row[i];
+            v += bias_col[j];
+            if (v < 0.0f) v = 0.0f;
+            manual[static_cast<size_t>(i * n + j)] = v;
+          }
+        }
+        ASSERT_EQ(0, std::memcmp(fused.data(), manual.data(), fused.size() * sizeof(float)))
+            << gemm_kernel_name(kernel) << " m=" << m << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(GemmKernels, TransposedAccumulatesMatchNaiveBitExactly) {
+  Rng rng(5);
+  for (int64_t m : {1, 6, 31}) {
+    for (int64_t n : {1, 16, 40}) {
+      for (int64_t k : {1, 17, 64}) {
+        // nt: C[m,n] += A[m,k] * B[n,k]^T, ascending-k dot per element.
+        const Tensor a_nt = rng.uniform_tensor({m, k}, -1.0, 1.0);
+        const Tensor b_nt = rng.uniform_tensor({n, k}, -1.0, 1.0);
+        Tensor c_nt({m, n});
+        gemm_nt_accumulate(a_nt.data(), b_nt.data(), c_nt.data(), m, n, k);
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (int64_t kk = 0; kk < k; ++kk) acc += a_nt[i * k + kk] * b_nt[j * k + kk];
+            ASSERT_EQ(c_nt[i * n + j], acc) << "nt m=" << m << " n=" << n << " k=" << k;
+          }
+        }
+
+        // tn: C[m,n] += A[k,m]^T * B[k,n], ascending-k accumulation.
+        const Tensor a_tn = rng.uniform_tensor({k, m}, -1.0, 1.0);
+        const Tensor b_tn = rng.uniform_tensor({k, n}, -1.0, 1.0);
+        Tensor c_tn({m, n});
+        gemm_tn_accumulate(a_tn.data(), b_tn.data(), c_tn.data(), m, n, k);
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (int64_t kk = 0; kk < k; ++kk) acc += a_tn[kk * m + i] * b_tn[kk * n + j];
+            ASSERT_EQ(c_tn[i * n + j], acc) << "tn m=" << m << " n=" << n << " k=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmKernels, KernelNamesAndAvailability) {
+  EXPECT_STREQ("scalar", gemm_kernel_name(GemmKernel::kScalar));
+  if (!gemm_simd_available()) {
+    EXPECT_THROW(set_gemm_kernel(GemmKernel::kSimd), std::invalid_argument);
+  } else {
+    const char* name = gemm_kernel_name(GemmKernel::kSimd);
+    EXPECT_TRUE(std::strcmp(name, "avx2") == 0 || std::strcmp(name, "neon") == 0) << name;
+  }
+}
+
+TEST(GemmKernels, DetectorScoresExactlyInvariantToWeightPacking) {
+  if (!gemm_simd_available()) GTEST_SKIP() << "SIMD kernel not available on this CPU";
+  KernelGuard guard;
+  set_gemm_kernel(GemmKernel::kSimd);
+
+  constexpr int64_t kH = 24, kW = 48;
+  Rng rng(123);
+  roadsim::OutdoorSceneGenerator outdoor;
+  const auto train = roadsim::DrivingDataset::generate(outdoor, 16, kH, kW, rng);
+  const auto probe = roadsim::DrivingDataset::generate(outdoor, 6, kH, kW, rng);
+
+  nn::Sequential steering = driving::build_pilotnet(driving::PilotNetConfig::tiny(kH, kW), rng);
+
+  core::NoveltyDetectorConfig config;
+  config.height = kH;
+  config.width = kW;
+  config.preprocessing = core::Preprocessing::kVbp;
+  config.score = core::ReconstructionScore::kSsim;
+  config.autoencoder = core::AutoencoderConfig::tiny(kH, kW);
+  config.train_epochs = 2;
+
+  core::NoveltyDetector detector(config);
+  detector.attach_steering_model(&steering);
+  Rng fit_rng(7);
+  detector.fit(train.images(), fit_rng);
+
+  set_gemm_weight_packing(false);
+  const std::vector<double> unpacked = detector.scores(probe.images());
+  set_gemm_weight_packing(true);
+  const std::vector<double> packed = detector.scores(probe.images());
+
+  ASSERT_EQ(unpacked.size(), packed.size());
+  for (size_t i = 0; i < unpacked.size(); ++i) {
+    EXPECT_EQ(unpacked[i], packed[i]) << "score " << i << " changed under weight packing";
+  }
+}
+
+}  // namespace
+}  // namespace salnov

@@ -143,6 +143,41 @@ TEST(GemmParallel, BitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(0, std::memcmp(t1.data(), t4.data(), sizeof(float) * m * n));
 }
 
+TEST(GemmParallel, SimdBitIdenticalAcrossThreadCounts) {
+  // The determinism contract holds per kernel: the SIMD path partitions rows
+  // by a fixed grain too, so its results (packed or not) cannot depend on
+  // the thread count.
+  if (!gemm_simd_available()) GTEST_SKIP() << "SIMD kernel not available on this CPU";
+  ThreadGuard guard;
+  const GemmKernel saved = active_gemm_kernel();
+  set_gemm_kernel(GemmKernel::kSimd);
+
+  Rng rng(13);
+  const int64_t m = 96, n = 48, k = 64;
+  const Tensor a = rng.uniform_tensor({m, k}, -1.0, 1.0);
+  const Tensor b = rng.uniform_tensor({k, n}, -1.0, 1.0);
+  const PackedMatrix pb = pack_b_panels(b.data(), k, n);
+
+  parallel::set_num_threads(1);
+  Tensor c1({m, n});
+  gemm(a.data(), b.data(), c1.data(), m, n, k);
+  Tensor p1({m, n});
+  gemm_ex(a.data(), b.data(), p1.data(), m, n, k, GemmEpilogue{}, nullptr, &pb);
+
+  parallel::set_num_threads(4);
+  Tensor c4({m, n});
+  gemm(a.data(), b.data(), c4.data(), m, n, k);
+  Tensor p4({m, n});
+  gemm_ex(a.data(), b.data(), p4.data(), m, n, k, GemmEpilogue{}, nullptr, &pb);
+
+  EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(), sizeof(float) * m * n));
+  EXPECT_EQ(0, std::memcmp(p1.data(), p4.data(), sizeof(float) * m * n));
+  EXPECT_EQ(0, std::memcmp(c1.data(), p1.data(), sizeof(float) * m * n))
+      << "packed path diverged from unpacked";
+
+  set_gemm_kernel(saved);
+}
+
 // --- SSIM: variance clamp regression and thread invariance -----------------
 
 TEST(SsimClamp, ConstantWindowsAgreeWithReference) {

@@ -56,15 +56,20 @@ inline void check_layer_gradients(nn::Layer& layer, const Tensor& input, Rng& rn
     EXPECT_NEAR(grad_input[i], numeric, tol) << "input gradient at " << i;
   }
 
-  // Numeric parameter gradients.
+  // Numeric parameter gradients. Each in-place perturbation bumps the
+  // parameter version (the Parameter contract) so the layer's pre-packed
+  // inference weights are rebuilt rather than serving stale values.
   for (nn::Parameter* p : layer.parameters()) {
     for (int64_t i = 0; i < p->value.numel(); ++i) {
       const float saved = p->value[i];
       p->value[i] = saved + static_cast<float>(step);
+      p->bump_version();
       const double up = scalar_loss(input);
       p->value[i] = saved - static_cast<float>(step);
+      p->bump_version();
       const double down = scalar_loss(input);
       p->value[i] = saved;
+      p->bump_version();
       const double numeric = (up - down) / (2.0 * step);
       EXPECT_NEAR(p->grad[i], numeric, tol) << "parameter '" << p->name << "' gradient at " << i;
     }
