@@ -15,6 +15,11 @@
 // *model* instead of the camera: random bit-flips in the autoencoder weights,
 // where self-detection shows up as the clean stream turning "novel".
 //
+// Each camera-fault cell also reports recovery latency: the monitor is fed a
+// clean warm-up, a burst of faulty frames, then clean frames again, and the
+// column counts frames from fault-clear until the NoveltyMonitor releases
+// back to kNominal (0 when the fault never engaged it).
+//
 // Artifacts: bench_artifacts/fault_matrix.csv (one row per cell).
 #include <cinttypes>
 #include <cmath>
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/monitor.hpp"
 #include "faults/fault_injector.hpp"
 
 namespace salnov::bench {
@@ -90,6 +96,35 @@ CellResult run_cell(const core::NoveltyDetector& detector, const std::vector<Ima
   return cell;
 }
 
+/// Frames from fault-clear until the NoveltyMonitor releases to kNominal.
+/// Clean warm-up, then a burst of injected frames, then clean frames counted
+/// until release (capped). 0 when the fault burst never engaged the monitor.
+int64_t recovery_latency(const core::NoveltyDetector& detector, const std::vector<Image>& images,
+                         faults::CameraFault fault, double severity) {
+  constexpr int64_t kWarmup = 6;
+  constexpr int64_t kFaultFrames = 8;
+  constexpr int64_t kRecoveryCap = 40;
+
+  faults::FaultInjector injector(kInjectorSeed);
+  core::NoveltyMonitor monitor(detector);
+  size_t at = 0;
+  const auto next_clean = [&]() -> const Image& { return images[at++ % images.size()]; };
+
+  for (int64_t i = 0; i < kWarmup; ++i) monitor.update(next_clean());
+  bool engaged = false;
+  for (int64_t i = 0; i < kFaultFrames; ++i) {
+    monitor.update(injector.apply(fault, severity, next_clean()));
+    engaged = engaged || monitor.state() == core::MonitorState::kFallback ||
+              monitor.state() == core::MonitorState::kSensorFault;
+  }
+  if (!engaged && monitor.state() == core::MonitorState::kNominal) return 0;
+  for (int64_t i = 1; i <= kRecoveryCap; ++i) {
+    monitor.update(next_clean());
+    if (monitor.state() == core::MonitorState::kNominal) return i;
+  }
+  return kRecoveryCap;
+}
+
 }  // namespace
 
 int run() {
@@ -111,21 +146,25 @@ int run() {
               100.0 * clean.detection_rate);
 
   std::ofstream csv(artifact_dir() + "/fault_matrix.csv");
-  csv << "fault,severity,detection_rate,validator_rate,novelty_rate\n";
+  csv << "fault,severity,detection_rate,validator_rate,novelty_rate,recovery_latency_frames\n";
   csv << "none,0," << clean.detection_rate << "," << clean.validator_rate << ","
-      << clean.novelty_rate << "\n";
+      << clean.novelty_rate << ",0\n";
 
-  std::printf("\nDetection rate per cell (v = screened by validator/frozen guard share):\n");
+  std::printf(
+      "\nDetection rate per cell (v = screened by validator/frozen guard share,\n"
+      "r = frames from fault-clear to monitor release):\n");
   std::printf("%-16s", "fault \\ sev");
-  for (double s : severities) std::printf("   %10.2f", s);
+  for (double s : severities) std::printf("      %10.2f", s);
   std::printf("\n");
   for (faults::CameraFault fault : faults::all_camera_faults()) {
     std::printf("%-16s", faults::camera_fault_name(fault));
     for (double severity : severities) {
       const CellResult cell = run_cell(detector, images, fault, severity);
-      std::printf("  %5.1f%% v%3.0f%%", 100.0 * cell.detection_rate, 100.0 * cell.validator_rate);
+      const int64_t recovery = recovery_latency(detector, images, fault, severity);
+      std::printf("  %5.1f%% v%3.0f%% r%-2" PRId64, 100.0 * cell.detection_rate,
+                  100.0 * cell.validator_rate, recovery);
       csv << faults::camera_fault_name(fault) << "," << severity << "," << cell.detection_rate
-          << "," << cell.validator_rate << "," << cell.novelty_rate << "\n";
+          << "," << cell.validator_rate << "," << cell.novelty_rate << "," << recovery << "\n";
     }
     std::printf("\n");
   }
@@ -152,7 +191,7 @@ int run() {
     }
     const double rate = static_cast<double>(novel) / static_cast<double>(scores.size());
     std::printf("%-12" PRId64 " %6.1f%%            %" PRId64 "\n", flips, 100.0 * rate, non_finite);
-    csv << "weight-bit-flip," << flips << "," << rate << ",0," << rate << "\n";
+    csv << "weight-bit-flip," << flips << "," << rate << ",0," << rate << ",0\n";
   }
 
   std::printf("\nWrote %s/fault_matrix.csv\n", artifact_dir().c_str());

@@ -1,0 +1,185 @@
+// Serving-runtime soak: long-haul robustness of the supervisor + server.
+//
+// Phase A streams frames synchronously through a Supervisor under a fake
+// clock with a deterministic stall schedule — periodic saliency spikes, one
+// consecutive-failure episode that trips the circuit breaker, and one
+// sustained reconstruct stall that walks the ladder all the way to sensor
+// hold. The run asserts the runtime reacted (trip + probe restore, step-downs
+// and promotions, final mode back at the top) and every frame is accounted
+// for. Phase B bursts frames at a ServingServer faster than the worker can
+// drain them, asserting the bounded queue sheds instead of growing and the
+// high-water mark respects the capacity.
+//
+// Frame count is argv[1] (default 10000, minimum 200); CI smoke passes a
+// small count. Emits BENCH_serving.json for trend tracking.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "faults/timing_faults.hpp"
+#include "serving/server.hpp"
+#include "serving/supervisor.hpp"
+
+namespace salnov::bench {
+namespace {
+
+constexpr uint64_t kDetectorSeed = 5;
+constexpr int64_t kMs = 1'000'000;
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int check(bool ok, const char* what) {
+  if (!ok) std::fprintf(stderr, "SOAK FAILURE: %s\n", what);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int run(int64_t frames) {
+  print_header("Serving soak",
+               "Supervisor under a deterministic stall schedule (fake clock), then a burst\n"
+               "through the bounded-queue ServingServer. Asserts the degraded-mode ladder,\n"
+               "breaker, and shedding all engage and recover.");
+
+  Env& env = environment();
+  DetectorHandle handle = fit_or_load_detector(
+      env, bench_detector_config(core::Preprocessing::kVbp, core::ReconstructionScore::kSsim),
+      kDetectorSeed);
+  const core::NoveltyDetector& detector = *handle.detector;
+  nn::Sequential* steering = handle.steering ? handle.steering.get() : &env.steering;
+  const std::vector<Image>& pool = env.outdoor_test.images();
+
+  // --- Phase A: deterministic soak under the fake clock --------------------
+  // Only injected stalls advance time, so the overrun/ladder/breaker trace
+  // depends solely on the schedule below, not on machine speed.
+  faults::TimingFaultInjector stalls;
+  {
+    faults::TimingFault spike;  // isolated saliency spikes, absorbed (demote_after = 2)
+    spike.stage = static_cast<int>(serving::Stage::kSaliency);
+    spike.stall_ns = 60 * kMs;
+    spike.period = 97;
+    stalls.add(spike);
+
+    faults::TimingFault episode;  // consecutive failures: trips the breaker
+    episode.stage = static_cast<int>(serving::Stage::kSaliency);
+    episode.stall_ns = 60 * kMs;
+    episode.first_frame = frames / 10;
+    episode.last_frame = frames / 10 + 4;
+    stalls.add(episode);
+
+    faults::TimingFault outage;  // hits every rung: ladder descends to sensor hold
+    outage.stage = static_cast<int>(serving::Stage::kReconstruct);
+    outage.stall_ns = 30 * kMs;
+    outage.first_frame = frames / 2;
+    outage.last_frame = frames / 2 + 19;
+    stalls.add(outage);
+  }
+
+  serving::SupervisorConfig config;
+  config.timing_faults = &stalls;
+  config.demote_after_bad_frames = 2;  // absorb isolated spikes, react to episodes
+  serving::FakeClock clock;
+  serving::Supervisor supervisor(detector, steering, config, &clock);
+
+  std::printf("\nPhase A: %" PRId64 " frames, periodic spikes + breaker episode + outage...\n",
+              frames);
+  const auto a_start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < frames; ++i) {
+    supervisor.process(pool[static_cast<size_t>(i) % pool.size()]);
+  }
+  const double a_ms = elapsed_ms(a_start);
+  const serving::HealthSnapshot a = supervisor.health();
+
+  std::printf("  %.0f ms (%.1f frames/s), final mode %s, breaker %s\n", a_ms,
+              1000.0 * static_cast<double>(frames) / a_ms, serving::serving_mode_name(a.mode),
+              serving::breaker_state_name(a.breaker_state));
+  std::printf("  overruns %" PRId64 ", step-downs %" PRId64 ", promotions %" PRId64
+              ", trips %" PRId64 ", probe ok/fail %" PRId64 "/%" PRId64 "\n",
+              a.deadline_overruns, a.step_downs, a.promotions, a.breaker_trips, a.probe_successes,
+              a.probe_failures);
+
+  int failures = 0;
+  failures += check(a.frames_total == frames, "phase A processed every frame");
+  failures += check(a.frames_scored + a.frames_held + a.frames_abandoned + a.frames_sensor_bad ==
+                        frames,
+                    "phase A accounted for every frame");
+  failures += check(a.deadline_overruns > 0, "stalls produced overruns");
+  failures += check(a.breaker_trips >= 1, "breaker tripped on the episode");
+  failures += check(a.probe_successes >= 1, "half-open probe restored saliency");
+  failures += check(a.step_downs >= 5, "ladder stepped down through the outage");
+  failures += check(a.promotions >= 2, "ladder climbed back after recovery");
+  failures += check(a.mode == serving::ServingMode::kVbpSsim, "soak ends at the top rung");
+
+  // --- Phase B: burst shedding through the bounded queue -------------------
+  const int64_t burst = frames < 512 ? frames : frames / 8;
+  serving::SupervisorConfig rt_config;  // real clock, generous budgets
+  rt_config.stage_budget_ns.fill(0);    // latency rings only; no degradation
+  rt_config.frame_budget_ns = 0;
+  serving::Supervisor rt_supervisor(detector, steering, rt_config);
+  serving::ServerConfig server_config;
+  server_config.queue_capacity = 16;
+  server_config.keep_results = false;
+
+  std::printf("\nPhase B: bursting %" PRId64 " frames at a queue of %zu...\n", burst,
+              server_config.queue_capacity);
+  const auto b_start = std::chrono::steady_clock::now();
+  serving::HealthSnapshot b;
+  {
+    serving::ServingServer server(rt_supervisor, server_config);
+    for (int64_t i = 0; i < burst; ++i) {
+      server.submit(pool[static_cast<size_t>(i) % pool.size()]);
+    }
+    server.stop();
+    b = server.health();
+  }
+  const double b_ms = elapsed_ms(b_start);
+
+  std::printf("  %.0f ms, processed %" PRId64 ", shed %" PRId64 ", high water %" PRId64 "/%"
+              PRId64 "\n",
+              b_ms, b.frames_total, b.queue_shed, b.queue_high_water, b.queue_capacity);
+  failures += check(b.queue_high_water <= b.queue_capacity, "queue high water respects capacity");
+  failures += check(b.frames_total + b.queue_shed == burst, "phase B accounted for every frame");
+  failures += check(b.frames_total > 0, "worker processed at least some of the burst");
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\n  \"phase_a\": {\"frames\": " << frames << ", \"elapsed_ms\": " << a_ms
+       << ", \"deadline_overruns\": " << a.deadline_overruns
+       << ", \"step_downs\": " << a.step_downs << ", \"promotions\": " << a.promotions
+       << ", \"breaker_trips\": " << a.breaker_trips
+       << ", \"probe_successes\": " << a.probe_successes << ", \"final_mode\": \""
+       << serving::serving_mode_name(a.mode) << "\", \"saliency_p99_ns\": "
+       << a.stages[static_cast<size_t>(serving::Stage::kSaliency)].p99_ns << "},\n"
+       << "  \"phase_b\": {\"frames_submitted\": " << burst
+       << ", \"frames_processed\": " << b.frames_total << ", \"shed\": " << b.queue_shed
+       << ", \"queue_high_water\": " << b.queue_high_water
+       << ", \"queue_capacity\": " << b.queue_capacity << ", \"elapsed_ms\": " << b_ms << "}\n}\n";
+  std::printf("\nwrote BENCH_serving.json\n");
+
+  if (failures > 0) {
+    std::fprintf(stderr, "%d soak invariant(s) violated\n", failures);
+    return 1;
+  }
+  std::printf("all soak invariants held\n");
+  return 0;
+}
+
+}  // namespace salnov::bench
+
+int main(int argc, char** argv) {
+  int64_t frames = 10'000;
+  if (argc > 1) frames = std::atoll(argv[1]);
+  if (frames < 200) {
+    std::fprintf(stderr, "bench_serving_soak: frame count must be >= 200 (got %" PRId64 ")\n",
+                 frames);
+    return 2;
+  }
+  return salnov::bench::run(frames);
+}

@@ -7,6 +7,10 @@
 // novelty detector; flagged frames would trigger a fallback controller.
 // Midway through the drive the "vehicle" leaves its training domain
 // (outdoor -> indoor), and the monitor should start flagging.
+// Phase 3 (online, "degraded"): replay the same drive through the serving
+// Supervisor with a saliency stall injected under a fake clock — the mode
+// ladder steps down to a cheaper calibrated rung, then climbs back up once
+// the stall clears.
 #include <cstdio>
 #include <filesystem>
 
@@ -15,10 +19,12 @@
 #include "core/pipeline_io.hpp"
 #include "driving/pilotnet.hpp"
 #include "driving/steering_trainer.hpp"
+#include "faults/timing_faults.hpp"
 #include "image/transforms.hpp"
 #include "roadsim/dataset.hpp"
 #include "roadsim/indoor_generator.hpp"
 #include "roadsim/outdoor_generator.hpp"
+#include "serving/supervisor.hpp"
 
 namespace {
 
@@ -89,6 +95,50 @@ void vehicle_phase() {
                 in_domain ? "outdoor" : "indoor", steer, update.raw_score, update.smoothed_score,
                 action);
   }
+}
+
+void degraded_phase() {
+  using namespace salnov;
+  std::printf("\n[degraded] same drive through the serving supervisor, with a\n"
+              "[degraded] saliency stall injected on frames 4-9 (fake clock)\n\n");
+  core::LoadedPipeline pipeline = core::PipelineIo::load_file(kPipelinePath);
+
+  // Stall the saliency stage well past its budget for six frames; the fake
+  // clock makes the injected stalls the only elapsed time, so the fallback
+  // trace below is identical on every run.
+  faults::TimingFaultInjector stalls;
+  faults::TimingFault stall;
+  stall.stage = static_cast<int>(serving::Stage::kSaliency);
+  stall.stall_ns = 80'000'000;
+  stall.first_frame = 4;
+  stall.last_frame = 9;
+  stalls.add(stall);
+
+  serving::SupervisorConfig config;
+  config.timing_faults = &stalls;
+  config.promote_after_healthy_frames = 4;
+  serving::FakeClock clock;
+  serving::Supervisor supervisor(*pipeline.detector, pipeline.steering_model.get(), config,
+                                 &clock);
+
+  Rng rng(23);
+  roadsim::OutdoorSceneGenerator outdoor;
+  std::printf("%5s %-10s %10s  %s\n", "frame", "mode", "score", "note");
+  for (int64_t frame = 0; frame < 20; ++frame) {
+    const roadsim::Sample sample = outdoor.generate(rng);
+    Image view = resize_bilinear(sample.rgb.to_grayscale(), kHeight, kWidth);
+    const serving::ServeResult result = supervisor.process(view);
+    const char* note = result.deadline_overrun ? "saliency overrun -> degraded rung"
+                                               : (result.novel ? "NOVEL" : "ok");
+    std::printf("%5lld %-10s %10.3f  %s\n", static_cast<long long>(frame),
+                serving::serving_mode_name(result.mode), result.score, note);
+  }
+  const serving::HealthSnapshot health = supervisor.health();
+  std::printf("\n[degraded] final mode %s, %lld step-downs, %lld promotions, %lld overruns\n",
+              serving::serving_mode_name(health.mode),
+              static_cast<long long>(health.step_downs),
+              static_cast<long long>(health.promotions),
+              static_cast<long long>(health.deadline_overruns));
   std::filesystem::remove(kPipelinePath);
 }
 
@@ -97,5 +147,6 @@ void vehicle_phase() {
 int main() {
   factory_phase();
   vehicle_phase();
+  degraded_phase();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/monitor.hpp"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -25,58 +26,76 @@ NoveltyMonitor::NoveltyMonitor(const NoveltyDetector& detector, MonitorConfig co
 }
 
 MonitorUpdate NoveltyMonitor::update(const Image& frame) {
-  ++frames_seen_;
-  MonitorUpdate u;
-
   // Sensor screening runs before the detector: a malformed frame must not be
   // scored (its "novelty" would be meaningless), and a frozen frame must not
   // be scored either — a stuck camera showing a familiar scene would
   // otherwise keep releasing the fallback it should be triggering.
-  u.frame_fault = detector_.frame_validator().check(frame);
-  if (u.frame_fault == FrameFault::kNone) {
-    u.frame_frozen = config_.detect_frozen_frames && last_valid_frame_.has_value() &&
-                     last_valid_frame_->tensor() == frame.tensor();
+  const FrameFault fault = detector_.frame_validator().check(frame);
+  bool frozen = false;
+  if (fault == FrameFault::kNone) {
+    frozen = config_.detect_frozen_frames && last_valid_frame_.has_value() &&
+             last_valid_frame_->tensor() == frame.tensor();
     last_valid_frame_ = frame;
   } else {
     // An invalid frame breaks any identical-frame chain.
     last_valid_frame_.reset();
   }
 
-  const bool sensor_bad = u.frame_fault != FrameFault::kNone || u.frame_frozen;
-  if (sensor_bad) {
-    ++consecutive_sensor_bad_;
-    consecutive_sensor_good_ = 0;
-    // A broken frame is evidence of neither novelty nor familiarity.
-    consecutive_novel_ = 0;
-    consecutive_familiar_ = 0;
-    u.frame_scored = false;
-    u.frame_novel = false;
-    u.raw_score = kNaN;
-    u.smoothed_score = smoothed_.value_or(kNaN);
-  } else {
-    consecutive_sensor_bad_ = 0;
-    ++consecutive_sensor_good_;
-    const NoveltyResult result = detector_.classify(frame);
+  if (fault != FrameFault::kNone || frozen) return update_sensor_bad(fault, frozen);
+  const NoveltyResult result = detector_.classify(frame);
+  return update_scored(result.score, result.is_novel);
+}
 
+MonitorUpdate NoveltyMonitor::update_sensor_bad(FrameFault fault, bool frozen) {
+  ++frames_seen_;
+  MonitorUpdate u;
+  u.frame_fault = fault;
+  u.frame_frozen = frozen;
+  ++consecutive_sensor_bad_;
+  consecutive_sensor_good_ = 0;
+  // A broken frame is evidence of neither novelty nor familiarity.
+  consecutive_novel_ = 0;
+  consecutive_familiar_ = 0;
+  u.frame_scored = false;
+  u.frame_novel = false;
+  u.raw_score = kNaN;
+  u.smoothed_score = smoothed_.value_or(kNaN);
+  advance_state(u, /*sensor_bad=*/true);
+  return u;
+}
+
+MonitorUpdate NoveltyMonitor::update_scored(double raw_score, bool frame_novel) {
+  ++frames_seen_;
+  MonitorUpdate u;
+  consecutive_sensor_bad_ = 0;
+  ++consecutive_sensor_good_;
+
+  // Non-finite containment: a NaN/Inf score is itself a fault signal and is
+  // kept out of the EMA, which would otherwise stay NaN forever.
+  if (std::isfinite(raw_score)) {
     if (smoothed_.has_value()) {
-      smoothed_ = (1.0 - config_.score_smoothing) * *smoothed_ + config_.score_smoothing * result.score;
+      smoothed_ = (1.0 - config_.score_smoothing) * *smoothed_ + config_.score_smoothing * raw_score;
     } else {
-      smoothed_ = result.score;
+      smoothed_ = raw_score;
     }
-
-    if (result.is_novel) {
-      ++consecutive_novel_;
-      consecutive_familiar_ = 0;
-    } else {
-      ++consecutive_familiar_;
-      consecutive_novel_ = 0;
-    }
-    u.frame_scored = true;
-    u.frame_novel = result.is_novel;
-    u.raw_score = result.score;
-    u.smoothed_score = *smoothed_;
   }
 
+  if (frame_novel) {
+    ++consecutive_novel_;
+    consecutive_familiar_ = 0;
+  } else {
+    ++consecutive_familiar_;
+    consecutive_novel_ = 0;
+  }
+  u.frame_scored = true;
+  u.frame_novel = frame_novel;
+  u.raw_score = raw_score;
+  u.smoothed_score = smoothed_.value_or(kNaN);
+  advance_state(u, /*sensor_bad=*/false);
+  return u;
+}
+
+void NoveltyMonitor::advance_state(MonitorUpdate& u, bool sensor_bad) {
   // State transitions. Sensor faults dominate: they can be entered from any
   // state, and while in kSensorFault the novelty machine is suspended (its
   // streaks still accumulate on scored frames, so a release into a novel
@@ -115,7 +134,6 @@ MonitorUpdate NoveltyMonitor::update(const Image& frame) {
   u.fallback_path = state_ == MonitorState::kFallback      ? FallbackPath::kNovelty
                     : state_ == MonitorState::kSensorFault ? FallbackPath::kSensorFault
                                                            : FallbackPath::kNone;
-  return u;
 }
 
 void NoveltyMonitor::reset() {

@@ -69,6 +69,19 @@ class NoveltyMonitor {
   /// detector runs, so this never throws InvalidFrameError.
   MonitorUpdate update(const Image& frame);
 
+  /// Feeds an externally-computed score for a frame that already passed
+  /// screening. The serving runtime scores frames through its own staged,
+  /// deadline-aware executor (possibly at a degraded detector variant) and
+  /// uses this entry point so the hysteresis policy stays in one place.
+  /// Non-finite scores count as novel evidence but do NOT update the EMA —
+  /// one NaN must not poison every later smoothed value.
+  MonitorUpdate update_scored(double raw_score, bool frame_novel);
+
+  /// Feeds a frame rejected by screening (validator fault and/or frozen
+  /// repeat) without scoring it. Callers using this entry point do their own
+  /// screening, including frozen-frame detection.
+  MonitorUpdate update_sensor_bad(FrameFault fault, bool frozen);
+
   MonitorState state() const { return state_; }
   int64_t frames_seen() const { return frames_seen_; }
 
@@ -76,6 +89,9 @@ class NoveltyMonitor {
   void reset();
 
  private:
+  /// Shared state-transition tail of every update path.
+  void advance_state(MonitorUpdate& update, bool sensor_bad);
+
   const NoveltyDetector& detector_;
   MonitorConfig config_;
   MonitorState state_ = MonitorState::kNominal;

@@ -43,6 +43,18 @@ void fan_out(int64_t n, bool parallel_ok, const std::function<void(int64_t)>& fn
 
 }  // namespace
 
+const char* detector_variant_name(DetectorVariant variant) {
+  switch (variant) {
+    case DetectorVariant::kPrimary:
+      return "primary";
+    case DetectorVariant::kPreprocessedMse:
+      return "preproc+mse";
+    case DetectorVariant::kRawMse:
+      return "raw+mse";
+  }
+  return "unknown";
+}
+
 NoveltyDetectorConfig NoveltyDetectorConfig::proposed() { return NoveltyDetectorConfig{}; }
 
 NoveltyDetectorConfig NoveltyDetectorConfig::baseline_raw_mse() {
@@ -78,7 +90,7 @@ void NoveltyDetector::attach_steering_model(nn::Sequential* model) {
   steering_model_ = model;
 }
 
-Image NoveltyDetector::preprocess(const Image& input) const {
+void NoveltyDetector::validate_input(const Image& input, bool needs_saliency) const {
   if (input.height() != config_.height || input.width() != config_.width) {
     throw InvalidFrameError(
         FrameFault::kWrongSize,
@@ -86,13 +98,30 @@ Image NoveltyDetector::preprocess(const Image& input) const {
             std::to_string(input.width()) + ", pipeline expects " + std::to_string(config_.height) +
             "x" + std::to_string(config_.width));
   }
-  if (config_.preprocessing != Preprocessing::kRaw && steering_model_ == nullptr) {
+  if (needs_saliency && steering_model_ == nullptr) {
     throw std::logic_error("NoveltyDetector: saliency preprocessing requires attach_steering_model()");
   }
   // Content checks run after the configuration errors above so that a
   // mis-wired pipeline surfaces as logic_error, not as a sensor fault.
   if (config_.validate_frames) validator_.require_valid(input, "NoveltyDetector");
-  if (config_.preprocessing == Preprocessing::kRaw) return input;
+}
+
+Image NoveltyDetector::preprocess(const Image& input) const {
+  return variant_preprocess(DetectorVariant::kPrimary, input);
+}
+
+Preprocessing NoveltyDetector::variant_preprocessing(DetectorVariant variant) const {
+  return variant == DetectorVariant::kRawMse ? Preprocessing::kRaw : config_.preprocessing;
+}
+
+ReconstructionScore NoveltyDetector::variant_score_metric(DetectorVariant variant) const {
+  return variant == DetectorVariant::kPrimary ? config_.score : ReconstructionScore::kMse;
+}
+
+Image NoveltyDetector::variant_preprocess(DetectorVariant variant, const Image& input) const {
+  const bool saliency = uses_saliency(variant_preprocessing(variant));
+  validate_input(input, saliency);
+  if (!saliency) return input;
   // saliency_ exists since construction, so this const path mutates nothing
   // of the detector's and is safe under the concurrent batch fan-out.
   return saliency_->compute(*steering_model_, input);
@@ -137,18 +166,41 @@ nn::TrainHistory NoveltyDetector::fit(const std::vector<Image>& training_images,
   const nn::TrainHistory history = trainer.fit(data, data, options);
   fitted_ = true;
 
-  // Stage 3: calibrate the novelty threshold on the training-score ECDF.
-  // Reconstruction + scoring per image is independent (inference-mode
-  // forwards only), so calibration fans out unconditionally.
-  std::vector<double> training_scores(preprocessed.size());
+  // Stage 3: calibrate the novelty threshold on the training-score ECDF —
+  // once per scoring variant, so the serving runtime's degraded modes each
+  // test against their own fitted distribution. Reconstruction + scoring per
+  // image is independent (inference-mode forwards only), so calibration fans
+  // out unconditionally.
+  const bool saliency_configured = uses_saliency(config_.preprocessing);
+  std::vector<double> primary_scores(preprocessed.size());
+  std::vector<double> preproc_mse_scores(preprocessed.size());
+  std::vector<double> raw_mse_scores(preprocessed.size());
   fan_out(n, true, [&](int64_t i) {
-    const Image& image = preprocessed[static_cast<size_t>(i)];
-    training_scores[static_cast<size_t>(i)] = score_pair(image, reconstruct(image));
+    const size_t s = static_cast<size_t>(i);
+    const Image& image = preprocessed[s];
+    const Image recon = reconstruct(image);
+    primary_scores[s] = variant_score_pair(DetectorVariant::kPrimary, image, recon);
+    preproc_mse_scores[s] = variant_score_pair(DetectorVariant::kPreprocessedMse, image, recon);
+    if (saliency_configured) {
+      // The raw variant feeds the raw frame through the same autoencoder;
+      // its threshold is meaningful because it is calibrated on exactly
+      // this statistic over the training set.
+      const Image& raw = training_images[s];
+      raw_mse_scores[s] = variant_score_pair(DetectorVariant::kRawMse, raw, reconstruct(raw));
+    } else {
+      raw_mse_scores[s] = preproc_mse_scores[s];
+    }
   });
   const ScoreOrientation orientation = config_.score == ReconstructionScore::kMse
                                            ? ScoreOrientation::kHighIsNovel
                                            : ScoreOrientation::kLowIsNovel;
-  threshold_ = NoveltyThreshold::calibrate(training_scores, orientation, config_.threshold_percentile);
+  variant_calibrations_[0] =
+      VariantCalibration::calibrate(primary_scores, orientation, config_.threshold_percentile);
+  variant_calibrations_[1] = VariantCalibration::calibrate(
+      preproc_mse_scores, ScoreOrientation::kHighIsNovel, config_.threshold_percentile);
+  variant_calibrations_[2] = VariantCalibration::calibrate(
+      raw_mse_scores, ScoreOrientation::kHighIsNovel, config_.threshold_percentile);
+  threshold_ = variant_calibrations_[0]->threshold;
   return history;
 }
 
@@ -162,13 +214,41 @@ Image NoveltyDetector::reconstruct(const Image& preprocessed) const {
 }
 
 double NoveltyDetector::score_pair(const Image& preprocessed, const Image& reconstruction) const {
-  if (config_.score == ReconstructionScore::kMse) return mse(reconstruction, preprocessed);
+  return variant_score_pair(DetectorVariant::kPrimary, preprocessed, reconstruction);
+}
+
+double NoveltyDetector::variant_score_pair(DetectorVariant variant, const Image& preprocessed,
+                                           const Image& reconstruction) const {
+  if (variant_score_metric(variant) == ReconstructionScore::kMse) {
+    return mse(reconstruction, preprocessed);
+  }
   return ssim_.mean_ssim(reconstruction.flattened(), preprocessed.flattened());
 }
 
 double NoveltyDetector::score(const Image& input) const {
-  const Image p = preprocess(input);
-  return score_pair(p, reconstruct(p));
+  return score_variant(DetectorVariant::kPrimary, input);
+}
+
+double NoveltyDetector::score_variant(DetectorVariant variant, const Image& input) const {
+  const Image p = variant_preprocess(variant, input);
+  return variant_score_pair(variant, p, reconstruct(p));
+}
+
+const VariantCalibration& NoveltyDetector::variant_calibration(DetectorVariant variant) const {
+  const auto& slot = variant_calibrations_[static_cast<size_t>(variant)];
+  if (!slot.has_value()) {
+    throw std::logic_error(std::string("NoveltyDetector: variant '") +
+                           detector_variant_name(variant) +
+                           "' is not calibrated (call fit or load)");
+  }
+  return *slot;
+}
+
+bool NoveltyDetector::has_variant_calibrations() const {
+  for (const auto& slot : variant_calibrations_) {
+    if (!slot.has_value()) return false;
+  }
+  return true;
 }
 
 std::vector<double> NoveltyDetector::scores(const std::vector<Image>& inputs) const {

@@ -11,6 +11,7 @@
 // so every Fig. 5 configuration is one NoveltyDetectorConfig away.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -44,6 +45,23 @@ enum class ReconstructionScore {
   kMse,   ///< pixel-wise reconstruction error; high = novel (baseline)
   kSsim,  ///< structural similarity; low = novel (proposed)
 };
+
+/// Scoring variants of one fitted detector, ordered by cost. They form the
+/// serving runtime's degradation ladder (see serving/supervisor.hpp): when
+/// the preferred path blows its deadline or misbehaves, the supervisor steps
+/// down to a cheaper variant that shares the same trained autoencoder but
+/// skips the expensive stages. Each variant is calibrated against its *own*
+/// training-score ECDF at fit() time, so every rung has a meaningful
+/// threshold.
+enum class DetectorVariant : int {
+  kPrimary = 0,        ///< configured preprocessing + configured score (VBP+SSIM as proposed)
+  kPreprocessedMse,    ///< configured preprocessing + MSE score (skips the SSIM pass)
+  kRawMse,             ///< raw pass-through + MSE (skips saliency entirely; Richter & Roy floor)
+};
+inline constexpr int kDetectorVariantCount = 3;
+
+/// Stable tag for logs and artifacts ("primary", "preproc+mse", "raw+mse").
+const char* detector_variant_name(DetectorVariant variant);
 
 struct NoveltyDetectorConfig {
   int64_t height = 60;   ///< Paper's pipeline resolution (60 x 160).
@@ -117,6 +135,36 @@ class NoveltyDetector {
   /// Full classification of one input. Requires fit() (or a loaded model).
   NoveltyResult classify(const Image& input) const;
 
+  // --- Variant scoring (degraded-mode fallback chain) ----------------------
+  // The serving runtime executes the pipeline stage by stage under per-stage
+  // deadlines, so the variant API exposes each stage separately on top of
+  // the whole-pipeline score_variant() convenience.
+
+  /// The preprocessing a variant actually runs: kRawMse is always raw, the
+  /// other variants use the configured preprocessing.
+  Preprocessing variant_preprocessing(DetectorVariant variant) const;
+
+  /// The score metric a variant uses: kPrimary follows the configuration,
+  /// the degraded variants use MSE.
+  ReconstructionScore variant_score_metric(DetectorVariant variant) const;
+
+  /// Preprocessing stage for a variant (validated pass-through for kRawMse).
+  Image variant_preprocess(DetectorVariant variant, const Image& input) const;
+
+  /// Scores a reconstruction against its variant-preprocessed input.
+  double variant_score_pair(DetectorVariant variant, const Image& preprocessed,
+                            const Image& reconstruction) const;
+
+  /// Full pipeline score under one variant. score_variant(kPrimary, x) is
+  /// identical to score(x).
+  double score_variant(DetectorVariant variant, const Image& input) const;
+
+  /// Per-variant calibration (training-score ECDF + threshold), fitted for
+  /// all variants by fit() and persisted through PipelineIo. Throws
+  /// std::logic_error when the detector was not fitted/loaded.
+  const VariantCalibration& variant_calibration(DetectorVariant variant) const;
+  bool has_variant_calibrations() const;
+
   bool is_fitted() const { return fitted_; }
   const NoveltyDetectorConfig& config() const { return config_; }
   const NoveltyThreshold& threshold() const;
@@ -127,6 +175,9 @@ class NoveltyDetector {
 
   /// Scores a reconstruction against its (preprocessed) input.
   double score_pair(const Image& preprocessed, const Image& reconstruction) const;
+
+  /// Shared entry guard: size check, wiring check, content validation.
+  void validate_input(const Image& input, bool needs_saliency) const;
 
   /// True when batches may be preprocessed/scored on multiple threads:
   /// either no saliency stage, or one whose compute() is reentrant.
@@ -142,6 +193,9 @@ class NoveltyDetector {
   nn::SsimLoss ssim_;  ///< Shared SSIM machinery (also used for scoring).
   FrameValidator validator_;  ///< Input guard (see config_.validate_frames).
   std::optional<NoveltyThreshold> threshold_;
+  /// One calibration per DetectorVariant (same index), fitted by fit() and
+  /// restored by PipelineIo::load. threshold_ mirrors the kPrimary entry.
+  std::array<std::optional<VariantCalibration>, kDetectorVariantCount> variant_calibrations_;
   bool fitted_ = false;
 };
 

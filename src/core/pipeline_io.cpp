@@ -10,7 +10,11 @@ namespace salnov::core {
 namespace {
 
 constexpr const char* kMagic = "salnov-pipeline";
-constexpr uint32_t kVersion = 1;
+// v2: appends the per-variant fallback-chain calibrations (ECDF + threshold
+// for primary, preproc+MSE, raw+MSE) after the primary threshold. Older v1
+// files are rejected on load (callers refit; the bench cache does so
+// automatically), so every loadable pipeline can serve the full ladder.
+constexpr uint32_t kVersion = 2;
 
 uint32_t preprocessing_tag(Preprocessing preprocessing) {
   switch (preprocessing) {
@@ -90,9 +94,16 @@ void PipelineIo::save(std::ostream& os, const NoveltyDetector& detector, nn::Seq
   if (uses_saliency(detector.config().preprocessing) && steering_model == nullptr) {
     throw std::invalid_argument("PipelineIo::save: saliency pipeline requires its steering model");
   }
+  if (!detector.has_variant_calibrations()) {
+    throw std::logic_error("PipelineIo::save: detector lacks variant calibrations (refit required)");
+  }
   write_header(os, kMagic, kVersion);
   write_config(os, detector.config());
   detector.threshold().save(os);
+  write_u32(os, static_cast<uint32_t>(kDetectorVariantCount));
+  for (int v = 0; v < kDetectorVariantCount; ++v) {
+    detector.variant_calibration(static_cast<DetectorVariant>(v)).save(os);
+  }
   // The autoencoder is logically const here; save_model only reads weights.
   nn::save_model(os, const_cast<NoveltyDetector&>(detector).autoencoder());
   write_u32(os, steering_model != nullptr ? 1u : 0u);
@@ -111,6 +122,14 @@ LoadedPipeline PipelineIo::load(std::istream& is) {
 
   LoadedPipeline pipeline;
   pipeline.detector = std::make_unique<NoveltyDetector>(config);
+  const uint32_t variant_count = read_u32(is);
+  if (variant_count != static_cast<uint32_t>(kDetectorVariantCount)) {
+    throw SerializationError("pipeline: expected " + std::to_string(kDetectorVariantCount) +
+                             " variant calibrations, file has " + std::to_string(variant_count));
+  }
+  for (uint32_t v = 0; v < variant_count; ++v) {
+    pipeline.detector->variant_calibrations_[v] = VariantCalibration::load(is);
+  }
   pipeline.detector->autoencoder_ = nn::load_model(is);
   pipeline.detector->threshold_ = threshold;
   pipeline.detector->fitted_ = true;

@@ -1,8 +1,8 @@
 #include "core/threshold.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
-#include "metrics/ecdf.hpp"
 #include "tensor/serialize.hpp"
 
 namespace salnov::core {
@@ -12,15 +12,11 @@ NoveltyThreshold::NoveltyThreshold(double threshold, ScoreOrientation orientatio
 
 NoveltyThreshold NoveltyThreshold::calibrate(const std::vector<double>& training_scores,
                                              ScoreOrientation orientation, double percentile) {
-  if (percentile <= 0.0 || percentile >= 1.0) {
-    throw std::invalid_argument("NoveltyThreshold: percentile must be in (0, 1)");
-  }
-  const EmpiricalCdf cdf(training_scores);
-  const double q = orientation == ScoreOrientation::kHighIsNovel ? percentile : 1.0 - percentile;
-  return NoveltyThreshold(cdf.quantile(q), orientation);
+  return VariantCalibration::calibrate(training_scores, orientation, percentile).threshold;
 }
 
 bool NoveltyThreshold::is_novel(double score) const {
+  if (!std::isfinite(score)) return true;
   return orientation_ == ScoreOrientation::kHighIsNovel ? score > threshold_ : score < threshold_;
 }
 
@@ -35,6 +31,28 @@ NoveltyThreshold NoveltyThreshold::load(std::istream& is) {
   if (tag > 1) throw SerializationError("NoveltyThreshold::load: bad orientation tag");
   return NoveltyThreshold(threshold,
                           tag == 0 ? ScoreOrientation::kHighIsNovel : ScoreOrientation::kLowIsNovel);
+}
+
+VariantCalibration VariantCalibration::calibrate(const std::vector<double>& training_scores,
+                                                 ScoreOrientation orientation, double percentile) {
+  if (percentile <= 0.0 || percentile >= 1.0) {
+    throw std::invalid_argument("VariantCalibration: percentile must be in (0, 1)");
+  }
+  EmpiricalCdf cdf(training_scores);
+  const double q = orientation == ScoreOrientation::kHighIsNovel ? percentile : 1.0 - percentile;
+  NoveltyThreshold threshold(cdf.quantile(q), orientation);
+  return VariantCalibration{std::move(cdf), threshold};
+}
+
+void VariantCalibration::save(std::ostream& os) const {
+  cdf.save(os);
+  threshold.save(os);
+}
+
+VariantCalibration VariantCalibration::load(std::istream& is) {
+  EmpiricalCdf cdf = EmpiricalCdf::load(is);
+  const NoveltyThreshold threshold = NoveltyThreshold::load(is);
+  return VariantCalibration{std::move(cdf), threshold};
 }
 
 }  // namespace salnov::core

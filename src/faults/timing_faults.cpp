@@ -1,0 +1,31 @@
+#include "faults/timing_faults.hpp"
+
+#include <stdexcept>
+
+namespace salnov::faults {
+
+void TimingFaultInjector::add(const TimingFault& fault) {
+  if (fault.stall_ns < 0) {
+    throw std::invalid_argument("TimingFaultInjector: negative stall");
+  }
+  if (fault.period <= 0) {
+    throw std::invalid_argument("TimingFaultInjector: period must be >= 1");
+  }
+  if (fault.last_frame < fault.first_frame || fault.first_frame < 0) {
+    throw std::invalid_argument("TimingFaultInjector: bad frame range");
+  }
+  faults_.push_back(fault);
+}
+
+int64_t TimingFaultInjector::stall_ns(int stage, int64_t frame) const {
+  int64_t total = 0;
+  for (const TimingFault& fault : faults_) {
+    if (fault.stage != stage) continue;
+    if (frame < fault.first_frame || frame > fault.last_frame) continue;
+    if ((frame - fault.first_frame) % fault.period != 0) continue;
+    total += fault.stall_ns;
+  }
+  return total;
+}
+
+}  // namespace salnov::faults

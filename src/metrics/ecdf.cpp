@@ -4,11 +4,33 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/serialize.hpp"
+
 namespace salnov {
 
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
-  if (sorted_.empty()) throw std::invalid_argument("EmpiricalCdf: empty sample set");
+  sorted_.erase(std::remove_if(sorted_.begin(), sorted_.end(),
+                               [](double v) { return !std::isfinite(v); }),
+                sorted_.end());
+  if (sorted_.empty()) throw std::invalid_argument("EmpiricalCdf: no finite samples");
   std::sort(sorted_.begin(), sorted_.end());
+}
+
+void EmpiricalCdf::save(std::ostream& os) const {
+  write_i64(os, static_cast<int64_t>(sorted_.size()));
+  for (double v : sorted_) write_f64(os, v);
+}
+
+EmpiricalCdf EmpiricalCdf::load(std::istream& is) {
+  const int64_t count = read_i64(is);
+  if (count <= 0 || count > (int64_t{1} << 32)) {
+    throw SerializationError("EmpiricalCdf::load: implausible sample count " +
+                             std::to_string(count));
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) samples.push_back(read_f64(is));
+  return EmpiricalCdf(std::move(samples));
 }
 
 double EmpiricalCdf::cdf(double x) const {

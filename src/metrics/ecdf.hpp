@@ -7,13 +7,17 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 namespace salnov {
 
 class EmpiricalCdf {
  public:
-  /// Builds the ECDF of the given samples. Throws on an empty sample set.
+  /// Builds the ECDF of the given samples. Non-finite samples (NaN, +/-Inf)
+  /// are dropped before any quantile math — NaNs violate the strict weak
+  /// ordering the sort relies on, and a single corrupted score must not
+  /// poison a calibrated threshold. Throws when no finite sample remains.
   explicit EmpiricalCdf(std::vector<double> samples);
 
   /// F(x): fraction of samples <= x.
@@ -26,6 +30,14 @@ class EmpiricalCdf {
   double min() const { return sorted_.front(); }
   double max() const { return sorted_.back(); }
   size_t size() const { return sorted_.size(); }
+
+  /// The retained (finite, sorted) samples backing the CDF.
+  const std::vector<double>& samples() const { return sorted_; }
+
+  /// Serializes the sample set (f64 little-endian, length-prefixed), so a
+  /// fitted CDF round-trips bit-exactly through model/pipeline files.
+  void save(std::ostream& os) const;
+  static EmpiricalCdf load(std::istream& is);
 
  private:
   std::vector<double> sorted_;

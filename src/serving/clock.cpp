@@ -1,0 +1,18 @@
+#include "serving/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace salnov::serving {
+
+int64_t SteadyClock::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SteadyClock::sleep_ns(int64_t ns) {
+  if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+}  // namespace salnov::serving

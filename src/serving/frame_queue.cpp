@@ -1,0 +1,69 @@
+#include "serving/frame_queue.hpp"
+
+#include <stdexcept>
+
+namespace salnov::serving {
+
+FrameQueue::FrameQueue(size_t capacity) : capacity_(capacity) {
+  if (capacity < 1) throw std::invalid_argument("FrameQueue: capacity must be >= 1");
+}
+
+FrameQueue::PushResult FrameQueue::push(QueuedFrame item) {
+  PushResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return result;
+    if (items_.size() >= capacity_) {
+      items_.pop_front();
+      result.shed = 1;
+      ++shed_;
+    }
+    items_.push_back(std::move(item));
+    result.accepted = true;
+    if (items_.size() > high_water_) high_water_ = items_.size();
+  }
+  cv_.notify_one();
+  return result;
+}
+
+bool FrameQueue::pop_wait(QueuedFrame& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;
+  out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+bool FrameQueue::try_pop(QueuedFrame& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) return false;
+  out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+void FrameQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t FrameQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+size_t FrameQueue::high_water_mark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+int64_t FrameQueue::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace salnov::serving

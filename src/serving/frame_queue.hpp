@@ -1,0 +1,64 @@
+// Bounded frame queue with drop-oldest load shedding.
+//
+// A camera does not stop producing frames because the detector is slow; a
+// serving runtime that queues without bound turns a transient stall into
+// ever-growing latency on *every* subsequent frame. This queue holds at most
+// `capacity` frames and, when full, sheds the OLDEST queued frame — for
+// novelty monitoring the freshest view of the world is strictly more
+// valuable than a stale one. Shedding is counted, never silent.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "image/image.hpp"
+
+namespace salnov::serving {
+
+struct QueuedFrame {
+  int64_t id = 0;
+  Image frame;
+};
+
+class FrameQueue {
+ public:
+  /// Throws std::invalid_argument when capacity < 1.
+  explicit FrameQueue(size_t capacity);
+
+  struct PushResult {
+    bool accepted = false;  ///< false only after close()
+    size_t shed = 0;        ///< oldest frames dropped to make room (0 or 1)
+  };
+
+  /// Enqueues a frame, shedding the oldest queued frame if the queue is
+  /// full. A push after close() is dropped (`accepted == false`).
+  PushResult push(QueuedFrame item);
+
+  /// Blocks until a frame is available or the queue is closed. Returns
+  /// false when closed and drained.
+  bool pop_wait(QueuedFrame& out);
+
+  /// Non-blocking pop; false when empty.
+  bool try_pop(QueuedFrame& out);
+
+  /// Unblocks poppers; queued frames may still be drained.
+  void close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  size_t high_water_mark() const;
+  int64_t shed_total() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedFrame> items_;
+  bool closed_ = false;
+  size_t high_water_ = 0;
+  int64_t shed_ = 0;
+};
+
+}  // namespace salnov::serving

@@ -1,0 +1,105 @@
+#include "serving/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace salnov::serving {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kValidate:
+      return "validate";
+    case Stage::kSteer:
+      return "steer";
+    case Stage::kSaliency:
+      return "saliency";
+    case Stage::kReconstruct:
+      return "reconstruct";
+    case Stage::kScore:
+      return "score";
+  }
+  return "unknown";
+}
+
+const char* serving_mode_name(ServingMode mode) {
+  switch (mode) {
+    case ServingMode::kVbpSsim:
+      return "vbp+ssim";
+    case ServingMode::kVbpMse:
+      return "vbp+mse";
+    case ServingMode::kRawMse:
+      return "raw+mse";
+    case ServingMode::kSensorHold:
+      return "sensor-hold";
+  }
+  return "unknown";
+}
+
+LatencyRing::LatencyRing(size_t capacity) : capacity_(capacity) {
+  if (capacity < 1) throw std::invalid_argument("LatencyRing: capacity must be >= 1");
+  samples_.reserve(capacity);
+}
+
+void LatencyRing::push(int64_t ns) {
+  if (samples_.size() < capacity_) {
+    samples_.push_back(ns);
+  } else {
+    samples_[next_] = ns;
+    full_ = true;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+int64_t LatencyRing::percentile_ns(double p) const {
+  if (samples_.empty()) return 0;
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("LatencyRing: percentile outside [0, 1]");
+  std::vector<int64_t> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest value with at least p of the window at or
+  // below it.
+  const size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(std::ceil(p * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+std::string HealthSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"mode\":\"" << serving_mode_name(mode) << "\",";
+  os << "\"breaker_state\":\"" << breaker_state_name(breaker_state) << "\",";
+  os << "\"frames_total\":" << frames_total << ",";
+  os << "\"frames_scored\":" << frames_scored << ",";
+  os << "\"frames_abandoned\":" << frames_abandoned << ",";
+  os << "\"frames_held\":" << frames_held << ",";
+  os << "\"frames_sensor_bad\":" << frames_sensor_bad << ",";
+  os << "\"deadline_overruns\":" << deadline_overruns << ",";
+  os << "\"scoring_failures\":" << scoring_failures << ",";
+  os << "\"nonfinite_scores\":" << nonfinite_scores << ",";
+  os << "\"step_downs\":" << step_downs << ",";
+  os << "\"promotions\":" << promotions << ",";
+  os << "\"breaker_trips\":" << breaker_trips << ",";
+  os << "\"probe_successes\":" << probe_successes << ",";
+  os << "\"probe_failures\":" << probe_failures << ",";
+  os << "\"queue_capacity\":" << queue_capacity << ",";
+  os << "\"queue_high_water\":" << queue_high_water << ",";
+  os << "\"queue_shed\":" << queue_shed << ",";
+  os << "\"stages\":[";
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const StageHealth& stage = stages[s];
+    if (s > 0) os << ",";
+    os << "{\"name\":\"" << stage.name << "\",";
+    os << "\"overruns\":" << stage.overruns << ",";
+    os << "\"samples\":" << stage.samples << ",";
+    os << "\"p50_ns\":" << stage.p50_ns << ",";
+    os << "\"p99_ns\":" << stage.p99_ns << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace salnov::serving

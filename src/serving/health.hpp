@@ -1,0 +1,111 @@
+// Serving-runtime introspection: stage/mode vocabulary, latency rings, and
+// the exportable health snapshot.
+//
+// The supervisor's whole value is that it *reacts* — so its reactions must
+// be observable. Every counter here is exact (no sampling): a test that
+// injects three saliency stalls can assert exactly three stage overruns, and
+// an operator reading the JSON snapshot sees the same numbers the fallback
+// ladder acted on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/circuit_breaker.hpp"
+
+namespace salnov::serving {
+
+/// Pipeline stages, in execution order. Values double as TimingFault stage
+/// indices and as indices into per-stage arrays.
+enum class Stage : int {
+  kValidate = 0,  ///< frame screening (validator + frozen-frame check)
+  kSteer,         ///< steering CNN forward pass (the vehicle's primary output)
+  kSaliency,      ///< VBP/gradient/LRP mask of the steering model
+  kReconstruct,   ///< autoencoder forward pass
+  kScore,         ///< SSIM or MSE similarity scoring
+};
+inline constexpr int kStageCount = 5;
+
+const char* stage_name(Stage stage);
+
+/// Degradation ladder, ordered from preferred to last-resort. Rung names
+/// reflect the paper's proposed configuration (VBP + SSIM); a detector
+/// configured differently keeps the same ladder semantics — "primary",
+/// "primary preprocessing with MSE", "raw passthrough with MSE", hold.
+enum class ServingMode : int {
+  kVbpSsim = 0,  ///< full pipeline at the configured preprocessing + score
+  kVbpMse,       ///< saliency kept, SSIM pass skipped (MSE score)
+  kRawMse,       ///< saliency skipped, raw frame + MSE
+  kSensorHold,   ///< ladder exhausted: hold last safe behaviour, report sensor fault
+};
+inline constexpr int kServingModeCount = 4;
+
+const char* serving_mode_name(ServingMode mode);
+
+/// Fixed-window ring of recent stage latencies; percentiles are computed
+/// over the window by nearest-rank on a sorted copy.
+class LatencyRing {
+ public:
+  explicit LatencyRing(size_t capacity = 256);
+
+  void push(int64_t ns);
+
+  /// Nearest-rank percentile over the current window, 0 when empty.
+  /// `p` in [0, 1].
+  int64_t percentile_ns(double p) const;
+
+  /// Total samples ever pushed (not capped by the window).
+  int64_t count() const { return total_; }
+
+ private:
+  std::vector<int64_t> samples_;
+  size_t capacity_;
+  size_t next_ = 0;
+  bool full_ = false;
+  int64_t total_ = 0;
+};
+
+struct StageHealth {
+  std::string name;
+  int64_t overruns = 0;   ///< times this stage blew its budget
+  int64_t samples = 0;    ///< times this stage ran
+  int64_t p50_ns = 0;     ///< median latency over the recent window
+  int64_t p99_ns = 0;     ///< tail latency over the recent window
+};
+
+/// Point-in-time view of the serving runtime, exportable as JSON from the
+/// CLI (`salnov_cli serve`). Queue fields are zero for a bare Supervisor
+/// and filled in by ServingServer.
+struct HealthSnapshot {
+  ServingMode mode = ServingMode::kVbpSsim;
+  BreakerState breaker_state = BreakerState::kClosed;
+
+  int64_t frames_total = 0;
+  int64_t frames_scored = 0;
+  int64_t frames_abandoned = 0;  ///< frame deadline blown mid-pipeline
+  int64_t frames_held = 0;       ///< served in kSensorHold
+  int64_t frames_sensor_bad = 0; ///< screened out (validator fault / frozen)
+
+  int64_t deadline_overruns = 0; ///< frames where any budget was blown
+  int64_t scoring_failures = 0;  ///< stage threw mid-pipeline
+  int64_t nonfinite_scores = 0;  ///< NaN/Inf scores (always treated as novel)
+
+  int64_t step_downs = 0;        ///< ladder demotions (incl. breaker trips)
+  int64_t promotions = 0;        ///< ladder promotions via hysteresis
+  int64_t breaker_trips = 0;
+  int64_t probe_successes = 0;
+  int64_t probe_failures = 0;
+
+  int64_t queue_capacity = 0;
+  int64_t queue_high_water = 0;
+  int64_t queue_shed = 0;
+
+  std::array<StageHealth, kStageCount> stages;
+
+  /// Single-line JSON rendering (stable key order, integers only).
+  std::string to_json() const;
+};
+
+}  // namespace salnov::serving

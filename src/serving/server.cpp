@@ -1,0 +1,67 @@
+#include "serving/server.hpp"
+
+namespace salnov::serving {
+
+ServingServer::ServingServer(Supervisor& supervisor, ServerConfig config)
+    : supervisor_(supervisor),
+      config_(config),
+      queue_(config.queue_capacity),
+      worker_([this] { worker_loop(); }) {}
+
+ServingServer::~ServingServer() { stop(); }
+
+size_t ServingServer::submit(Image frame) {
+  QueuedFrame item;
+  item.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  item.frame = std::move(frame);
+  const FrameQueue::PushResult pushed = queue_.push(std::move(item));
+  if (pushed.accepted) {
+    // A shed frame was accepted earlier but will never be processed.
+    outstanding_ += 1 - static_cast<int64_t>(pushed.shed);
+  }
+  return pushed.shed;
+}
+
+void ServingServer::worker_loop() {
+  QueuedFrame item;
+  while (queue_.pop_wait(item)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const ServeResult result = supervisor_.process(item.frame);
+      if (config_.keep_results) results_.push_back(result);
+      --outstanding_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ServingServer::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return outstanding_.load() == 0; });
+}
+
+void ServingServer::stop() {
+  if (stopped_) return;
+  drain();
+  stopped_ = true;
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::vector<ServeResult> ServingServer::take_results() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServeResult> out;
+  out.swap(results_);
+  return out;
+}
+
+HealthSnapshot ServingServer::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthSnapshot snapshot = supervisor_.health();
+  snapshot.queue_capacity = static_cast<int64_t>(queue_.capacity());
+  snapshot.queue_high_water = static_cast<int64_t>(queue_.high_water_mark());
+  snapshot.queue_shed = queue_.shed_total();
+  return snapshot;
+}
+
+}  // namespace salnov::serving

@@ -1,0 +1,77 @@
+// ServingServer: bounded-queue front end over a Supervisor.
+//
+// The supervisor is deliberately single-threaded (its ladder and breaker
+// are per-stream state machines); the server adds the asynchronous camera
+// boundary: producers submit frames without blocking, a dedicated worker
+// drains the bounded FrameQueue through the supervisor, and bursts beyond
+// the queue capacity shed the oldest frames instead of growing latency.
+// All supervisor access — worker processing, health snapshots, result
+// harvesting — is serialized under one mutex, so snapshots never observe a
+// half-updated frame.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serving/frame_queue.hpp"
+#include "serving/supervisor.hpp"
+
+namespace salnov::serving {
+
+struct ServerConfig {
+  size_t queue_capacity = 64;
+  /// Retain per-frame ServeResults for take_results(). Disable for soak
+  /// runs where only the health counters matter.
+  bool keep_results = true;
+};
+
+class ServingServer {
+ public:
+  /// `supervisor` must outlive the server. The worker thread starts
+  /// immediately.
+  explicit ServingServer(Supervisor& supervisor, ServerConfig config = {});
+
+  /// Joins the worker (drains remaining queued frames first).
+  ~ServingServer();
+
+  /// Enqueues a frame; never blocks. Returns the number of frames shed to
+  /// make room (0 or 1). Submissions after stop() are dropped.
+  size_t submit(Image frame);
+
+  /// Blocks until every submitted frame has been processed.
+  void drain();
+
+  /// Drains, then stops the worker. Idempotent.
+  void stop();
+
+  /// Moves out the accumulated per-frame results (empty when
+  /// config.keep_results is false).
+  std::vector<ServeResult> take_results();
+
+  /// Supervisor snapshot plus queue statistics.
+  HealthSnapshot health() const;
+
+ private:
+  void worker_loop();
+
+  Supervisor& supervisor_;
+  ServerConfig config_;
+  FrameQueue queue_;
+  std::atomic<int64_t> next_id_{0};  ///< producers may submit concurrently
+
+  mutable std::mutex mu_;  ///< guards supervisor_ and results_
+  std::condition_variable idle_cv_;
+  /// Accepted frames not yet processed (shed frames excluded). Atomic so
+  /// submit() stays non-blocking while the worker holds mu_ mid-frame; the
+  /// worker's decrement-to-zero happens under mu_ and notifies idle_cv_.
+  std::atomic<int64_t> outstanding_{0};
+  std::vector<ServeResult> results_;
+
+  bool stopped_ = false;
+  std::thread worker_;
+};
+
+}  // namespace salnov::serving

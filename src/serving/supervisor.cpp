@@ -1,0 +1,351 @@
+#include "serving/supervisor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "driving/steering_trainer.hpp"
+
+namespace salnov::serving {
+
+core::DetectorVariant Supervisor::variant_for(ServingMode mode) {
+  switch (mode) {
+    case ServingMode::kVbpSsim:
+      return core::DetectorVariant::kPrimary;
+    case ServingMode::kVbpMse:
+      return core::DetectorVariant::kPreprocessedMse;
+    case ServingMode::kRawMse:
+    case ServingMode::kSensorHold:
+      return core::DetectorVariant::kRawMse;
+  }
+  throw std::logic_error("variant_for: unknown serving mode");
+}
+
+Supervisor::Supervisor(const core::NoveltyDetector& detector, nn::Sequential* steering_model,
+                       SupervisorConfig config, Clock* clock)
+    : detector_(detector),
+      steering_model_(steering_model),
+      config_(std::move(config)),
+      owned_clock_(clock == nullptr ? std::make_unique<SteadyClock>() : nullptr),
+      clock_(clock == nullptr ? owned_clock_.get() : clock),
+      monitor_(detector, config_.monitor),
+      breaker_(config_.breaker),
+      saliency_configured_(core::uses_saliency(detector.config().preprocessing)) {
+  if (!detector.has_variant_calibrations()) {
+    throw std::logic_error("Supervisor: detector lacks variant calibrations (refit or reload)");
+  }
+  if (saliency_configured_ && steering_model_ == nullptr) {
+    throw std::invalid_argument("Supervisor: saliency pipeline requires its steering model");
+  }
+  if (config_.demote_after_bad_frames < 1 || config_.promote_after_healthy_frames < 1) {
+    throw std::invalid_argument("Supervisor: ladder hysteresis counts must be >= 1");
+  }
+  for (auto& ring : rings_) ring = LatencyRing(config_.latency_window);
+}
+
+Supervisor::StageOutcome Supervisor::run_stage(Stage stage, int64_t frame_index,
+                                               ServeResult& result,
+                                               const std::function<void()>& body) {
+  const size_t s = static_cast<size_t>(stage);
+  const int64_t start = clock_->now_ns();
+  if (config_.timing_faults != nullptr) {
+    clock_->sleep_ns(config_.timing_faults->stall_ns(static_cast<int>(stage), frame_index));
+  }
+  StageOutcome outcome;
+  try {
+    body();
+  } catch (const std::exception&) {
+    outcome.threw = true;
+  }
+  const int64_t elapsed = clock_->now_ns() - start;
+  result.stage_ns[s] = elapsed;
+  rings_[s].push(elapsed);
+  const int64_t budget = config_.stage_budget_ns[s];
+  if (budget > 0 && elapsed > budget) {
+    outcome.overrun = true;
+    ++stage_overruns_[s];
+  }
+  return outcome;
+}
+
+bool Supervisor::frame_deadline_blown(int64_t frame_start_ns) const {
+  return config_.frame_budget_ns > 0 &&
+         clock_->now_ns() - frame_start_ns > config_.frame_budget_ns;
+}
+
+void Supervisor::attach_monitor_state(ServeResult& result) {
+  const core::MonitorState state = monitor_.state();
+  result.monitor_state = state;
+  result.fallback_path = state == core::MonitorState::kFallback ? core::FallbackPath::kNovelty
+                         : state == core::MonitorState::kSensorFault
+                             ? core::FallbackPath::kSensorFault
+                             : core::FallbackPath::kNone;
+}
+
+void Supervisor::finish_abandoned(ServeResult& result) {
+  ++frames_abandoned_;
+  result.abandoned = true;
+  result.scored = false;
+  result.deadline_overrun = true;
+  // The monitor does not hear about abandoned frames: there is neither a
+  // score nor sensor evidence, only a scheduling failure — which the ladder
+  // handles.
+  attach_monitor_state(result);
+}
+
+void Supervisor::set_mode(ServingMode mode) {
+  mode_ = mode;
+  bad_streak_ = 0;
+  healthy_streak_ = 0;
+}
+
+void Supervisor::update_ladder(bool frame_bad) {
+  if (frame_bad) {
+    healthy_streak_ = 0;
+    if (++bad_streak_ >= config_.demote_after_bad_frames &&
+        mode_ != ServingMode::kSensorHold) {
+      mode_ = static_cast<ServingMode>(static_cast<int>(mode_) + 1);
+      ++step_downs_;
+      bad_streak_ = 0;
+    }
+    return;
+  }
+  bad_streak_ = 0;
+  if (++healthy_streak_ >= config_.promote_after_healthy_frames &&
+      mode_ != ServingMode::kVbpSsim) {
+    const ServingMode target = static_cast<ServingMode>(static_cast<int>(mode_) - 1);
+    // Promotion back into a saliency rung is gated on the breaker: while it
+    // is open or probing, the stage the rung depends on is not trusted yet.
+    if (!mode_uses_saliency(target) || !saliency_configured_ ||
+        breaker_.state() == BreakerState::kClosed) {
+      mode_ = target;
+      ++promotions_;
+      healthy_streak_ = 0;
+    }
+  }
+}
+
+ServeResult Supervisor::process(const Image& frame) {
+  const int64_t index = frames_total_++;
+  const int64_t frame_start = clock_->now_ns();
+  ServeResult result;
+  result.frame_index = index;
+  result.mode = mode_;
+  bool frame_bad = false;
+
+  // --- Stage 0: validate -------------------------------------------------
+  core::FrameFault fault = core::FrameFault::kNone;
+  bool frozen = false;
+  const StageOutcome validate = run_stage(Stage::kValidate, index, result, [&] {
+    fault = detector_.frame_validator().check(frame);
+    if (fault == core::FrameFault::kNone) {
+      frozen = config_.monitor.detect_frozen_frames && last_valid_frame_.has_value() &&
+               last_valid_frame_->tensor() == frame.tensor();
+      last_valid_frame_ = frame;
+    } else {
+      last_valid_frame_.reset();
+    }
+  });
+  if (validate.overrun) frame_bad = true;
+  if (frame_deadline_blown(frame_start)) {
+    finish_abandoned(result);
+    ++deadline_overruns_;
+    update_ladder(true);
+    return result;
+  }
+  if (fault != core::FrameFault::kNone || frozen) {
+    // Sensor-bad frames are the monitor's jurisdiction and are neutral to
+    // the ladder: a dead camera says nothing about pipeline timing health.
+    ++frames_sensor_bad_;
+    const core::MonitorUpdate update = monitor_.update_sensor_bad(fault, frozen);
+    result.sensor_bad = true;
+    result.monitor_state = update.state;
+    result.fallback_path = update.fallback_path;
+    if (frame_bad) ++deadline_overruns_;
+    result.deadline_overrun = frame_bad;
+    return result;
+  }
+
+  breaker_.begin_frame();
+  ServingMode mode_used = mode_;
+
+  // --- Stage 1: steer ----------------------------------------------------
+  // The steering prediction is the vehicle's primary output and runs in
+  // every mode that reaches this point.
+  if (steering_model_ != nullptr) {
+    const StageOutcome steer = run_stage(Stage::kSteer, index, result, [&] {
+      result.steering = driving::predict_steering(*steering_model_, frame);
+    });
+    if (!steer.ok()) frame_bad = true;
+    if (steer.threw) ++scoring_failures_;
+    if (frame_deadline_blown(frame_start)) {
+      finish_abandoned(result);
+      ++deadline_overruns_;
+      update_ladder(true);
+      return result;
+    }
+  }
+
+  // --- Stage 2: saliency (behind the circuit breaker) --------------------
+  Image preprocessed = frame;
+  const bool probe = breaker_.state() == BreakerState::kHalfOpen;
+  const bool attempt_saliency =
+      saliency_configured_ && breaker_.allows() &&
+      (mode_uses_saliency(mode_used) || probe);
+  bool tripped_this_frame = false;
+  if (attempt_saliency) {
+    Image mask;
+    const StageOutcome saliency = run_stage(Stage::kSaliency, index, result, [&] {
+      mask = detector_.variant_preprocess(core::DetectorVariant::kPrimary, frame);
+    });
+    if (saliency.ok()) {
+      breaker_.record_success();
+      preprocessed = std::move(mask);
+      if (probe) {
+        // Probe success: the stage works again — restore the top of the
+        // ladder immediately rather than climbing one rung at a time.
+        set_mode(ServingMode::kVbpSsim);
+        mode_used = ServingMode::kVbpSsim;
+        ++promotions_;
+      }
+    } else {
+      if (saliency.threw) ++scoring_failures_;
+      frame_bad = true;
+      const int64_t trips_before = breaker_.trips();
+      breaker_.record_failure();
+      if (breaker_.trips() > trips_before) {
+        tripped_this_frame = true;
+        if (static_cast<int>(mode_) < static_cast<int>(ServingMode::kRawMse)) {
+          set_mode(ServingMode::kRawMse);
+          ++step_downs_;
+        }
+      }
+      // Within-frame fallback: the frame still gets a calibrated answer on
+      // the raw+MSE rung.
+      if (mode_used != ServingMode::kSensorHold) mode_used = ServingMode::kRawMse;
+    }
+    if (frame_deadline_blown(frame_start)) {
+      finish_abandoned(result);
+      ++deadline_overruns_;
+      if (!tripped_this_frame) update_ladder(true);
+      result.mode = mode_used;
+      return result;
+    }
+  } else if (mode_uses_saliency(mode_used)) {
+    // Saliency rung but the breaker is open (can only happen transiently):
+    // serve raw for this frame.
+    mode_used = ServingMode::kRawMse;
+  }
+
+  // --- Stage 3: reconstruct ----------------------------------------------
+  const core::DetectorVariant variant = variant_for(mode_used);
+  Image reconstruction;
+  const StageOutcome reconstruct = run_stage(Stage::kReconstruct, index, result, [&] {
+    reconstruction = detector_.reconstruct(preprocessed);
+  });
+  bool pipeline_broken = reconstruct.threw;
+  if (!reconstruct.ok()) frame_bad = true;
+  if (reconstruct.threw) ++scoring_failures_;
+  if (frame_deadline_blown(frame_start)) {
+    finish_abandoned(result);
+    ++deadline_overruns_;
+    if (!tripped_this_frame) update_ladder(true);
+    result.mode = mode_used;
+    return result;
+  }
+
+  // --- Stage 4: score ----------------------------------------------------
+  double score = std::numeric_limits<double>::quiet_NaN();
+  bool novel = false;
+  if (!pipeline_broken) {
+    const StageOutcome scoring = run_stage(Stage::kScore, index, result, [&] {
+      score = detector_.variant_score_pair(variant, preprocessed, reconstruction);
+      novel = detector_.variant_calibration(variant).threshold.is_novel(score);
+    });
+    if (!scoring.ok()) frame_bad = true;
+    if (scoring.threw) {
+      ++scoring_failures_;
+      pipeline_broken = true;
+    }
+    if (frame_deadline_blown(frame_start)) {
+      finish_abandoned(result);
+      ++deadline_overruns_;
+      if (!tripped_this_frame) update_ladder(true);
+      result.mode = mode_used;
+      return result;
+    }
+  }
+  if (!pipeline_broken && !std::isfinite(score)) {
+    // Non-finite containment: the threshold already classifies NaN/Inf as
+    // novel; it is also evidence the current rung is misbehaving.
+    ++nonfinite_scores_;
+    frame_bad = true;
+  }
+
+  // --- Outcome ------------------------------------------------------------
+  result.mode = mode_used;
+  for (int s = 0; s < kStageCount; ++s) {
+    const int64_t budget = config_.stage_budget_ns[static_cast<size_t>(s)];
+    if (budget > 0 && result.stage_ns[static_cast<size_t>(s)] > budget) {
+      result.deadline_overrun = true;
+    }
+  }
+  if (result.deadline_overrun) ++deadline_overruns_;
+
+  if (pipeline_broken) {
+    // No trustworthy score: report the frame unscored; the monitor is not
+    // updated (a compute fault is not sensor evidence).
+    result.scored = false;
+    attach_monitor_state(result);
+  } else if (mode_used == ServingMode::kSensorHold) {
+    // Ladder exhausted: the pipeline ran as a recovery probe, but its
+    // answer is not trusted. The monitor hears "sensor bad" so the
+    // fallback controller engages through the sensor path.
+    ++frames_held_;
+    result.score = score;
+    result.scored = false;
+    const core::MonitorUpdate update = monitor_.update_sensor_bad(core::FrameFault::kNone, false);
+    result.monitor_state = update.state;
+    result.fallback_path = update.fallback_path;
+  } else {
+    ++frames_scored_;
+    result.score = score;
+    result.novel = novel;
+    result.scored = true;
+    const core::MonitorUpdate update = monitor_.update_scored(score, novel);
+    result.monitor_state = update.state;
+    result.fallback_path = update.fallback_path;
+  }
+
+  if (!tripped_this_frame) update_ladder(frame_bad);
+  return result;
+}
+
+HealthSnapshot Supervisor::health() const {
+  HealthSnapshot snapshot;
+  snapshot.mode = mode_;
+  snapshot.breaker_state = breaker_.state();
+  snapshot.frames_total = frames_total_;
+  snapshot.frames_scored = frames_scored_;
+  snapshot.frames_abandoned = frames_abandoned_;
+  snapshot.frames_held = frames_held_;
+  snapshot.frames_sensor_bad = frames_sensor_bad_;
+  snapshot.deadline_overruns = deadline_overruns_;
+  snapshot.scoring_failures = scoring_failures_;
+  snapshot.nonfinite_scores = nonfinite_scores_;
+  snapshot.step_downs = step_downs_;
+  snapshot.promotions = promotions_;
+  snapshot.breaker_trips = breaker_.trips();
+  snapshot.probe_successes = breaker_.probe_successes();
+  snapshot.probe_failures = breaker_.probe_failures();
+  for (int s = 0; s < kStageCount; ++s) {
+    const size_t i = static_cast<size_t>(s);
+    snapshot.stages[i].name = stage_name(static_cast<Stage>(s));
+    snapshot.stages[i].overruns = stage_overruns_[i];
+    snapshot.stages[i].samples = rings_[i].count();
+    snapshot.stages[i].p50_ns = rings_[i].percentile_ns(0.50);
+    snapshot.stages[i].p99_ns = rings_[i].percentile_ns(0.99);
+  }
+  return snapshot;
+}
+
+}  // namespace salnov::serving

@@ -1,0 +1,162 @@
+// Supervisor: deadline-aware staged executor with a degraded-mode ladder.
+//
+// The detector's offline API assumes every stage always finishes; a vehicle
+// cannot. The supervisor runs the pipeline stage by stage under per-stage
+// wall-clock budgets read from a monotonic Clock, and reacts to misbehaviour
+// instead of propagating it:
+//
+//   * A stage that blows its budget (or throws) marks the frame "bad"; the
+//     frame still completes on a cheaper path when possible (a failed
+//     saliency stage falls back to raw+MSE scoring *within the same frame*).
+//   * A frame whose total deadline is blown mid-pipeline is abandoned —
+//     remaining stages are skipped and no score is reported.
+//   * `demote_after_bad_frames` consecutive bad frames step the mode ladder
+//     down one rung: VBP+SSIM -> VBP+MSE -> raw+MSE -> sensor hold. Each
+//     rung scores against its own fitted ECDF threshold (see
+//     NoveltyDetector::variant_calibration), so a degraded mode still makes
+//     calibrated novelty decisions. `promote_after_healthy_frames`
+//     consecutive healthy frames step back up (into saliency rungs only
+//     while the breaker is closed).
+//   * The saliency stage sits behind a CircuitBreaker: consecutive failures
+//     trip it (forcing the raw+MSE rung), and a successful half-open probe
+//     restores VBP+SSIM directly.
+//
+// All timing flows through the Clock interface, and injected stalls come
+// from a deterministic TimingFaultInjector — under a FakeClock the entire
+// overrun/fallback/breaker trace is reproducible bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "core/monitor.hpp"
+#include "core/novelty_detector.hpp"
+#include "faults/timing_faults.hpp"
+#include "serving/circuit_breaker.hpp"
+#include "serving/clock.hpp"
+#include "serving/health.hpp"
+
+namespace salnov::serving {
+
+struct SupervisorConfig {
+  /// Per-stage wall-clock budgets; <= 0 disables the check for that stage.
+  /// Defaults are generous for the 60x160 pipeline on a laptop core.
+  std::array<int64_t, kStageCount> stage_budget_ns = {
+      5'000'000,   // validate
+      20'000'000,  // steer
+      50'000'000,  // saliency
+      20'000'000,  // reconstruct
+      20'000'000,  // score
+  };
+  /// Whole-frame deadline; blowing it mid-pipeline abandons the frame.
+  /// <= 0 disables abandonment.
+  int64_t frame_budget_ns = 200'000'000;
+
+  CircuitBreakerConfig breaker;
+
+  /// Ladder hysteresis: demotion is immediate by default (a blown deadline
+  /// is already a late answer), promotion deliberately slow.
+  int demote_after_bad_frames = 1;
+  int promote_after_healthy_frames = 16;
+
+  core::MonitorConfig monitor;
+
+  /// Optional deterministic stall schedule (not owned; may be null).
+  const faults::TimingFaultInjector* timing_faults = nullptr;
+
+  /// Latency-ring window per stage.
+  size_t latency_window = 256;
+};
+
+/// Per-frame outcome.
+struct ServeResult {
+  int64_t frame_index = 0;
+  ServingMode mode = ServingMode::kVbpSsim;  ///< rung that actually served the frame
+  bool scored = false;      ///< a calibrated novelty decision was made
+  bool abandoned = false;   ///< frame deadline blown mid-pipeline
+  bool deadline_overrun = false;  ///< any stage or frame budget blown
+  bool sensor_bad = false;  ///< screened out before scoring
+  bool novel = false;
+  double score = std::numeric_limits<double>::quiet_NaN();
+  double steering = std::numeric_limits<double>::quiet_NaN();
+  core::MonitorState monitor_state = core::MonitorState::kNominal;
+  core::FallbackPath fallback_path = core::FallbackPath::kNone;
+  std::array<int64_t, kStageCount> stage_ns{};  ///< 0 for stages not run
+};
+
+class Supervisor {
+ public:
+  /// `detector` must be fitted (all variant calibrations present) and
+  /// outlive the supervisor. `steering_model` may be null only when the
+  /// detector's preprocessing does not use saliency; it is also used for
+  /// the steer stage. `clock` may be null (a SteadyClock is created).
+  Supervisor(const core::NoveltyDetector& detector, nn::Sequential* steering_model,
+             SupervisorConfig config = {}, Clock* clock = nullptr);
+
+  /// Runs one frame through the staged pipeline. Never throws on malformed
+  /// frames or stage failures — misbehaviour is folded into the result and
+  /// the health counters.
+  ServeResult process(const Image& frame);
+
+  ServingMode mode() const { return mode_; }
+  BreakerState breaker_state() const { return breaker_.state(); }
+  const core::NoveltyMonitor& monitor() const { return monitor_; }
+  int64_t frames_total() const { return frames_total_; }
+
+  HealthSnapshot health() const;
+
+ private:
+  struct StageOutcome {
+    bool threw = false;
+    bool overrun = false;
+    bool ok() const { return !threw && !overrun; }
+  };
+
+  static core::DetectorVariant variant_for(ServingMode mode);
+  static bool mode_uses_saliency(ServingMode mode) {
+    return mode == ServingMode::kVbpSsim || mode == ServingMode::kVbpMse;
+  }
+
+  StageOutcome run_stage(Stage stage, int64_t frame_index, ServeResult& result,
+                         const std::function<void()>& body);
+  bool frame_deadline_blown(int64_t frame_start_ns) const;
+  void finish_abandoned(ServeResult& result);
+  void attach_monitor_state(ServeResult& result);
+  void update_ladder(bool frame_bad);
+  void set_mode(ServingMode mode);
+
+  const core::NoveltyDetector& detector_;
+  nn::Sequential* steering_model_;
+  SupervisorConfig config_;
+  std::unique_ptr<Clock> owned_clock_;
+  Clock* clock_;
+
+  core::NoveltyMonitor monitor_;
+  CircuitBreaker breaker_;
+  const bool saliency_configured_;
+
+  ServingMode mode_ = ServingMode::kVbpSsim;
+  int bad_streak_ = 0;
+  int healthy_streak_ = 0;
+  std::optional<Image> last_valid_frame_;  ///< frozen-frame detection
+
+  // Exact counters backing HealthSnapshot.
+  int64_t frames_total_ = 0;
+  int64_t frames_scored_ = 0;
+  int64_t frames_abandoned_ = 0;
+  int64_t frames_held_ = 0;
+  int64_t frames_sensor_bad_ = 0;
+  int64_t deadline_overruns_ = 0;
+  int64_t scoring_failures_ = 0;
+  int64_t nonfinite_scores_ = 0;
+  int64_t step_downs_ = 0;
+  int64_t promotions_ = 0;
+  std::array<int64_t, kStageCount> stage_overruns_{};
+  std::array<LatencyRing, kStageCount> rings_;
+};
+
+}  // namespace salnov::serving

@@ -2,6 +2,8 @@
 // threshold calibration, NoveltyDetector pipeline, pipeline serialization.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -163,6 +165,50 @@ TEST(Threshold, SaveLoadRoundTrip) {
   EXPECT_EQ(back.orientation(), ScoreOrientation::kLowIsNovel);
 }
 
+TEST(Threshold, NonFiniteScoresAreAlwaysNovel) {
+  // Non-finite containment: a NaN/Inf score is a pipeline malfunction, and a
+  // malfunction must fail toward "novel" (engage the fallback), never toward
+  // "familiar" — under BOTH orientations, where naive comparisons against
+  // NaN would return false.
+  const std::vector<double> scores{1.0, 2.0, 3.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const NoveltyThreshold high = NoveltyThreshold::calibrate(scores, ScoreOrientation::kHighIsNovel);
+  EXPECT_TRUE(high.is_novel(nan));
+  EXPECT_TRUE(high.is_novel(inf));
+  EXPECT_TRUE(high.is_novel(-inf));
+  const NoveltyThreshold low = NoveltyThreshold::calibrate(scores, ScoreOrientation::kLowIsNovel);
+  EXPECT_TRUE(low.is_novel(nan));
+  EXPECT_TRUE(low.is_novel(inf));
+  EXPECT_TRUE(low.is_novel(-inf));
+}
+
+TEST(Threshold, CalibrateIgnoresNonFiniteTrainingScores) {
+  // One NaN score in a training batch must not shift (or poison) the
+  // percentile computation.
+  const std::vector<double> clean{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> dirty = clean;
+  dirty.push_back(std::numeric_limits<double>::quiet_NaN());
+  const NoveltyThreshold a = NoveltyThreshold::calibrate(clean, ScoreOrientation::kHighIsNovel);
+  const NoveltyThreshold b = NoveltyThreshold::calibrate(dirty, ScoreOrientation::kHighIsNovel);
+  EXPECT_DOUBLE_EQ(a.threshold(), b.threshold());
+}
+
+TEST(VariantCalibrationTest, CalibrateMatchesThresholdAndKeepsSamples) {
+  const std::vector<double> scores{0.1, 0.2, 0.3, 0.4, 0.5};
+  const VariantCalibration calibration =
+      VariantCalibration::calibrate(scores, ScoreOrientation::kHighIsNovel, 0.99);
+  EXPECT_DOUBLE_EQ(
+      calibration.threshold.threshold(),
+      NoveltyThreshold::calibrate(scores, ScoreOrientation::kHighIsNovel, 0.99).threshold());
+  EXPECT_EQ(calibration.cdf.samples().size(), scores.size());
+  std::stringstream buffer;
+  calibration.save(buffer);
+  const VariantCalibration loaded = VariantCalibration::load(buffer);
+  EXPECT_EQ(loaded.cdf.samples(), calibration.cdf.samples());
+  EXPECT_DOUBLE_EQ(loaded.threshold.threshold(), calibration.threshold.threshold());
+}
+
 TEST(DetectorConfig, FactoryPresets) {
   EXPECT_EQ(NoveltyDetectorConfig::proposed().preprocessing, Preprocessing::kVbp);
   EXPECT_EQ(NoveltyDetectorConfig::proposed().score, ReconstructionScore::kSsim);
@@ -240,6 +286,52 @@ TEST_F(NoveltyPipelineTest, ClassifyReportsScoreAndThreshold) {
   const NoveltyResult result = detector.classify(train_->image(0));
   EXPECT_DOUBLE_EQ(result.threshold, detector.threshold().threshold());
   EXPECT_EQ(result.is_novel, detector.threshold().is_novel(result.score));
+}
+
+TEST_F(NoveltyPipelineTest, VariantScoringSharesOneAutoencoder) {
+  NoveltyDetector detector(tiny_config(Preprocessing::kVbp, ReconstructionScore::kSsim));
+  detector.attach_steering_model(steering_);
+  Rng rng = rng_->split();
+  detector.fit(train_->images(), rng);
+  ASSERT_TRUE(detector.has_variant_calibrations());
+
+  const Image& probe = train_->image(0);
+  // kPrimary is the configured pipeline, bit for bit.
+  EXPECT_DOUBLE_EQ(detector.score_variant(DetectorVariant::kPrimary, probe),
+                   detector.score(probe));
+  // kPreprocessedMse scores the same VBP mask with MSE instead of SSIM.
+  const Image mask = detector.preprocess(probe);
+  EXPECT_DOUBLE_EQ(detector.score_variant(DetectorVariant::kPreprocessedMse, probe),
+                   detector.variant_score_pair(DetectorVariant::kPreprocessedMse, mask,
+                                               detector.reconstruct(mask)));
+  // kRawMse never touches saliency: raw frame through the same autoencoder.
+  EXPECT_DOUBLE_EQ(detector.score_variant(DetectorVariant::kRawMse, probe),
+                   detector.variant_score_pair(DetectorVariant::kRawMse, probe,
+                                               detector.reconstruct(probe)));
+  // Each rung carries its own fitted calibration; the degraded rungs are
+  // MSE-scored, so their thresholds use the high-is-novel orientation.
+  for (int v = 0; v < kDetectorVariantCount; ++v) {
+    const auto variant = static_cast<DetectorVariant>(v);
+    EXPECT_TRUE(std::isfinite(detector.variant_calibration(variant).threshold.threshold()));
+  }
+  // Most training frames must be admitted by every rung's own threshold
+  // (each is calibrated at the 99th percentile of its own score stream).
+  for (int v = 0; v < kDetectorVariantCount; ++v) {
+    const auto variant = static_cast<DetectorVariant>(v);
+    int flagged = 0;
+    for (int64_t i = 0; i < train_->size(); ++i) {
+      const double s = detector.score_variant(variant, train_->image(i));
+      flagged += detector.variant_calibration(variant).threshold.is_novel(s) ? 1 : 0;
+    }
+    EXPECT_LE(flagged, train_->size() / 10) << detector_variant_name(variant);
+  }
+}
+
+TEST(Detector, VariantCalibrationMissingThrows) {
+  NoveltyDetectorConfig config = tiny_config(Preprocessing::kRaw, ReconstructionScore::kMse);
+  NoveltyDetector detector(config);
+  EXPECT_FALSE(detector.has_variant_calibrations());
+  EXPECT_THROW(detector.variant_calibration(DetectorVariant::kRawMse), std::logic_error);
 }
 
 TEST_F(NoveltyPipelineTest, PreprocessVbpProducesNormalizedMask) {

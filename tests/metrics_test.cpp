@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "image/transforms.hpp"
@@ -242,6 +244,32 @@ TEST(Ecdf, InvalidInputsThrow) {
   EXPECT_THROW(EmpiricalCdf({}), std::invalid_argument);
   EmpiricalCdf cdf({1.0});
   EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Ecdf, NonFiniteSamplesAreExcludedFromQuantileMath) {
+  // Regression: a NaN inside std::sort is undefined behaviour (it breaks
+  // strict weak ordering), and an Inf would silently stretch the tail. The
+  // ECDF must drop non-finite samples before any order statistics.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EmpiricalCdf cdf({1.0, nan, 2.0, inf, 3.0, -inf, 4.0});
+  ASSERT_EQ(cdf.samples().size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0) << "Inf must not become the tail";
+  EXPECT_DOUBLE_EQ(cdf.cdf(2.0), 0.5);
+}
+
+TEST(Ecdf, AllNonFiniteThrows) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(EmpiricalCdf({nan, nan}), std::invalid_argument);
+}
+
+TEST(Ecdf, SaveLoadRoundTripsExactly) {
+  EmpiricalCdf cdf({0.25, -1.5, 3.75, 0.25});
+  std::stringstream buffer;
+  cdf.save(buffer);
+  const EmpiricalCdf loaded = EmpiricalCdf::load(buffer);
+  EXPECT_EQ(loaded.samples(), cdf.samples());
+  EXPECT_DOUBLE_EQ(loaded.quantile(0.99), cdf.quantile(0.99));
 }
 
 TEST(Ecdf, MeanAndStddev) {

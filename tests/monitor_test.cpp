@@ -272,6 +272,91 @@ TEST_F(MonitorFixture, InterleavedNoveltyAndSensorFault) {
   EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kFallback);
 }
 
+TEST_F(MonitorFixture, NoveltyHysteresisIsCleanAfterSensorFaultRelease) {
+  // Regression guard: a novel streak accumulated before a sensor fault must
+  // not survive it. After the fault releases, the novelty machine has to
+  // earn kFallback from zero — otherwise a single post-recovery novel frame
+  // could trip the fallback off stale evidence.
+  MonitorConfig config;
+  config.trigger_frames = 2;
+  config.sensor_trigger_frames = 1;
+  config.sensor_release_frames = 2;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(35);
+
+  // One novel frame: streak of 1 (alert, below the trigger).
+  ASSERT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kAlert);
+  // Camera dies, then recovers.
+  Image bad(kH, kW);
+  ASSERT_EQ(monitor.update(bad).state, MonitorState::kSensorFault);
+  monitor.update(familiar_frame(rng));
+  ASSERT_EQ(monitor.update(familiar_frame(rng)).state, MonitorState::kNominal);
+
+  // Into a novel world: the first novel frame may only alert; the stale
+  // pre-fault streak is gone.
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kAlert);
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kFallback);
+}
+
+TEST_F(MonitorFixture, SensorReleaseIntoNovelWorldRetriggersPromptly) {
+  // The serving runtime's sensor hold must not mask a genuinely novel world:
+  // scored novel frames during kSensorFault both release the sensor path and
+  // count toward the novelty trigger.
+  MonitorConfig config;
+  config.trigger_frames = 2;
+  config.sensor_trigger_frames = 1;
+  config.sensor_release_frames = 2;
+  NoveltyMonitor monitor(*detector_, config);
+  Rng rng(37);
+  Image bad(kH, kW);
+  ASSERT_EQ(monitor.update(bad).state, MonitorState::kSensorFault);
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kSensorFault);
+  // Second good frame releases the sensor path; the two novel frames seen
+  // during the fault already satisfy the novelty trigger.
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kNominal);
+  EXPECT_EQ(monitor.update(novel_frame(rng)).state, MonitorState::kFallback);
+}
+
+// ---------------------------------------------------------------------------
+// External-scoring entry points (used by the serving supervisor).
+
+TEST_F(MonitorFixture, UpdateScoredDrivesTheSameHysteresis) {
+  MonitorConfig config;
+  config.trigger_frames = 2;
+  config.release_frames = 2;
+  NoveltyMonitor monitor(*detector_, config);
+  EXPECT_EQ(monitor.update_scored(0.1, false).state, MonitorState::kNominal);
+  EXPECT_EQ(monitor.update_scored(0.9, true).state, MonitorState::kAlert);
+  EXPECT_EQ(monitor.update_scored(0.9, true).state, MonitorState::kFallback);
+  EXPECT_EQ(monitor.update_scored(0.1, false).state, MonitorState::kFallback);
+  EXPECT_EQ(monitor.update_scored(0.1, false).state, MonitorState::kNominal);
+  EXPECT_EQ(monitor.frames_seen(), 5);
+}
+
+TEST_F(MonitorFixture, NonFiniteScoreDoesNotPoisonTheEma) {
+  NoveltyMonitor monitor(*detector_);
+  const MonitorUpdate first = monitor.update_scored(0.5, false);
+  EXPECT_DOUBLE_EQ(first.smoothed_score, 0.5);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const MonitorUpdate second = monitor.update_scored(nan, true);
+  EXPECT_DOUBLE_EQ(second.smoothed_score, 0.5) << "EMA must skip non-finite scores";
+  EXPECT_TRUE(std::isnan(second.raw_score));
+  const MonitorUpdate third = monitor.update_scored(std::numeric_limits<double>::infinity(), true);
+  EXPECT_DOUBLE_EQ(third.smoothed_score, 0.5);
+}
+
+TEST_F(MonitorFixture, UpdateSensorBadFeedsTheSensorPath) {
+  MonitorConfig config;
+  config.sensor_trigger_frames = 2;
+  NoveltyMonitor monitor(*detector_, config);
+  EXPECT_EQ(monitor.update_sensor_bad(FrameFault::kNone, /*frozen=*/true).state,
+            MonitorState::kNominal);
+  const MonitorUpdate u = monitor.update_sensor_bad(FrameFault::kOutOfRange, false);
+  EXPECT_EQ(u.state, MonitorState::kSensorFault);
+  EXPECT_EQ(u.frame_fault, FrameFault::kOutOfRange);
+  EXPECT_FALSE(u.frame_scored);
+}
+
 TEST_F(MonitorFixture, FrozenDetectionCanBeDisabled) {
   MonitorConfig config;
   config.detect_frozen_frames = false;

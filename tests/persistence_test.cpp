@@ -16,6 +16,7 @@
 #include "core/autoencoder.hpp"
 #include "core/novelty_detector.hpp"
 #include "core/pipeline_io.hpp"
+#include "driving/pilotnet.hpp"
 #include "nn/dense.hpp"
 #include "nn/model_io.hpp"
 #include "nn/sequential.hpp"
@@ -265,6 +266,62 @@ TEST_F(PipelinePersistence, TruncatedPipelineIsTypedError) {
   EXPECT_THROW(core::PipelineIo::load_file(path), TruncatedFileError);
   dump(path, good.substr(0, 8));  // shorter than the trailer itself
   EXPECT_THROW(core::PipelineIo::load_file(path), TruncatedFileError);
+}
+
+TEST_F(PipelinePersistence, VariantCalibrationsRoundTripBitExact) {
+  // The serving runtime's fallback ladder is only trustworthy if every
+  // rung's fitted ECDF + threshold survives persistence exactly.
+  TempDir dir;
+  const std::string path = dir.file("detector.pipeline");
+  core::PipelineIo::save_file(path, *detector_, nullptr);
+  core::LoadedPipeline loaded = core::PipelineIo::load_file(path);
+  ASSERT_TRUE(loaded.detector->has_variant_calibrations());
+  for (int v = 0; v < core::kDetectorVariantCount; ++v) {
+    const auto variant = static_cast<core::DetectorVariant>(v);
+    const core::VariantCalibration& saved = detector_->variant_calibration(variant);
+    const core::VariantCalibration& restored = loaded.detector->variant_calibration(variant);
+    EXPECT_EQ(saved.cdf.samples(), restored.cdf.samples())
+        << core::detector_variant_name(variant);
+    EXPECT_EQ(saved.threshold.threshold(), restored.threshold.threshold())
+        << core::detector_variant_name(variant);
+  }
+}
+
+TEST(VbpPipelinePersistence, FullLadderRoundTripsWithSteeringModel) {
+  // Under VBP preprocessing the raw+MSE rung is calibrated on a genuinely
+  // different score stream than the primary; all three rungs (and their
+  // variant scores) must survive the file round trip bit-exactly.
+  const int64_t h = 12, w = 16;
+  Rng rng(13);
+  nn::Sequential steering = driving::build_pilotnet(driving::PilotNetConfig::tiny(h, w), rng);
+  core::NoveltyDetectorConfig config;
+  config.height = h;
+  config.width = w;
+  config.preprocessing = core::Preprocessing::kVbp;
+  config.score = core::ReconstructionScore::kSsim;
+  config.autoencoder = core::AutoencoderConfig::tiny(h, w);
+  config.train_epochs = 3;
+  core::NoveltyDetector detector(config);
+  detector.attach_steering_model(&steering);
+  std::vector<Image> train;
+  for (int i = 0; i < 8; ++i) train.push_back(Image(h, w, rng.uniform_tensor({h * w}, 0.0, 1.0)));
+  detector.fit(train, rng);
+
+  TempDir dir;
+  const std::string path = dir.file("vbp.pipeline");
+  core::PipelineIo::save_file(path, detector, &steering);
+  core::LoadedPipeline loaded = core::PipelineIo::load_file(path);
+
+  const Image probe(h, w, rng.uniform_tensor({h * w}, 0.0, 1.0));
+  for (int v = 0; v < core::kDetectorVariantCount; ++v) {
+    const auto variant = static_cast<core::DetectorVariant>(v);
+    EXPECT_EQ(detector.variant_calibration(variant).cdf.samples(),
+              loaded.detector->variant_calibration(variant).cdf.samples());
+    EXPECT_DOUBLE_EQ(detector.variant_calibration(variant).threshold.threshold(),
+                     loaded.detector->variant_calibration(variant).threshold.threshold());
+    EXPECT_DOUBLE_EQ(detector.score_variant(variant, probe),
+                     loaded.detector->score_variant(variant, probe));
+  }
 }
 
 TEST_F(PipelinePersistence, SaveOverwritesAtomically) {

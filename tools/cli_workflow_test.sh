@@ -29,6 +29,26 @@ echo "$OUT" | grep -q "3/5 flagged novel"
 test -f sal/img00002_mask.pgm
 test -f sal/img00002_overlay.pgm
 
+# Degraded-mode serving: a persistent saliency stall under the fake clock must
+# step the ladder down to raw+MSE, report a nonzero overrun counter, and still
+# exit 0 (the runtime absorbs the fault instead of failing).
+SERVE="$("$CLI" serve --pipeline detector.pipeline --frames 40 --dataset outdoor \
+        --seed 7 --fake-clock --stage-budget-ns 1000000 \
+        --stall-stage 2 --stall-ns 5000000 --promote-after 100 \
+        --health-out health.json)"
+echo "$SERVE"
+echo "$SERVE" | grep -q "final_mode=raw+mse"
+echo "$SERVE" | grep -Eq "deadline_overruns=[1-9]"
+echo "$SERVE" | grep -q '"name":"saliency","overruns":2'
+test -f health.json
+grep -q '"mode":"raw+mse"' health.json
+
+# A healthy serve run stays at the top of the ladder with clean counters.
+SERVE_OK="$("$CLI" serve --pipeline detector.pipeline --frames 20 --dataset outdoor \
+        --seed 7 --fake-clock)"
+echo "$SERVE_OK" | grep -q "final_mode=vbp+ssim"
+echo "$SERVE_OK" | grep -q "deadline_overruns=0"
+
 # A truncated pipeline file must be rejected with a diagnostic, not crash.
 head -c 100 detector.pipeline > truncated.pipeline
 if ERR="$("$CLI" classify --pipeline truncated.pipeline target/img00000.pgm 2>&1)"; then

@@ -14,6 +14,10 @@
 //       Score images; prints score, threshold, verdict per image.
 //   salnov saliency --steering MODEL --out DIR IMAGE...
 //       Dump VBP masks and overlays for images.
+//   salnov serve --pipeline PIPELINE [--frames N] [--dataset outdoor|indoor]
+//       [--fake-clock] [--stall-stage K --stall-ns NS ...] [--health-out FILE]
+//       Drive the fault-tolerant serving runtime over generated frames and
+//       report the health snapshot (mode ladder, breaker, overrun counters).
 //
 // All images are 8-bit PGM at the pipeline resolution (60x160 by default;
 // --height/--width override consistently across subcommands).
@@ -77,6 +81,13 @@ int usage() {
                "                  [--epochs N]\n"
                "  classify        --pipeline PIPELINE IMAGE...\n"
                "  saliency        --steering MODEL --out DIR IMAGE...\n"
+               "  serve           --pipeline PIPELINE [--frames N] [--dataset outdoor|indoor]\n"
+               "                  [--fake-clock] [--stage-budget-ns NS] [--frame-budget-ns NS]\n"
+               "                  [--stall-stage K --stall-ns NS [--stall-first F]\n"
+               "                   [--stall-last L] [--stall-period P]]\n"
+               "                  [--demote-after N] [--promote-after N]\n"
+               "                  [--breaker-threshold N] [--breaker-open-frames N]\n"
+               "                  [--health-out FILE]\n"
                "common: --height H --width W (default 60 160), --seed S\n");
   return 2;
 }
@@ -273,6 +284,89 @@ int cmd_saliency(const Args& args) {
   return 0;
 }
 
+// --- serve ----------------------------------------------------------------------
+
+int cmd_serve(const Args& args) {
+  const std::string pipeline_path = args.get("pipeline");
+  if (pipeline_path.empty()) return fail("serve: --pipeline is required");
+  core::LoadedPipeline pipeline = core::PipelineIo::load_file(pipeline_path);
+  const core::NoveltyDetector& detector = *pipeline.detector;
+
+  const int64_t frames = args.get_int("frames", 200);
+  if (frames < 1) return fail("serve: --frames must be >= 1");
+  const std::string dataset = args.get("dataset", "outdoor");
+  std::unique_ptr<roadsim::SceneGenerator> generator;
+  if (dataset == "outdoor") {
+    generator = std::make_unique<roadsim::OutdoorSceneGenerator>();
+  } else if (dataset == "indoor") {
+    generator = std::make_unique<roadsim::IndoorSceneGenerator>();
+  } else {
+    return fail("serve: unknown dataset '" + dataset + "'");
+  }
+
+  serving::SupervisorConfig config;
+  if (args.has("stage-budget-ns")) {
+    config.stage_budget_ns.fill(args.get_int("stage-budget-ns", 0));
+  }
+  config.frame_budget_ns = args.get_int("frame-budget-ns", config.frame_budget_ns);
+  config.demote_after_bad_frames =
+      static_cast<int>(args.get_int("demote-after", config.demote_after_bad_frames));
+  config.promote_after_healthy_frames =
+      static_cast<int>(args.get_int("promote-after", config.promote_after_healthy_frames));
+  config.breaker.failure_threshold =
+      static_cast<int>(args.get_int("breaker-threshold", config.breaker.failure_threshold));
+  config.breaker.open_frames = args.get_int("breaker-open-frames", config.breaker.open_frames);
+
+  faults::TimingFaultInjector injector;
+  if (args.has("stall-stage")) {
+    faults::TimingFault fault;
+    fault.stage = static_cast<int>(args.get_int("stall-stage", 2));
+    fault.stall_ns = args.get_int("stall-ns", 0);
+    fault.first_frame = args.get_int("stall-first", 0);
+    fault.last_frame = args.get_int("stall-last", fault.last_frame);
+    fault.period = args.get_int("stall-period", 1);
+    injector.add(fault);
+    config.timing_faults = &injector;
+  }
+
+  // Under --fake-clock the only elapsed time is the injected stalls, so the
+  // overrun/fallback trace is reproducible bit-for-bit across machines.
+  serving::FakeClock fake_clock;
+  serving::Clock* clock = args.has("fake-clock") ? &fake_clock : nullptr;
+  serving::Supervisor supervisor(detector, pipeline.steering_model.get(), config, clock);
+
+  Rng rng(static_cast<uint64_t>(args.get_int("seed", 1)));
+  int64_t novel_frames = 0;
+  for (int64_t i = 0; i < frames; ++i) {
+    const roadsim::Sample sample = generator->generate(rng);
+    Image view = resize_bilinear(sample.rgb.to_grayscale(), detector.config().height,
+                                 detector.config().width);
+    const serving::ServeResult result = supervisor.process(view);
+    novel_frames += (result.scored && result.novel) ? 1 : 0;
+  }
+
+  const serving::HealthSnapshot health = supervisor.health();
+  const std::string json = health.to_json();
+  const std::string health_out = args.get("health-out");
+  if (!health_out.empty()) {
+    std::ofstream out(health_out);
+    if (!out) return fail("serve: cannot write " + health_out);
+    out << json << '\n';
+  }
+  std::printf("%s\n", json.c_str());
+  // Grep-able summary lines for shell harnesses.
+  std::printf("final_mode=%s\n", serving::serving_mode_name(health.mode));
+  std::printf("breaker_state=%s\n", serving::breaker_state_name(health.breaker_state));
+  std::printf("frames_total=%lld\n", static_cast<long long>(health.frames_total));
+  std::printf("frames_scored=%lld\n", static_cast<long long>(health.frames_scored));
+  std::printf("novel_frames=%lld\n", static_cast<long long>(novel_frames));
+  std::printf("deadline_overruns=%lld\n", static_cast<long long>(health.deadline_overruns));
+  std::printf("step_downs=%lld\n", static_cast<long long>(health.step_downs));
+  std::printf("promotions=%lld\n", static_cast<long long>(health.promotions));
+  std::printf("breaker_trips=%lld\n", static_cast<long long>(health.breaker_trips));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -283,6 +377,7 @@ int main(int argc, char** argv) {
     if (args.command == "fit") return cmd_fit(args);
     if (args.command == "classify") return cmd_classify(args);
     if (args.command == "saliency") return cmd_saliency(args);
+    if (args.command == "serve") return cmd_serve(args);
   } catch (const TruncatedFileError& e) {
     return fail(std::string(e.what()) +
                 " (file is incomplete — re-run the fit/train step that produced it)");
