@@ -39,8 +39,15 @@ VariantCalibration VariantCalibration::calibrate(const std::vector<double>& trai
     throw std::invalid_argument("VariantCalibration: percentile must be in (0, 1)");
   }
   EmpiricalCdf cdf(training_scores);
-  const double q = orientation == ScoreOrientation::kHighIsNovel ? percentile : 1.0 - percentile;
-  NoveltyThreshold threshold(cdf.quantile(q), orientation);
+  // Conservative order-statistic quantiles: the threshold is always an
+  // actual training score, so at most a (1 - percentile) fraction of the
+  // training set is flagged even when ties dominate the distribution (the
+  // interpolating quantile() can land between tied values and flag a whole
+  // duplicate block).
+  const double cut = orientation == ScoreOrientation::kHighIsNovel
+                         ? cdf.upper_quantile(percentile)
+                         : cdf.lower_quantile(1.0 - percentile);
+  NoveltyThreshold threshold(cut, orientation);
   return VariantCalibration{std::move(cdf), threshold};
 }
 

@@ -25,7 +25,22 @@ class EmpiricalCdf {
 
   /// Inverse CDF with linear interpolation between order statistics;
   /// `q` in [0, 1]. quantile(0) = min sample, quantile(1) = max sample.
+  /// Interpolation can fall strictly between ties — for calibrated
+  /// thresholds use upper_quantile/lower_quantile, which always return an
+  /// actual sample.
   double quantile(double q) const;
+
+  /// Conservative inverse CDF: the smallest SAMPLE x with cdf(x) >= q, so
+  /// at most a (1-q) fraction of the samples exceed the result. Exactly
+  /// idempotent against cdf() — upper_quantile(cdf(x)) == x for every
+  /// sample x — including on duplicate-heavy sample sets where the
+  /// interpolating quantile() lands between tied values.
+  double upper_quantile(double q) const;
+
+  /// Mirror image: the largest sample x such that at most a `q` fraction of
+  /// the samples lie strictly below x. lower_quantile(q) on S equals
+  /// -upper_quantile(1-q) on -S.
+  double lower_quantile(double q) const;
 
   double min() const { return sorted_.front(); }
   double max() const { return sorted_.back(); }

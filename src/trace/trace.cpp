@@ -1,0 +1,501 @@
+#include "trace/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "image/transforms.hpp"
+#include "roadsim/indoor_generator.hpp"
+#include "roadsim/outdoor_generator.hpp"
+#include "serving/clock.hpp"
+#include "tensor/serialize.hpp"
+
+namespace salnov::trace {
+
+namespace {
+
+constexpr const char* kTraceMagic = "salnov-trace";
+constexpr uint32_t kTraceVersion = 1;
+
+// Frame-record flag bits (TraceFrame bools packed into one u32).
+constexpr uint32_t kFlagScored = 1u << 0;
+constexpr uint32_t kFlagAbandoned = 1u << 1;
+constexpr uint32_t kFlagDeadlineOverrun = 1u << 2;
+constexpr uint32_t kFlagSensorBad = 1u << 3;
+constexpr uint32_t kFlagNovel = 1u << 4;
+
+uint32_t checked_enum(std::istream& is, uint32_t limit, const char* what) {
+  const uint32_t value = read_u32(is);
+  if (value >= limit) {
+    throw SerializationError(std::string("trace: ") + what + " value " + std::to_string(value) +
+                             " out of range");
+  }
+  return value;
+}
+
+std::string format_i64(int64_t value) { return std::to_string(value); }
+
+std::string format_f64(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+/// True when `fault` is scheduled to fire on `frame`.
+bool fault_active(const TraceCameraFault& fault, int64_t frame) {
+  if (frame < fault.first_frame || frame > fault.last_frame) return false;
+  return (frame - fault.first_frame) % fault.period == 0;
+}
+
+std::unique_ptr<roadsim::SceneGenerator> make_generator(const std::string& dataset) {
+  if (dataset == "outdoor") return std::make_unique<roadsim::OutdoorSceneGenerator>();
+  if (dataset == "indoor") return std::make_unique<roadsim::IndoorSceneGenerator>();
+  throw std::invalid_argument("trace: unknown dataset '" + dataset + "'");
+}
+
+/// Floats diverge when not both-NaN and the relative gap exceeds the
+/// tolerance. tolerance 0 demands bit-exactness (NaN == NaN included).
+bool f64_diverges(double recorded, double replayed, double tolerance) {
+  const bool rec_nan = std::isnan(recorded);
+  const bool rep_nan = std::isnan(replayed);
+  if (rec_nan || rep_nan) return rec_nan != rep_nan;
+  if (tolerance <= 0.0) return recorded != replayed;
+  const double scale = std::max({1.0, std::fabs(recorded), std::fabs(replayed)});
+  return std::fabs(recorded - replayed) > tolerance * scale;
+}
+
+/// Comparison context: first divergence wins, later checks become no-ops.
+struct Differ {
+  std::optional<Divergence>& out;
+  int64_t frame = -1;
+
+  void check_i64(const char* stage, const char* field, int64_t recorded, int64_t replayed) {
+    if (out || recorded == replayed) return;
+    out = Divergence{frame, stage, field, format_i64(recorded), format_i64(replayed)};
+  }
+  void check_bool(const char* stage, const char* field, bool recorded, bool replayed) {
+    check_i64(stage, field, recorded ? 1 : 0, replayed ? 1 : 0);
+  }
+  void check_enum(const char* stage, const char* field, int recorded, int replayed,
+                  const char* (*name)(int)) {
+    if (out || recorded == replayed) return;
+    out = Divergence{frame, stage, field, name(recorded), name(replayed)};
+  }
+  void check_f64(const char* stage, const char* field, double recorded, double replayed,
+                 double tolerance) {
+    if (out || !f64_diverges(recorded, replayed, tolerance)) return;
+    out = Divergence{frame, stage, field, format_f64(recorded), format_f64(replayed)};
+  }
+};
+
+const char* serving_mode_tag(int value) {
+  return serving::serving_mode_name(static_cast<serving::ServingMode>(value));
+}
+const char* breaker_state_tag(int value) {
+  return serving::breaker_state_name(static_cast<serving::BreakerState>(value));
+}
+const char* monitor_state_tag(int value) {
+  switch (static_cast<core::MonitorState>(value)) {
+    case core::MonitorState::kNominal: return "nominal";
+    case core::MonitorState::kAlert: return "alert";
+    case core::MonitorState::kFallback: return "fallback";
+    case core::MonitorState::kSensorFault: return "sensor-fault";
+  }
+  return "?";
+}
+const char* fallback_path_tag(int value) {
+  switch (static_cast<core::FallbackPath>(value)) {
+    case core::FallbackPath::kNone: return "none";
+    case core::FallbackPath::kNovelty: return "novelty";
+    case core::FallbackPath::kSensorFault: return "sensor-fault";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// --- spec -------------------------------------------------------------------
+
+void TraceRunSpec::validate() const {
+  make_generator(dataset);  // throws on unknown dataset
+  if (frames < 0) throw std::invalid_argument("trace: negative frame count");
+  if (height <= 0 || width <= 0) throw std::invalid_argument("trace: non-positive resolution");
+  faults::TimingFaultInjector probe;
+  for (const auto& stall : stalls) probe.add(stall);  // throws on a bad schedule
+  for (const auto& fault : camera_faults) {
+    if (!(fault.severity >= 0.0 && fault.severity <= 1.0)) {
+      throw std::invalid_argument("trace: camera-fault severity outside [0, 1]");
+    }
+    if (fault.period <= 0 || fault.first_frame < 0 || fault.last_frame < fault.first_frame) {
+      throw std::invalid_argument("trace: bad camera-fault schedule");
+    }
+  }
+}
+
+// --- conversion -------------------------------------------------------------
+
+TraceFrame TraceFrame::from(const serving::ServeResult& result, serving::ServingMode mode_after,
+                            serving::BreakerState breaker_after) {
+  TraceFrame frame;
+  frame.frame_index = result.frame_index;
+  frame.mode = result.mode;
+  frame.scored = result.scored;
+  frame.abandoned = result.abandoned;
+  frame.deadline_overrun = result.deadline_overrun;
+  frame.sensor_bad = result.sensor_bad;
+  frame.novel = result.novel;
+  frame.score = result.score;
+  frame.steering = result.steering;
+  frame.monitor_state = result.monitor_state;
+  frame.fallback_path = result.fallback_path;
+  frame.stage_ns = result.stage_ns;
+  frame.mode_after = mode_after;
+  frame.breaker_after = breaker_after;
+  return frame;
+}
+
+TraceHealth TraceHealth::from(const serving::HealthSnapshot& snapshot) {
+  TraceHealth health;
+  health.frames_total = snapshot.frames_total;
+  health.frames_scored = snapshot.frames_scored;
+  health.frames_abandoned = snapshot.frames_abandoned;
+  health.frames_held = snapshot.frames_held;
+  health.frames_sensor_bad = snapshot.frames_sensor_bad;
+  health.deadline_overruns = snapshot.deadline_overruns;
+  health.scoring_failures = snapshot.scoring_failures;
+  health.nonfinite_scores = snapshot.nonfinite_scores;
+  health.step_downs = snapshot.step_downs;
+  health.promotions = snapshot.promotions;
+  health.breaker_trips = snapshot.breaker_trips;
+  health.probe_successes = snapshot.probe_successes;
+  health.probe_failures = snapshot.probe_failures;
+  return health;
+}
+
+// --- serialization ----------------------------------------------------------
+
+void Trace::save(std::ostream& os) const {
+  write_header(os, kTraceMagic, kTraceVersion);
+
+  write_string(os, spec.dataset);
+  write_i64(os, static_cast<int64_t>(spec.frame_seed));
+  write_i64(os, static_cast<int64_t>(spec.fault_seed));
+  write_i64(os, spec.frames);
+  write_i64(os, spec.height);
+  write_i64(os, spec.width);
+
+  write_u32(os, static_cast<uint32_t>(spec.stalls.size()));
+  for (const auto& stall : spec.stalls) {
+    write_i64(os, stall.stage);
+    write_i64(os, stall.stall_ns);
+    write_i64(os, stall.first_frame);
+    write_i64(os, stall.last_frame);
+    write_i64(os, stall.period);
+  }
+
+  write_u32(os, static_cast<uint32_t>(spec.camera_faults.size()));
+  for (const auto& fault : spec.camera_faults) {
+    write_u32(os, static_cast<uint32_t>(fault.fault));
+    write_f64(os, fault.severity);
+    write_i64(os, fault.first_frame);
+    write_i64(os, fault.last_frame);
+    write_i64(os, fault.period);
+  }
+
+  const serving::SupervisorConfig& sup = spec.supervisor;
+  for (int64_t budget : sup.stage_budget_ns) write_i64(os, budget);
+  write_i64(os, sup.frame_budget_ns);
+  write_i64(os, sup.breaker.failure_threshold);
+  write_i64(os, sup.breaker.open_frames);
+  write_i64(os, sup.demote_after_bad_frames);
+  write_i64(os, sup.promote_after_healthy_frames);
+  write_i64(os, sup.monitor.trigger_frames);
+  write_i64(os, sup.monitor.release_frames);
+  write_f64(os, sup.monitor.score_smoothing);
+  write_i64(os, sup.monitor.sensor_trigger_frames);
+  write_i64(os, sup.monitor.sensor_release_frames);
+  write_u32(os, sup.monitor.detect_frozen_frames ? 1 : 0);
+
+  write_u32(os, spec.pipeline_crc);
+  write_i64(os, spec.pipeline_bytes);
+
+  write_i64(os, static_cast<int64_t>(frames.size()));
+  for (const auto& frame : frames) {
+    write_i64(os, frame.frame_index);
+    write_u32(os, static_cast<uint32_t>(frame.mode));
+    uint32_t flags = 0;
+    if (frame.scored) flags |= kFlagScored;
+    if (frame.abandoned) flags |= kFlagAbandoned;
+    if (frame.deadline_overrun) flags |= kFlagDeadlineOverrun;
+    if (frame.sensor_bad) flags |= kFlagSensorBad;
+    if (frame.novel) flags |= kFlagNovel;
+    write_u32(os, flags);
+    write_f64(os, frame.score);
+    write_f64(os, frame.steering);
+    write_u32(os, static_cast<uint32_t>(frame.monitor_state));
+    write_u32(os, static_cast<uint32_t>(frame.fallback_path));
+    for (int64_t ns : frame.stage_ns) write_i64(os, ns);
+    write_u32(os, static_cast<uint32_t>(frame.mode_after));
+    write_u32(os, static_cast<uint32_t>(frame.breaker_after));
+  }
+
+  write_i64(os, health.frames_total);
+  write_i64(os, health.frames_scored);
+  write_i64(os, health.frames_abandoned);
+  write_i64(os, health.frames_held);
+  write_i64(os, health.frames_sensor_bad);
+  write_i64(os, health.deadline_overruns);
+  write_i64(os, health.scoring_failures);
+  write_i64(os, health.nonfinite_scores);
+  write_i64(os, health.step_downs);
+  write_i64(os, health.promotions);
+  write_i64(os, health.breaker_trips);
+  write_i64(os, health.probe_successes);
+  write_i64(os, health.probe_failures);
+}
+
+Trace Trace::load(std::istream& is) {
+  read_header(is, kTraceMagic, kTraceVersion);
+  Trace trace;
+  TraceRunSpec& spec = trace.spec;
+
+  spec.dataset = read_string(is);
+  spec.frame_seed = static_cast<uint64_t>(read_i64(is));
+  spec.fault_seed = static_cast<uint64_t>(read_i64(is));
+  spec.frames = read_i64(is);
+  spec.height = read_i64(is);
+  spec.width = read_i64(is);
+
+  const uint32_t n_stalls = read_u32(is);
+  spec.stalls.resize(n_stalls);
+  for (auto& stall : spec.stalls) {
+    stall.stage = static_cast<int>(read_i64(is));
+    stall.stall_ns = read_i64(is);
+    stall.first_frame = read_i64(is);
+    stall.last_frame = read_i64(is);
+    stall.period = read_i64(is);
+  }
+
+  const uint32_t n_camera = read_u32(is);
+  spec.camera_faults.resize(n_camera);
+  for (auto& fault : spec.camera_faults) {
+    fault.fault = static_cast<faults::CameraFault>(checked_enum(is, 8, "camera fault"));
+    fault.severity = read_f64(is);
+    fault.first_frame = read_i64(is);
+    fault.last_frame = read_i64(is);
+    fault.period = read_i64(is);
+  }
+
+  serving::SupervisorConfig& sup = spec.supervisor;
+  for (int64_t& budget : sup.stage_budget_ns) budget = read_i64(is);
+  sup.frame_budget_ns = read_i64(is);
+  sup.breaker.failure_threshold = static_cast<int>(read_i64(is));
+  sup.breaker.open_frames = read_i64(is);
+  sup.demote_after_bad_frames = static_cast<int>(read_i64(is));
+  sup.promote_after_healthy_frames = static_cast<int>(read_i64(is));
+  sup.monitor.trigger_frames = read_i64(is);
+  sup.monitor.release_frames = read_i64(is);
+  sup.monitor.score_smoothing = read_f64(is);
+  sup.monitor.sensor_trigger_frames = read_i64(is);
+  sup.monitor.sensor_release_frames = read_i64(is);
+  sup.monitor.detect_frozen_frames = read_u32(is) != 0;
+
+  spec.pipeline_crc = read_u32(is);
+  spec.pipeline_bytes = read_i64(is);
+
+  const int64_t n_frames = read_i64(is);
+  if (n_frames < 0) throw SerializationError("trace: negative frame-record count");
+  trace.frames.resize(static_cast<size_t>(n_frames));
+  for (auto& frame : trace.frames) {
+    frame.frame_index = read_i64(is);
+    frame.mode = static_cast<serving::ServingMode>(
+        checked_enum(is, serving::kServingModeCount, "serving mode"));
+    const uint32_t flags = read_u32(is);
+    frame.scored = (flags & kFlagScored) != 0;
+    frame.abandoned = (flags & kFlagAbandoned) != 0;
+    frame.deadline_overrun = (flags & kFlagDeadlineOverrun) != 0;
+    frame.sensor_bad = (flags & kFlagSensorBad) != 0;
+    frame.novel = (flags & kFlagNovel) != 0;
+    frame.score = read_f64(is);
+    frame.steering = read_f64(is);
+    frame.monitor_state = static_cast<core::MonitorState>(checked_enum(is, 4, "monitor state"));
+    frame.fallback_path = static_cast<core::FallbackPath>(checked_enum(is, 3, "fallback path"));
+    for (int64_t& ns : frame.stage_ns) ns = read_i64(is);
+    frame.mode_after = static_cast<serving::ServingMode>(
+        checked_enum(is, serving::kServingModeCount, "serving mode"));
+    frame.breaker_after =
+        static_cast<serving::BreakerState>(checked_enum(is, 3, "breaker state"));
+  }
+
+  TraceHealth& health = trace.health;
+  health.frames_total = read_i64(is);
+  health.frames_scored = read_i64(is);
+  health.frames_abandoned = read_i64(is);
+  health.frames_held = read_i64(is);
+  health.frames_sensor_bad = read_i64(is);
+  health.deadline_overruns = read_i64(is);
+  health.scoring_failures = read_i64(is);
+  health.nonfinite_scores = read_i64(is);
+  health.step_downs = read_i64(is);
+  health.promotions = read_i64(is);
+  health.breaker_trips = read_i64(is);
+  health.probe_successes = read_i64(is);
+  health.probe_failures = read_i64(is);
+  return trace;
+}
+
+void Trace::save_file(const std::string& path) const {
+  save_file_checked(path, [this](std::ostream& os) { save(os); });
+}
+
+Trace Trace::load_file(const std::string& path) {
+  const std::string payload = load_file_checked(path);
+  std::istringstream is(payload);
+  return load(is);
+}
+
+// --- scenario driver --------------------------------------------------------
+
+serving::HealthSnapshot drive(const TraceRunSpec& spec, const core::NoveltyDetector& detector,
+                              nn::Sequential* steering_model,
+                              const std::function<void(const TraceFrame&)>& on_frame) {
+  spec.validate();
+  if (spec.height != detector.config().height || spec.width != detector.config().width) {
+    throw std::invalid_argument("trace: spec resolution " + std::to_string(spec.height) + "x" +
+                                std::to_string(spec.width) + " does not match the pipeline (" +
+                                std::to_string(detector.config().height) + "x" +
+                                std::to_string(detector.config().width) + ")");
+  }
+
+  const std::unique_ptr<roadsim::SceneGenerator> generator = make_generator(spec.dataset);
+  faults::TimingFaultInjector stalls;
+  for (const auto& stall : spec.stalls) stalls.add(stall);
+  serving::SupervisorConfig config = spec.supervisor;
+  config.timing_faults = stalls.empty() ? nullptr : &stalls;
+
+  // All timing under a FakeClock: elapsed time is exactly the injected
+  // stalls, so the decision stream is a pure function of the spec.
+  serving::FakeClock clock;
+  serving::Supervisor supervisor(detector, steering_model, config, &clock);
+
+  Rng rng(spec.frame_seed);
+  faults::FaultInjector camera(spec.fault_seed);
+  for (int64_t i = 0; i < spec.frames; ++i) {
+    const roadsim::Sample sample = generator->generate(rng);
+    Image view = resize_bilinear(sample.rgb.to_grayscale(), spec.height, spec.width);
+    // Tick every scheduled fault each frame — severity 0 when inactive — so
+    // stateful faults (frozen-frame) and per-call variate draws see the same
+    // stream a continuously-faulted camera would.
+    for (const auto& fault : spec.camera_faults) {
+      view = camera.apply(fault.fault, fault_active(fault, i) ? fault.severity : 0.0, view);
+    }
+    const serving::ServeResult result = supervisor.process(view);
+    if (on_frame) {
+      on_frame(TraceFrame::from(result, supervisor.mode(), supervisor.breaker_state()));
+    }
+  }
+  return supervisor.health();
+}
+
+Trace TraceRecorder::record(const TraceRunSpec& spec, const core::NoveltyDetector& detector,
+                            nn::Sequential* steering_model) {
+  Trace trace;
+  trace.spec = spec;
+  trace.frames.reserve(static_cast<size_t>(spec.frames));
+  const serving::HealthSnapshot health =
+      drive(spec, detector, steering_model,
+            [&trace](const TraceFrame& frame) { trace.frames.push_back(frame); });
+  trace.health = TraceHealth::from(health);
+  return trace;
+}
+
+// --- diffing ----------------------------------------------------------------
+
+std::string Divergence::format() const {
+  std::string where = frame >= 0 ? "frame " + std::to_string(frame) : "run level";
+  return "divergence at " + where + ", stage " + stage + ", field " + field +
+         ": recorded=" + recorded + " replayed=" + replayed;
+}
+
+std::string ReplayReport::format() const {
+  if (!divergence) {
+    return "replay conformant (" + std::to_string(frames_compared) + " frames)";
+  }
+  return divergence->format();
+}
+
+ReplayReport compare(const Trace& recorded, const std::vector<TraceFrame>& replayed,
+                     const TraceHealth& replayed_health, const ReplayOptions& options) {
+  ReplayReport report;
+  Differ diff{report.divergence};
+
+  diff.check_i64("supervisor", "frame_count", static_cast<int64_t>(recorded.frames.size()),
+                 static_cast<int64_t>(replayed.size()));
+
+  const size_t n = std::min(recorded.frames.size(), replayed.size());
+  for (size_t i = 0; i < n && !report.divergence; ++i) {
+    const TraceFrame& rec = recorded.frames[i];
+    const TraceFrame& rep = replayed[i];
+    diff.frame = rec.frame_index;
+    ++report.frames_compared;
+
+    // Fields in pipeline order, so the first divergence names the earliest
+    // stage that moved.
+    diff.check_i64("supervisor", "frame_index", rec.frame_index, rep.frame_index);
+    diff.check_enum("ladder", "mode", static_cast<int>(rec.mode), static_cast<int>(rep.mode),
+                    serving_mode_tag);
+    diff.check_bool("validate", "sensor_bad", rec.sensor_bad, rep.sensor_bad);
+    for (int s = 0; s < serving::kStageCount; ++s) {
+      diff.check_i64(serving::stage_name(static_cast<serving::Stage>(s)), "stage_ns",
+                     rec.stage_ns[static_cast<size_t>(s)], rep.stage_ns[static_cast<size_t>(s)]);
+    }
+    diff.check_f64("steer", "steering", rec.steering, rep.steering, options.score_tolerance);
+    diff.check_f64("score", "score", rec.score, rep.score, options.score_tolerance);
+    diff.check_bool("score", "novel", rec.novel, rep.novel);
+    diff.check_bool("supervisor", "scored", rec.scored, rep.scored);
+    diff.check_bool("supervisor", "abandoned", rec.abandoned, rep.abandoned);
+    diff.check_bool("supervisor", "deadline_overrun", rec.deadline_overrun, rep.deadline_overrun);
+    diff.check_enum("monitor", "monitor_state", static_cast<int>(rec.monitor_state),
+                    static_cast<int>(rep.monitor_state), monitor_state_tag);
+    diff.check_enum("monitor", "fallback_path", static_cast<int>(rec.fallback_path),
+                    static_cast<int>(rep.fallback_path), fallback_path_tag);
+    diff.check_enum("ladder", "mode_after", static_cast<int>(rec.mode_after),
+                    static_cast<int>(rep.mode_after), serving_mode_tag);
+    diff.check_enum("breaker", "breaker_after", static_cast<int>(rec.breaker_after),
+                    static_cast<int>(rep.breaker_after), breaker_state_tag);
+  }
+
+  if (!report.divergence) {
+    diff.frame = -1;
+    const TraceHealth& rec = recorded.health;
+    const TraceHealth& rep = replayed_health;
+    diff.check_i64("health", "frames_total", rec.frames_total, rep.frames_total);
+    diff.check_i64("health", "frames_scored", rec.frames_scored, rep.frames_scored);
+    diff.check_i64("health", "frames_abandoned", rec.frames_abandoned, rep.frames_abandoned);
+    diff.check_i64("health", "frames_held", rec.frames_held, rep.frames_held);
+    diff.check_i64("health", "frames_sensor_bad", rec.frames_sensor_bad, rep.frames_sensor_bad);
+    diff.check_i64("health", "deadline_overruns", rec.deadline_overruns, rep.deadline_overruns);
+    diff.check_i64("health", "scoring_failures", rec.scoring_failures, rep.scoring_failures);
+    diff.check_i64("health", "nonfinite_scores", rec.nonfinite_scores, rep.nonfinite_scores);
+    diff.check_i64("health", "step_downs", rec.step_downs, rep.step_downs);
+    diff.check_i64("health", "promotions", rec.promotions, rep.promotions);
+    diff.check_i64("health", "breaker_trips", rec.breaker_trips, rep.breaker_trips);
+    diff.check_i64("health", "probe_successes", rec.probe_successes, rep.probe_successes);
+    diff.check_i64("health", "probe_failures", rec.probe_failures, rep.probe_failures);
+  }
+  return report;
+}
+
+ReplayReport TraceReplayer::replay(const Trace& trace, const core::NoveltyDetector& detector,
+                                   nn::Sequential* steering_model, const ReplayOptions& options) {
+  std::vector<TraceFrame> replayed;
+  replayed.reserve(trace.frames.size());
+  const serving::HealthSnapshot health =
+      drive(trace.spec, detector, steering_model,
+            [&replayed](const TraceFrame& frame) { replayed.push_back(frame); });
+  return compare(trace, replayed, TraceHealth::from(health), options);
+}
+
+}  // namespace salnov::trace

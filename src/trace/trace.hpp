@@ -1,0 +1,203 @@
+// Golden-trace record/replay conformance layer.
+//
+// The serving stack makes a long chain of decisions per frame — validator
+// verdict, VBP/SSIM (or degraded-rung) score, ECDF threshold test, monitor
+// hysteresis, ladder and breaker transitions — and the safety argument rests
+// on that chain being reproducible. This module pins it down end to end:
+//
+//   * A TraceRunSpec is a complete, serializable description of a scenario:
+//     scene stream (dataset + seed), camera-fault schedule, stall schedule,
+//     and every supervisor/monitor/breaker knob. All timing runs under a
+//     FakeClock, so the only "time" in a run is the injected stalls and the
+//     whole decision trace is a pure function of the spec and the fitted
+//     pipeline.
+//   * TraceRecorder::record drives the scenario and captures one TraceFrame
+//     per frame (scores, verdicts, modes, monitor state, stage timings) plus
+//     the final health counters, into a versioned file guarded by the
+//     checked-persistence CRC trailer.
+//   * TraceReplayer::replay re-drives the pipeline from the spec and diffs
+//     the fresh decision stream against the recorded one. Discrete decisions
+//     (verdicts, modes, states, counters) must match bit-exactly; float
+//     scores are bit-exact at the recording kernel/thread configuration (the
+//     PR-1 determinism contract) and tolerance-bounded across GEMM kernels
+//     (which legitimately round differently). The first mismatch is reported
+//     with frame, stage, and field.
+//
+// Golden traces checked into tests/golden/ turn every future refactor into a
+// cheap conformance question: replay them at 1 vs N threads and scalar vs
+// SIMD kernels and require an empty diff.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/novelty_detector.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/timing_faults.hpp"
+#include "serving/health.hpp"
+#include "serving/supervisor.hpp"
+
+namespace salnov::trace {
+
+/// One scheduled camera fault: applied to frames in [first_frame,
+/// last_frame] whose offset from first_frame is a multiple of `period`.
+/// Inactive frames still tick the injector at severity 0 so stateful faults
+/// (frozen-frame) track the healthy stream exactly as a real camera would.
+struct TraceCameraFault {
+  faults::CameraFault fault = faults::CameraFault::kFrozenFrame;
+  double severity = 1.0;
+  int64_t first_frame = 0;
+  int64_t last_frame = std::numeric_limits<int64_t>::max();  ///< inclusive
+  int64_t period = 1;
+};
+
+/// Complete description of a recordable scenario. Everything that can move
+/// a decision is in here; the fitted pipeline arrives separately (and is
+/// guarded by `pipeline_crc`).
+struct TraceRunSpec {
+  std::string dataset = "outdoor";  ///< "outdoor" | "indoor"
+  uint64_t frame_seed = 1;          ///< scene-stream RNG seed
+  uint64_t fault_seed = 77;         ///< camera-fault RNG seed
+  int64_t frames = 0;               ///< zero-frame runs are valid (and tested)
+  int64_t height = 60;              ///< pipeline resolution (frames are resized)
+  int64_t width = 160;
+
+  std::vector<faults::TimingFault> stalls;       ///< deterministic stage stalls
+  std::vector<TraceCameraFault> camera_faults;   ///< deterministic pixel faults
+
+  /// Supervisor/monitor/breaker knobs for the run. `timing_faults` is
+  /// ignored here — the replayer rebuilds the injector from `stalls`.
+  serving::SupervisorConfig supervisor;
+
+  /// Integrity guard for the pipeline the trace was recorded against:
+  /// CRC32 + byte size of the checked pipeline file's payload (0 = unset).
+  uint32_t pipeline_crc = 0;
+  int64_t pipeline_bytes = 0;
+
+  /// Throws std::invalid_argument on an unusable spec (unknown dataset,
+  /// negative frame count, non-positive resolution, bad fault schedule).
+  void validate() const;
+};
+
+/// Everything the pipeline decided about one frame, plus the policy state
+/// it left behind.
+struct TraceFrame {
+  int64_t frame_index = 0;
+  serving::ServingMode mode = serving::ServingMode::kVbpSsim;  ///< rung that served the frame
+  bool scored = false;
+  bool abandoned = false;
+  bool deadline_overrun = false;
+  bool sensor_bad = false;
+  bool novel = false;
+  double score = std::numeric_limits<double>::quiet_NaN();
+  double steering = std::numeric_limits<double>::quiet_NaN();
+  core::MonitorState monitor_state = core::MonitorState::kNominal;
+  core::FallbackPath fallback_path = core::FallbackPath::kNone;
+  std::array<int64_t, serving::kStageCount> stage_ns{};
+  serving::ServingMode mode_after = serving::ServingMode::kVbpSsim;  ///< ladder rung after the frame
+  serving::BreakerState breaker_after = serving::BreakerState::kClosed;
+
+  static TraceFrame from(const serving::ServeResult& result, serving::ServingMode mode_after,
+                         serving::BreakerState breaker_after);
+};
+
+/// Exact end-of-run counters (the HealthSnapshot minus queue/latency fields,
+/// which belong to the server and the real clock respectively).
+struct TraceHealth {
+  int64_t frames_total = 0;
+  int64_t frames_scored = 0;
+  int64_t frames_abandoned = 0;
+  int64_t frames_held = 0;
+  int64_t frames_sensor_bad = 0;
+  int64_t deadline_overruns = 0;
+  int64_t scoring_failures = 0;
+  int64_t nonfinite_scores = 0;
+  int64_t step_downs = 0;
+  int64_t promotions = 0;
+  int64_t breaker_trips = 0;
+  int64_t probe_successes = 0;
+  int64_t probe_failures = 0;
+
+  static TraceHealth from(const serving::HealthSnapshot& snapshot);
+};
+
+/// A recorded run: spec + per-frame decision stream + final counters.
+struct Trace {
+  TraceRunSpec spec;
+  std::vector<TraceFrame> frames;
+  TraceHealth health;
+
+  void save(std::ostream& os) const;
+  static Trace load(std::istream& is);
+
+  /// Checked persistence: temp-file + atomic rename + CRC32 trailer, same
+  /// guarantees as model/pipeline files.
+  void save_file(const std::string& path) const;
+  static Trace load_file(const std::string& path);
+};
+
+/// Re-executes a spec against a fitted pipeline under a FakeClock, invoking
+/// `on_frame` once per frame in order. This is the ONE scenario driver —
+/// recording and replaying go through the same code path, so they cannot
+/// drift apart. Returns the final health snapshot.
+serving::HealthSnapshot drive(const TraceRunSpec& spec, const core::NoveltyDetector& detector,
+                              nn::Sequential* steering_model,
+                              const std::function<void(const TraceFrame&)>& on_frame);
+
+class TraceRecorder {
+ public:
+  /// Runs the scenario and captures the full decision trace.
+  static Trace record(const TraceRunSpec& spec, const core::NoveltyDetector& detector,
+                      nn::Sequential* steering_model);
+};
+
+/// One field-level mismatch between a recorded and a replayed stream.
+struct Divergence {
+  int64_t frame = -1;    ///< -1 = run-level (frame count / health counters)
+  std::string stage;     ///< pipeline stage or policy layer owning the field
+  std::string field;
+  std::string recorded;
+  std::string replayed;
+
+  /// "divergence at frame 17, stage score, field novel: recorded=1 replayed=0"
+  std::string format() const;
+};
+
+struct ReplayOptions {
+  /// Tolerance for float fields (score, steering): |a - b| <=
+  /// score_tolerance * max(1, |a|, |b|). 0 demands bit-exact floats — the
+  /// right setting when replaying at the recording's GEMM kernel; use a
+  /// small tolerance (~1e-6) across kernels. Discrete fields are always
+  /// compared exactly.
+  double score_tolerance = 0.0;
+};
+
+struct ReplayReport {
+  int64_t frames_compared = 0;
+  std::optional<Divergence> divergence;  ///< first divergence, if any
+
+  bool ok() const { return !divergence.has_value(); }
+  /// "replay conformant (N frames)" or the first-divergence line.
+  std::string format() const;
+};
+
+/// Diffs a recorded trace against a freshly replayed stream (used by the
+/// replayer and by perturbation tests that tamper with a trace in memory).
+ReplayReport compare(const Trace& recorded, const std::vector<TraceFrame>& replayed,
+                     const TraceHealth& replayed_health, const ReplayOptions& options = {});
+
+class TraceReplayer {
+ public:
+  /// Re-drives the spec and diffs against the recorded stream.
+  static ReplayReport replay(const Trace& trace, const core::NoveltyDetector& detector,
+                             nn::Sequential* steering_model, const ReplayOptions& options = {});
+};
+
+}  // namespace salnov::trace

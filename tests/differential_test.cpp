@@ -1,0 +1,154 @@
+// Differential suites: two independent implementations of the same math are
+// run against each other over randomized inputs from the shared property
+// core, so a silent divergence in the optimized path (SIMD GEMM, SAT-based
+// SSIM, analytic backward passes) is caught by its slow-but-obvious twin.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "metrics/ssim.hpp"
+#include "nn/dense.hpp"
+#include "prop.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/rng.hpp"
+#include "test_util.hpp"
+
+namespace salnov {
+namespace {
+
+/// Restores the GEMM kernel selection on scope exit.
+struct KernelGuard {
+  GemmKernel saved = active_gemm_kernel();
+  ~KernelGuard() { set_gemm_kernel(saved); }
+};
+
+// --- SIMD vs scalar GEMM ----------------------------------------------------
+
+struct GemmCase {
+  int64_t m = 0, n = 0, k = 0;
+  std::vector<float> a, b;
+};
+
+std::string describe(const GemmCase& c) {
+  return "{m=" + std::to_string(c.m) + ", n=" + std::to_string(c.n) +
+         ", k=" + std::to_string(c.k) + "}";
+}
+
+GemmCase gen_gemm_case(Rng& rng) {
+  GemmCase c;
+  c.m = rng.uniform_int(0, 40);
+  c.n = rng.uniform_int(0, 40);
+  c.k = rng.uniform_int(0, 40);
+  c.a.resize(static_cast<size_t>(c.m * c.k) + 1);  // +1: non-null even when empty
+  c.b.resize(static_cast<size_t>(c.k * c.n) + 1);
+  for (float& v : c.a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : c.b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return c;
+}
+
+TEST(DifferentialGemm, SimdMatchesScalarWithinFmaTolerance) {
+  if (!gemm_simd_available()) GTEST_SKIP() << "SIMD kernel not available on this CPU";
+  KernelGuard guard;
+  prop::for_all<GemmCase>(
+      "simd gemm ~= scalar gemm", gen_gemm_case,
+      [](const GemmCase& c) {
+        std::vector<float> scalar_out(static_cast<size_t>(c.m * c.n), 42.0f);
+        std::vector<float> simd_out(static_cast<size_t>(c.m * c.n), -42.0f);
+        set_gemm_kernel(GemmKernel::kScalar);
+        gemm(c.a.data(), c.b.data(), scalar_out.data(), c.m, c.n, c.k);
+        set_gemm_kernel(GemmKernel::kSimd);
+        gemm(c.a.data(), c.b.data(), simd_out.data(), c.m, c.n, c.k);
+        // Operands in [-1, 1] bound |c| by k; FMA only tightens per-term
+        // rounding of the ascending-k sums.
+        const float tol = 1e-5f * static_cast<float>(std::max<int64_t>(c.k, 1)) + 1e-6f;
+        for (size_t i = 0; i < scalar_out.size(); ++i) {
+          if (std::fabs(scalar_out[i] - simd_out[i]) > tol) return false;
+        }
+        return true;
+      },
+      {60, 31});
+}
+
+TEST(DifferentialGemm, KernelsAreSelfDeterministic) {
+  // Each kernel must be bit-identical run-to-run (the trace-replay contract);
+  // the cross-kernel comparison above is the only tolerance-bounded one.
+  KernelGuard guard;
+  prop::for_all<GemmCase>(
+      "gemm(x) == gemm(x) per kernel", gen_gemm_case,
+      [](const GemmCase& c) {
+        for (const GemmKernel kernel : {GemmKernel::kScalar, GemmKernel::kSimd}) {
+          if (kernel == GemmKernel::kSimd && !gemm_simd_available()) continue;
+          set_gemm_kernel(kernel);
+          std::vector<float> first(static_cast<size_t>(c.m * c.n), 1.0f);
+          std::vector<float> second(static_cast<size_t>(c.m * c.n), 2.0f);
+          gemm(c.a.data(), c.b.data(), first.data(), c.m, c.n, c.k);
+          gemm(c.a.data(), c.b.data(), second.data(), c.m, c.n, c.k);
+          if (!first.empty() &&
+              std::memcmp(first.data(), second.data(), first.size() * sizeof(float)) != 0) {
+            return false;
+          }
+        }
+        return true;
+      },
+      {30, 32});
+}
+
+// --- SAT-SSIM vs direct scalar SSIM ----------------------------------------
+
+struct SsimCase {
+  Image x{1, 1};
+  Image y{1, 1};
+  SsimOptions options;
+};
+
+std::string describe(const SsimCase& c) {
+  return "{h=" + std::to_string(c.x.height()) + ", w=" + std::to_string(c.x.width()) +
+         ", window=" + std::to_string(c.options.window) +
+         ", stride=" + std::to_string(c.options.stride) + "}";
+}
+
+TEST(DifferentialSsim, SatMatchesDirectReference) {
+  prop::for_all<SsimCase>(
+      "SAT ssim ~= windowed reference ssim",
+      [](Rng& rng) {
+        SsimCase c;
+        const int64_t h = rng.uniform_int(8, 48);
+        const int64_t w = rng.uniform_int(8, 48);
+        c.x = Image(h, w, rng.uniform_tensor({h * w}, 0.0, 1.0));
+        c.y = Image(h, w, rng.uniform_tensor({h * w}, 0.0, 1.0));
+        c.options.window = static_cast<int>(rng.uniform_int(3, 11));
+        c.options.stride = static_cast<int>(rng.uniform_int(1, 4));
+        return c;
+      },
+      [](const SsimCase& c) {
+        return std::abs(ssim(c.x, c.y, c.options) - ssim_reference(c.x, c.y, c.options)) <= 1e-9;
+      },
+      {40, 33});
+}
+
+// --- Dense backward vs finite differences ----------------------------------
+
+TEST(DifferentialDense, BackwardMatchesFiniteDifferences) {
+  // Random shapes and inputs; check_layer_gradients compares the analytic
+  // input and parameter gradients against central differences.
+  const uint64_t run = prop::run_seed(34);
+  for (int trial = 0; trial < 4; ++trial) {
+    const uint64_t seed = prop::trial_seed(run, trial);
+    Rng rng(seed);
+    const int64_t in_features = rng.uniform_int(2, 7);
+    const int64_t out_features = rng.uniform_int(2, 7);
+    const int64_t batch = rng.uniform_int(1, 4);
+    nn::Dense dense(in_features, out_features, rng);
+    const Tensor input = rng.uniform_tensor({batch, in_features}, -1.0, 1.0);
+    test::check_layer_gradients(dense, input, rng);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "reproduce with: SALNOV_PROP_SEED=" << seed;
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace salnov

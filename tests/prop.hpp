@@ -1,0 +1,197 @@
+// Property-test core shared by the *_property_test and differential suites:
+// seedable generators, trial driving with failure-seed echo, and
+// shrinking-by-bisection for vector-shaped counterexamples.
+//
+// The contract: every randomized suite derives all randomness from one run
+// seed. When a property is falsified, the failure message echoes the exact
+// seed that regenerates the counterexample, and setting SALNOV_PROP_SEED to
+// that value makes the very first trial replay it — so a red CI line is
+// reproducible locally with one environment variable and no code edits.
+// CI rotates the run seed per build to keep widening coverage.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace salnov::prop {
+
+/// Run seed for this process: SALNOV_PROP_SEED wins (failure replay),
+/// otherwise the suite's default.
+inline uint64_t run_seed(uint64_t fallback = 1) {
+  if (const char* env = std::getenv("SALNOV_PROP_SEED")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<uint64_t>(value);
+  }
+  return fallback;
+}
+
+/// Seed for one trial. Trial 0 uses the run seed itself, so replaying an
+/// echoed failure seed via SALNOV_PROP_SEED reproduces the counterexample
+/// on the first trial. Later trials decorrelate via splitmix64.
+inline uint64_t trial_seed(uint64_t run, int trial) {
+  if (trial == 0) return run;
+  uint64_t z = run + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(trial);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Default counterexample printer; vectors elide their middle.
+template <typename T>
+std::string describe(const T& value) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+  } else {
+    return "<value>";
+  }
+}
+
+template <typename T>
+std::string describe(const std::vector<T>& values) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "[";
+  const size_t shown = values.size() <= 16 ? values.size() : 8;
+  for (size_t i = 0; i < shown; ++i) os << (i ? ", " : "") << values[i];
+  if (shown < values.size()) {
+    os << ", ... <" << values.size() - shown - 4 << " elided> ";
+    for (size_t i = values.size() - 4; i < values.size(); ++i) os << ", " << values[i];
+  }
+  os << "] (n=" << values.size() << ")";
+  return os.str();
+}
+
+struct Options {
+  int trials = 100;
+  uint64_t seed = 1;  ///< suite default; SALNOV_PROP_SEED overrides
+};
+
+/// Drives `trials` generate-then-check rounds. `gen` is Rng& -> T; `holds`
+/// is const T& -> bool (false = property falsified). The failure message
+/// names the property, prints the counterexample, and echoes the replay
+/// seed. Returns false on falsification so callers can stop early.
+template <typename T, typename GenFn, typename PropFn>
+bool for_all(const char* property_name, GenFn&& gen, PropFn&& holds, Options options = {}) {
+  const uint64_t run = run_seed(options.seed);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const uint64_t seed = trial_seed(run, trial);
+    Rng rng(seed);
+    const T value = gen(rng);
+    if (!holds(value)) {
+      ADD_FAILURE() << "property '" << property_name << "' falsified (trial " << trial << "/"
+                    << options.trials << ")\n  counterexample: " << describe(value)
+                    << "\n  reproduce with: SALNOV_PROP_SEED=" << seed;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Shrinking by bisection (ddmin-style): repeatedly deletes contiguous
+/// chunks — halves, then quarters, down to single elements — keeping any
+/// deletion after which the input still fails. Returns a locally-minimal
+/// failing input (`still_fails` must be true for the input passed in).
+template <typename T>
+std::vector<T> shrink_vector(std::vector<T> failing,
+                             const std::function<bool(const std::vector<T>&)>& still_fails) {
+  size_t chunk = failing.size() / 2;
+  if (chunk == 0) chunk = 1;
+  while (true) {
+    bool removed = false;
+    for (size_t start = 0; start + chunk <= failing.size();) {
+      std::vector<T> candidate;
+      candidate.reserve(failing.size() - chunk);
+      candidate.insert(candidate.end(), failing.begin(),
+                       failing.begin() + static_cast<ptrdiff_t>(start));
+      candidate.insert(candidate.end(), failing.begin() + static_cast<ptrdiff_t>(start + chunk),
+                       failing.end());
+      if (!candidate.empty() && still_fails(candidate)) {
+        failing = std::move(candidate);
+        removed = true;  // retry the same start against the shorter input
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed) break;
+    } else {
+      chunk = chunk / 2;
+    }
+  }
+  return failing;
+}
+
+/// for_all over generated vectors with automatic shrinking: on
+/// falsification the counterexample is bisection-shrunk before reporting,
+/// so the failure message shows a near-minimal input.
+template <typename T, typename GenFn, typename PropFn>
+bool for_all_shrink(const char* property_name, GenFn&& gen, PropFn&& holds,
+                    Options options = {}) {
+  const uint64_t run = run_seed(options.seed);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    const uint64_t seed = trial_seed(run, trial);
+    Rng rng(seed);
+    std::vector<T> value = gen(rng);
+    if (!holds(value)) {
+      const std::vector<T> minimal = shrink_vector<T>(
+          std::move(value), [&](const std::vector<T>& candidate) { return !holds(candidate); });
+      ADD_FAILURE() << "property '" << property_name << "' falsified (trial " << trial << "/"
+                    << options.trials << ")\n  shrunk counterexample: " << describe(minimal)
+                    << "\n  reproduce with: SALNOV_PROP_SEED=" << seed;
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- stock generators -------------------------------------------------------
+
+/// Uniform double in [lo, hi].
+inline auto gen_double(double lo, double hi) {
+  return [lo, hi](Rng& rng) { return rng.uniform(lo, hi); };
+}
+
+/// Vector of `elem`-generated values with size uniform in [min_size, max_size].
+template <typename ElemGen>
+auto gen_vector(int64_t min_size, int64_t max_size, ElemGen elem) {
+  return [min_size, max_size, elem](Rng& rng) {
+    const int64_t n = rng.uniform_int(min_size, max_size);
+    using T = decltype(elem(rng));
+    std::vector<T> values;
+    values.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) values.push_back(elem(rng));
+    return values;
+  };
+}
+
+/// Duplicate-heavy score vectors: values drawn from a small pool so ties
+/// dominate — the regime where interpolated quantiles misbehave.
+inline auto gen_duplicate_heavy(int64_t min_size, int64_t max_size) {
+  return [min_size, max_size](Rng& rng) {
+    const int64_t n = rng.uniform_int(min_size, max_size);
+    const int64_t pool = rng.uniform_int(1, 4);  // at most 4 distinct values
+    std::vector<double> distinct;
+    for (int64_t i = 0; i < pool; ++i) distinct.push_back(rng.uniform(0.0, 10.0));
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      values.push_back(distinct[static_cast<size_t>(rng.uniform_int(0, pool - 1))]);
+    }
+    return values;
+  };
+}
+
+}  // namespace salnov::prop

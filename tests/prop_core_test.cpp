@@ -1,0 +1,102 @@
+// Unit tests for the property-test core itself: seed derivation, the
+// replay contract (trial 0 under SALNOV_PROP_SEED regenerates an echoed
+// counterexample), and shrinking-by-bisection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "prop.hpp"
+
+namespace salnov {
+namespace {
+
+TEST(PropCore, TrialZeroUsesRunSeedVerbatim) {
+  // The replay contract: an echoed failure seed, fed back via
+  // SALNOV_PROP_SEED, must drive trial 0 with exactly that seed.
+  EXPECT_EQ(prop::trial_seed(12345, 0), 12345u);
+  EXPECT_NE(prop::trial_seed(12345, 1), 12345u);
+}
+
+TEST(PropCore, TrialSeedsAreDistinct) {
+  std::vector<uint64_t> seeds;
+  for (int trial = 0; trial < 200; ++trial) seeds.push_back(prop::trial_seed(7, trial));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(PropCore, EnvSeedOverridesDefault) {
+  ASSERT_EQ(setenv("SALNOV_PROP_SEED", "987654321", 1), 0);
+  EXPECT_EQ(prop::run_seed(1), 987654321u);
+  ASSERT_EQ(unsetenv("SALNOV_PROP_SEED"), 0);
+  EXPECT_EQ(prop::run_seed(5), 5u);
+}
+
+TEST(PropCore, MalformedEnvSeedFallsBack) {
+  ASSERT_EQ(setenv("SALNOV_PROP_SEED", "not-a-seed", 1), 0);
+  EXPECT_EQ(prop::run_seed(9), 9u);
+  ASSERT_EQ(unsetenv("SALNOV_PROP_SEED"), 0);
+}
+
+TEST(PropCore, ShrinkReducesToMinimalFailingElement) {
+  // Property: "contains no element >= 100". The shrinker must bisect a
+  // large failing vector down to exactly one offending element.
+  std::vector<int> failing;
+  for (int i = 0; i < 97; ++i) failing.push_back(i);
+  failing.push_back(500);
+  for (int i = 0; i < 30; ++i) failing.push_back(i);
+
+  const std::vector<int> minimal = prop::shrink_vector<int>(failing, [](const std::vector<int>& v) {
+    return std::any_of(v.begin(), v.end(), [](int x) { return x >= 100; });
+  });
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], 500);
+}
+
+TEST(PropCore, ShrinkKeepsInteractingPair) {
+  // Failures that need two far-apart elements must keep both.
+  std::vector<int> failing = {1, -7, 2, 3, 4, 5, 6, 9, 8, 7, 42, 2};
+  const auto needs_pair = [](const std::vector<int>& v) {
+    const bool has_neg = std::any_of(v.begin(), v.end(), [](int x) { return x < 0; });
+    const bool has_big = std::any_of(v.begin(), v.end(), [](int x) { return x > 40; });
+    return has_neg && has_big;
+  };
+  const std::vector<int> minimal = prop::shrink_vector<int>(failing, needs_pair);
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_TRUE(needs_pair(minimal));
+}
+
+TEST(PropCore, ShrinkLeavesAlreadyMinimalInputAlone) {
+  const std::vector<int> minimal = prop::shrink_vector<int>(
+      {5}, [](const std::vector<int>& v) { return !v.empty(); });
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], 5);
+}
+
+TEST(PropCore, ForAllPassesAndEchoesNothing) {
+  EXPECT_TRUE(prop::for_all<double>(
+      "uniform stays in range", prop::gen_double(0.0, 1.0),
+      [](double v) { return v >= 0.0 && v < 1.0; }, {50, 3}));
+}
+
+TEST(PropCore, GeneratedVectorsRespectSizeBounds) {
+  EXPECT_TRUE(prop::for_all<std::vector<double>>(
+      "gen_vector size bounds", prop::gen_vector(2, 9, prop::gen_double(-1.0, 1.0)),
+      [](const std::vector<double>& v) { return v.size() >= 2 && v.size() <= 9; }, {50, 4}));
+}
+
+TEST(PropCore, DuplicateHeavyGeneratorIsActuallyDuplicateHeavy) {
+  EXPECT_TRUE(prop::for_all<std::vector<double>>(
+      "duplicate-heavy pool is small", prop::gen_duplicate_heavy(8, 40),
+      [](const std::vector<double>& v) {
+        std::vector<double> distinct(v);
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+        return distinct.size() <= 4;
+      },
+      {50, 5}));
+}
+
+}  // namespace
+}  // namespace salnov

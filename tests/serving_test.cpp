@@ -175,6 +175,64 @@ TEST(CircuitBreakerTest, HalfOpenProbeLifecycle) {
   EXPECT_EQ(breaker.trips(), 1) << "probe failures are not fresh trips";
 }
 
+TEST(CircuitBreakerTest, RepeatedProbeFailuresBackOffWithoutFreshTrips) {
+  // A stage that stays broken across many probe windows must keep the
+  // breaker cycling open -> half-open -> open, counting probe failures but
+  // never inflating the trip counter or shortening the backoff.
+  CircuitBreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_frames = 3;
+  CircuitBreaker breaker(config);
+  breaker.record_failure();
+  breaker.record_failure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  for (int cycle = 1; cycle <= 5; ++cycle) {
+    // A full backoff window must elapse before each probe.
+    for (int64_t i = 0; i < config.open_frames - 1; ++i) {
+      breaker.begin_frame();
+      EXPECT_EQ(breaker.state(), BreakerState::kOpen) << "cycle " << cycle;
+      EXPECT_FALSE(breaker.allows());
+    }
+    breaker.begin_frame();
+    ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen) << "cycle " << cycle;
+    breaker.record_failure();
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+    EXPECT_EQ(breaker.probe_failures(), cycle);
+    EXPECT_EQ(breaker.trips(), 1);
+  }
+
+  // Recovery after the 5th failed probe: the next window's probe succeeds,
+  // and the failure streak must start from zero again (a single failure
+  // right after closing is below the threshold).
+  for (int64_t i = 0; i < config.open_frames; ++i) breaker.begin_frame();
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed) << "streak reset on close";
+}
+
+TEST(CircuitBreakerTest, HalfOpenHoldsUntilAProbeResultArrives) {
+  // Extra frame ticks while half-open (e.g. frames that skip the guarded
+  // stage entirely) must not re-open, re-close, or double-arm the probe.
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_frames = 1;
+  CircuitBreaker breaker(config);
+  breaker.record_failure();
+  breaker.begin_frame();
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  for (int i = 0; i < 4; ++i) {
+    breaker.begin_frame();
+    EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+    EXPECT_TRUE(breaker.allows());
+  }
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.probe_successes(), 1);
+}
+
 TEST(FrameQueueTest, ShedsOldestWhenFull) {
   FrameQueue queue(3);
   for (int64_t id = 0; id < 5; ++id) {
@@ -531,6 +589,78 @@ TEST_F(ServingFixture, ServerBurstRespectsQueueBound) {
   EXPECT_EQ(health.frames_total + shed, 64);
   EXPECT_LE(health.queue_high_water, 4);
   EXPECT_TRUE(server.take_results().empty());
+  server.stop();
+}
+
+TEST_F(ServingFixture, PersistentStallFailsEveryProbeWithoutRetripping) {
+  // Supervisor-level view of the repeated-probe-failure cycle: a saliency
+  // stall that never clears must trip the breaker exactly once, fail every
+  // half-open probe thereafter, and keep serving calibrated raw+MSE scores
+  // the whole time.
+  faults::TimingFaultInjector faults;
+  faults.add({static_cast<int>(Stage::kSaliency), 10 * kMs, 0,
+              std::numeric_limits<int64_t>::max() - 1, 1});
+  FakeClock clock;
+  SupervisorConfig config = tight_config(&faults);
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_frames = 2;
+  // An isolated failed-probe frame must not demote the ladder below raw+MSE
+  // (each probe blows the stage budget, but two bad frames never run
+  // consecutively once the breaker is open).
+  config.demote_after_bad_frames = 2;
+  Supervisor supervisor(*detector_, steering_, config, &clock);
+  Rng rng(71);
+  for (int i = 0; i < 20; ++i) {
+    const ServeResult result = supervisor.process(familiar_frame(rng));
+    if (i >= 2) {
+      EXPECT_EQ(result.mode, ServingMode::kRawMse) << "frame " << i;
+      EXPECT_TRUE(result.scored) << "frame " << i;
+    }
+  }
+  const HealthSnapshot health = supervisor.health();
+  EXPECT_EQ(health.breaker_trips, 1) << "failed probes must not count as trips";
+  EXPECT_GE(health.probe_failures, 3);
+  EXPECT_EQ(health.probe_successes, 0);
+  EXPECT_EQ(health.promotions, 0);
+  EXPECT_NE(health.breaker_state, BreakerState::kClosed);
+  EXPECT_EQ(health.mode, ServingMode::kRawMse);
+}
+
+TEST_F(ServingFixture, ProbeDuringQueueBurstRestoresLadder) {
+  // The half-open probe fires while the server is absorbing a producer
+  // burst: shedding changes which *camera* frames are processed, but stalls
+  // key off the supervisor's own frame counter, so the trip -> backoff ->
+  // probe -> restore cycle happens on exactly the same processed-frame
+  // indices regardless of queue pressure.
+  faults::TimingFaultInjector faults;
+  faults.add({static_cast<int>(Stage::kSaliency), 10 * kMs, /*first_frame=*/0,
+              /*last_frame=*/1, /*period=*/1});
+  FakeClock clock;
+  SupervisorConfig config = tight_config(&faults);
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_frames = 2;
+  config.promote_after_healthy_frames = 2;
+  Supervisor supervisor(*detector_, steering_, config, &clock);
+  ServerConfig server_config;
+  server_config.queue_capacity = 8;
+  ServingServer server(supervisor, server_config);
+  Rng rng(73);
+  int64_t shed = 0;
+  for (int i = 0; i < 60; ++i) shed += static_cast<int64_t>(server.submit(familiar_frame(rng)));
+  server.drain();
+  const HealthSnapshot health = server.health();
+  EXPECT_EQ(health.frames_total + shed, 60);
+  // Even in the worst burst case the drain processes >= queue_capacity
+  // frames, which covers trip (frame 1), backoff (2..3), and the successful
+  // probe that restores the top rung.
+  ASSERT_GE(health.frames_total, 8);
+  EXPECT_EQ(health.breaker_trips, 1);
+  EXPECT_EQ(health.probe_failures, 0);
+  EXPECT_EQ(health.probe_successes, 1);
+  EXPECT_EQ(health.breaker_state, BreakerState::kClosed);
+  EXPECT_EQ(health.mode, ServingMode::kVbpSsim);
+  const std::vector<ServeResult> results = server.take_results();
+  EXPECT_EQ(static_cast<int64_t>(results.size()), health.frames_total);
   server.stop();
 }
 

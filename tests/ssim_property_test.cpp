@@ -10,14 +10,19 @@
 #include "image/transforms.hpp"
 #include "metrics/ssim.hpp"
 #include "nn/ssim_loss.hpp"
+#include "prop.hpp"
 #include "tensor/rng.hpp"
 
 namespace salnov {
 namespace {
 
+Image random_image(int64_t h, int64_t w, Rng& rng, double lo = 0.0, double hi = 1.0) {
+  return Image(h, w, rng.uniform_tensor({h * w}, lo, hi));
+}
+
 Image random_image(int64_t h, int64_t w, uint64_t seed, double lo = 0.0, double hi = 1.0) {
   Rng rng(seed);
-  return Image(h, w, rng.uniform_tensor({h * w}, lo, hi));
+  return random_image(h, w, rng, lo, hi);
 }
 
 using SsimCase = std::tuple<int, int>;  // window, stride
@@ -33,24 +38,38 @@ class SsimMetricSweep : public ::testing::TestWithParam<SsimCase> {
 };
 
 TEST_P(SsimMetricSweep, IdentityScoresOne) {
-  const Image img = random_image(24, 30, 1);
-  EXPECT_NEAR(ssim(img, img, options()), 1.0, 1e-9);
+  const SsimOptions o = options();
+  prop::for_all<double>(
+      "ssim(x, x) == 1",
+      [&o](Rng& rng) {
+        const Image img = random_image(24, 30, rng);
+        return ssim(img, img, o);
+      },
+      [](double s) { return std::abs(s - 1.0) <= 1e-9; }, {20, 1});
 }
 
 TEST_P(SsimMetricSweep, SymmetricInArguments) {
-  const Image a = random_image(24, 30, 2);
-  const Image b = random_image(24, 30, 3);
-  EXPECT_NEAR(ssim(a, b, options()), ssim(b, a, options()), 1e-12);
+  const SsimOptions o = options();
+  prop::for_all<double>(
+      "ssim(a, b) == ssim(b, a)",
+      [&o](Rng& rng) {
+        const Image a = random_image(24, 30, rng);
+        const Image b = random_image(24, 30, rng);
+        return ssim(a, b, o) - ssim(b, a, o);
+      },
+      [](double gap) { return std::abs(gap) <= 1e-12; }, {20, 2});
 }
 
 TEST_P(SsimMetricSweep, BoundedByOne) {
-  for (uint64_t seed = 10; seed < 16; ++seed) {
-    const Image a = random_image(24, 30, seed);
-    const Image b = random_image(24, 30, seed + 100);
-    const double s = ssim(a, b, options());
-    EXPECT_GE(s, -1.0);
-    EXPECT_LE(s, 1.0 + 1e-12);
-  }
+  const SsimOptions o = options();
+  prop::for_all<double>(
+      "ssim in [-1, 1]",
+      [&o](Rng& rng) {
+        const Image a = random_image(24, 30, rng);
+        const Image b = random_image(24, 30, rng);
+        return ssim(a, b, o);
+      },
+      [](double s) { return s >= -1.0 && s <= 1.0 + 1e-12; }, {40, 10});
 }
 
 TEST_P(SsimMetricSweep, DecreasesWithNoiseLevel) {

@@ -49,6 +49,27 @@ SERVE_OK="$("$CLI" serve --pipeline detector.pipeline --frames 20 --dataset outd
 echo "$SERVE_OK" | grep -q "final_mode=vbp+ssim"
 echo "$SERVE_OK" | grep -q "deadline_overruns=0"
 
+# Record/replay conformance round trip: a recorded trace replays with an
+# empty diff (exit 0) at 1 and 4 threads; a replay against a different
+# pipeline is refused via the CRC binding; a stale trace (re-recorded world)
+# still replays because the spec pins every input.
+"$CLI" record --pipeline detector.pipeline --out run.trace --frames 12 \
+        --dataset outdoor --frame-seed 9 \
+        --stall-stage 2 --stall-ns 5000000 --stall-first 3 --stall-last 6
+test -f run.trace
+REPLAY="$("$CLI" replay --pipeline detector.pipeline --trace run.trace --threads 1)"
+echo "$REPLAY" | grep -q "replay conformant (12 frames)"
+"$CLI" replay --pipeline detector.pipeline --trace run.trace --threads 4 \
+        --report replay_report.txt
+grep -q "replay conformant" replay_report.txt
+
+# Replaying against the wrong pipeline must fail the CRC binding up front.
+"$CLI" fit --data target --steering steering.model --out other.pipeline --epochs 20 --seed 9
+if "$CLI" replay --pipeline other.pipeline --trace run.trace 2>/dev/null; then
+  echo "expected replay to reject a mismatched pipeline" >&2
+  exit 1
+fi
+
 # A truncated pipeline file must be rejected with a diagnostic, not crash.
 head -c 100 detector.pipeline > truncated.pipeline
 if ERR="$("$CLI" classify --pipeline truncated.pipeline target/img00000.pgm 2>&1)"; then

@@ -1,0 +1,231 @@
+// make_golden — records the golden conformance traces under tests/golden/.
+//
+// Fits a small deterministic pipeline (scalar GEMM kernel, fixed seeds, tiny
+// 16x24 autoencoder so the checked-in file stays small), records the three
+// canonical scenarios — nominal, stall-ladder (breaker trip + probe
+// recovery), sensor-fault (frozen camera, then salt-and-pepper novelty
+// re-entry) — and self-verifies every trace before writing it:
+//
+//   * replays bit-exactly at 1 and 4 worker threads under the scalar kernel;
+//   * replays within the cross-kernel tolerance under SIMD when available;
+//   * every scored frame's |score - threshold| margin is wide enough that a
+//     differently-rounding GEMM kernel cannot flip a verdict.
+//
+// Usage: make_golden --out tests/golden
+// Re-run it (and commit the result) whenever an intentional pipeline change
+// invalidates the goldens; CI replays them on every push.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "salnov.hpp"
+#include "tensor/gemm.hpp"
+
+namespace {
+
+using namespace salnov;
+
+constexpr int64_t kH = 16;
+constexpr int64_t kW = 24;
+constexpr int64_t kMs = 1'000'000;  // ns
+
+/// Minimum relative margin between a scored frame's score and its variant
+/// threshold. Cross-kernel rounding moves scores by ~1e-7 relative; 1e-5
+/// leaves two orders of magnitude of slack.
+constexpr double kMinDecisionMargin = 1e-5;
+
+core::DetectorVariant variant_for(serving::ServingMode mode) {
+  switch (mode) {
+    case serving::ServingMode::kVbpSsim: return core::DetectorVariant::kPrimary;
+    case serving::ServingMode::kVbpMse: return core::DetectorVariant::kPreprocessedMse;
+    default: return core::DetectorVariant::kRawMse;
+  }
+}
+
+trace::TraceRunSpec base_spec(int64_t frames) {
+  trace::TraceRunSpec spec;
+  spec.dataset = "outdoor";
+  spec.frame_seed = 2024;
+  spec.fault_seed = 7;
+  spec.frames = frames;
+  spec.height = kH;
+  spec.width = kW;
+  spec.supervisor.stage_budget_ns = {kMs, kMs, kMs, kMs, kMs};
+  spec.supervisor.frame_budget_ns = 1000 * kMs;
+  spec.supervisor.breaker.failure_threshold = 2;
+  spec.supervisor.breaker.open_frames = 4;
+  spec.supervisor.demote_after_bad_frames = 1;
+  spec.supervisor.promote_after_healthy_frames = 2;
+  spec.supervisor.monitor.trigger_frames = 2;
+  spec.supervisor.monitor.release_frames = 2;
+  spec.supervisor.monitor.sensor_trigger_frames = 2;
+  spec.supervisor.monitor.sensor_release_frames = 2;
+  return spec;
+}
+
+struct Scenario {
+  std::string name;
+  trace::TraceRunSpec spec;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> all;
+
+  all.push_back({"nominal", base_spec(16)});
+
+  Scenario stall{"stall_ladder", base_spec(24)};
+  stall.spec.stalls.push_back({/*stage=*/2, /*stall_ns=*/10 * kMs, /*first_frame=*/3,
+                               /*last_frame=*/8, /*period=*/1});
+  all.push_back(stall);
+
+  Scenario sensor{"sensor_fault", base_spec(24)};
+  sensor.spec.camera_faults.push_back({faults::CameraFault::kFrozenFrame, /*severity=*/1.0,
+                                       /*first=*/4, /*last=*/8, /*period=*/1});
+  sensor.spec.camera_faults.push_back({faults::CameraFault::kSaltPepper, /*severity=*/1.0,
+                                       /*first=*/14, /*last=*/17, /*period=*/1});
+  all.push_back(sensor);
+
+  return all;
+}
+
+/// True when every scored frame's decision would survive a score nudge of
+/// kMinDecisionMargin relative — the cross-kernel safety condition.
+bool margins_are_safe(const trace::Trace& trace, const core::NoveltyDetector& detector,
+                      const std::string& name) {
+  bool safe = true;
+  for (const trace::TraceFrame& frame : trace.frames) {
+    if (!frame.scored || !std::isfinite(frame.score)) continue;
+    const double threshold =
+        detector.variant_calibration(variant_for(frame.mode)).threshold.threshold();
+    const double margin =
+        std::fabs(frame.score - threshold) / std::max(1.0, std::fabs(threshold));
+    if (margin < kMinDecisionMargin) {
+      std::fprintf(stderr,
+                   "make_golden: %s frame %lld scores %.9g against threshold %.9g "
+                   "(margin %.3g < %.3g) — verdict could flip across kernels; "
+                   "adjust the scenario seeds\n",
+                   name.c_str(), static_cast<long long>(frame.frame_index), frame.score,
+                   threshold, margin, kMinDecisionMargin);
+      safe = false;
+    }
+  }
+  return safe;
+}
+
+bool replay_ok(const trace::Trace& trace, const core::NoveltyDetector& detector,
+               nn::Sequential* steering, double tolerance, const std::string& what) {
+  trace::ReplayOptions options;
+  options.score_tolerance = tolerance;
+  const trace::ReplayReport report = trace::TraceReplayer::replay(trace, detector, steering, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "make_golden: %s: %s\n", what.c_str(), report.format().c_str());
+  }
+  return report.ok();
+}
+
+int run(const std::string& out_dir) {
+  // Goldens are recorded under the scalar kernel: it exists on every machine,
+  // so any checkout can re-verify them bit-for-bit.
+  set_gemm_kernel(GemmKernel::kScalar);
+  std::filesystem::create_directories(out_dir);
+
+  std::printf("fitting golden pipeline (%lldx%lld, scalar kernel)...\n",
+              static_cast<long long>(kH), static_cast<long long>(kW));
+  Rng rng(41);
+  nn::Sequential steering =
+      driving::build_pilotnet(driving::PilotNetConfig::tiny(kH, kW), rng);
+
+  core::NoveltyDetectorConfig config;
+  config.height = kH;
+  config.width = kW;
+  config.preprocessing = core::Preprocessing::kVbp;
+  config.score = core::ReconstructionScore::kSsim;
+  config.autoencoder = core::AutoencoderConfig::tiny(kH, kW);
+  config.train_epochs = 10;
+  core::NoveltyDetector detector(config);
+  detector.attach_steering_model(&steering);
+
+  roadsim::OutdoorSceneGenerator generator;
+  Rng frame_rng(101);
+  std::vector<Image> train;
+  for (int i = 0; i < 24; ++i) {
+    const roadsim::Sample sample = generator.generate(frame_rng);
+    train.push_back(resize_bilinear(sample.rgb.to_grayscale(), kH, kW));
+  }
+  detector.fit(train, rng);
+
+  const std::string pipeline_path = out_dir + "/pipeline.bin";
+  core::PipelineIo::save_file(pipeline_path, detector, &steering);
+  const std::string payload = load_file_checked(pipeline_path);
+  const uint32_t pipeline_crc = crc32(payload.data(), payload.size());
+  std::printf("wrote %s (%zu bytes, crc 0x%08x)\n", pipeline_path.c_str(), payload.size(),
+              pipeline_crc);
+
+  bool all_ok = true;
+  for (Scenario& scenario : scenarios()) {
+    scenario.spec.pipeline_crc = pipeline_crc;
+    scenario.spec.pipeline_bytes = static_cast<int64_t>(payload.size());
+    const trace::Trace trace =
+        trace::TraceRecorder::record(scenario.spec, detector, &steering);
+
+    bool ok = margins_are_safe(trace, detector, scenario.name);
+    parallel::set_num_threads(1);
+    ok = replay_ok(trace, detector, &steering, 0.0, scenario.name + " @1 thread") && ok;
+    parallel::set_num_threads(4);
+    ok = replay_ok(trace, detector, &steering, 0.0, scenario.name + " @4 threads") && ok;
+    parallel::set_num_threads(0);
+    if (gemm_simd_available()) {
+      set_gemm_kernel(GemmKernel::kSimd);
+      ok = replay_ok(trace, detector, &steering, 1e-6, scenario.name + " @simd") && ok;
+      set_gemm_kernel(GemmKernel::kScalar);
+    }
+
+    if (!ok) {
+      all_ok = false;
+      continue;
+    }
+    const std::string trace_path = out_dir + "/" + scenario.name + ".trace";
+    trace.save_file(trace_path);
+    std::printf(
+        "wrote %s: %lld frames, %lld scored, %lld sensor-bad, %lld step-downs, "
+        "%lld trips, %lld promotions\n",
+        trace_path.c_str(), static_cast<long long>(trace.health.frames_total),
+        static_cast<long long>(trace.health.frames_scored),
+        static_cast<long long>(trace.health.frames_sensor_bad),
+        static_cast<long long>(trace.health.step_downs),
+        static_cast<long long>(trace.health.breaker_trips),
+        static_cast<long long>(trace.health.promotions));
+  }
+
+  if (!all_ok) {
+    std::fprintf(stderr, "make_golden: verification failed; goldens not (fully) written\n");
+    return 1;
+  }
+  std::printf("all goldens verified (1/4 threads bit-exact%s)\n",
+              gemm_simd_available() ? ", cross-kernel within tolerance" : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = "tests/golden";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: make_golden [--out DIR]\n");
+      return 2;
+    }
+  }
+  try {
+    return run(out_dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "make_golden: %s\n", e.what());
+    return 1;
+  }
+}

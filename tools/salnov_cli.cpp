@@ -18,6 +18,13 @@
 //       [--fake-clock] [--stall-stage K --stall-ns NS ...] [--health-out FILE]
 //       Drive the fault-tolerant serving runtime over generated frames and
 //       report the health snapshot (mode ladder, breaker, overrun counters).
+//   salnov record --pipeline PIPELINE --out TRACE [--frames N] [scenario flags]
+//       Run a scenario under the FakeClock and capture the full per-frame
+//       decision trace into a CRC-guarded golden-trace file.
+//   salnov replay --pipeline PIPELINE --trace TRACE [--tolerance X]
+//       [--threads N] [--kernel scalar|simd] [--report FILE]
+//       Re-drive a recorded trace and diff the decision streams; exits 1 and
+//       prints the first divergence (frame, stage, field) on any mismatch.
 //
 // All images are 8-bit PGM at the pipeline resolution (60x160 by default;
 // --height/--width override consistently across subcommands).
@@ -30,7 +37,9 @@
 #include <string>
 #include <vector>
 
+#include "parallel/parallel_for.hpp"
 #include "salnov.hpp"
+#include "tensor/gemm.hpp"
 
 namespace {
 
@@ -88,6 +97,15 @@ int usage() {
                "                  [--demote-after N] [--promote-after N]\n"
                "                  [--breaker-threshold N] [--breaker-open-frames N]\n"
                "                  [--health-out FILE]\n"
+               "  record          --pipeline PIPELINE --out TRACE [--frames N]\n"
+               "                  [--dataset outdoor|indoor] [--frame-seed S] [--fault-seed S]\n"
+               "                  [--kernel scalar|simd] [serve's budget/ladder/breaker flags]\n"
+               "                  [--stall-stage K --stall-ns NS [--stall-first F]\n"
+               "                   [--stall-last L] [--stall-period P]]\n"
+               "                  [--camera-fault NAME [--fault-severity X] [--fault-first F]\n"
+               "                   [--fault-last L] [--fault-period P]]\n"
+               "  replay          --pipeline PIPELINE --trace TRACE [--tolerance X]\n"
+               "                  [--threads N] [--kernel scalar|simd] [--report FILE]\n"
                "common: --height H --width W (default 60 160), --seed S\n");
   return 2;
 }
@@ -367,6 +385,150 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+// --- record / replay ------------------------------------------------------------
+
+std::optional<faults::CameraFault> parse_camera_fault(const std::string& name) {
+  using faults::CameraFault;
+  for (const CameraFault fault :
+       {CameraFault::kFrozenFrame, CameraFault::kDroppedFrame, CameraFault::kSaltPepper,
+        CameraFault::kBandTearing, CameraFault::kOverExposure, CameraFault::kUnderExposure,
+        CameraFault::kOcclusion, CameraFault::kGaussianBlur}) {
+    if (name == faults::camera_fault_name(fault)) return fault;
+  }
+  return std::nullopt;
+}
+
+/// Applies --kernel scalar|simd (no flag = ambient dispatch). Returns false
+/// with a message on an unknown or unsupported kernel.
+bool apply_kernel_flag(const Args& args, std::string& error) {
+  if (!args.has("kernel")) return true;
+  const std::string kernel = args.get("kernel");
+  if (kernel == "scalar") {
+    set_gemm_kernel(GemmKernel::kScalar);
+  } else if (kernel == "simd") {
+    if (!gemm_simd_available()) {
+      error = "SIMD kernel not available on this CPU";
+      return false;
+    }
+    set_gemm_kernel(GemmKernel::kSimd);
+  } else {
+    error = "unknown kernel '" + kernel + "' (scalar|simd)";
+    return false;
+  }
+  return true;
+}
+
+int cmd_record(const Args& args) {
+  const std::string pipeline_path = args.get("pipeline");
+  const std::string out_path = args.get("out");
+  if (pipeline_path.empty() || out_path.empty()) {
+    return fail("record: --pipeline and --out are required");
+  }
+  std::string kernel_error;
+  if (!apply_kernel_flag(args, kernel_error)) return fail("record: " + kernel_error);
+  core::LoadedPipeline pipeline = core::PipelineIo::load_file(pipeline_path);
+
+  trace::TraceRunSpec spec;
+  spec.dataset = args.get("dataset", "outdoor");
+  spec.frame_seed = static_cast<uint64_t>(args.get_int("frame-seed", 1));
+  spec.fault_seed = static_cast<uint64_t>(args.get_int("fault-seed", 77));
+  spec.frames = args.get_int("frames", 100);
+  // The scenario runs at the pipeline's own resolution — a trace is only
+  // meaningful against the detector it was recorded with.
+  spec.height = pipeline.detector->config().height;
+  spec.width = pipeline.detector->config().width;
+
+  if (args.has("stage-budget-ns")) {
+    spec.supervisor.stage_budget_ns.fill(args.get_int("stage-budget-ns", 0));
+  }
+  spec.supervisor.frame_budget_ns =
+      args.get_int("frame-budget-ns", spec.supervisor.frame_budget_ns);
+  spec.supervisor.demote_after_bad_frames = static_cast<int>(
+      args.get_int("demote-after", spec.supervisor.demote_after_bad_frames));
+  spec.supervisor.promote_after_healthy_frames = static_cast<int>(
+      args.get_int("promote-after", spec.supervisor.promote_after_healthy_frames));
+  spec.supervisor.breaker.failure_threshold = static_cast<int>(
+      args.get_int("breaker-threshold", spec.supervisor.breaker.failure_threshold));
+  spec.supervisor.breaker.open_frames =
+      args.get_int("breaker-open-frames", spec.supervisor.breaker.open_frames);
+
+  if (args.has("stall-stage")) {
+    faults::TimingFault stall;
+    stall.stage = static_cast<int>(args.get_int("stall-stage", 2));
+    stall.stall_ns = args.get_int("stall-ns", 0);
+    stall.first_frame = args.get_int("stall-first", 0);
+    stall.last_frame = args.get_int("stall-last", stall.last_frame);
+    stall.period = args.get_int("stall-period", 1);
+    spec.stalls.push_back(stall);
+  }
+  if (args.has("camera-fault")) {
+    const auto fault = parse_camera_fault(args.get("camera-fault"));
+    if (!fault) return fail("record: unknown camera fault '" + args.get("camera-fault") + "'");
+    trace::TraceCameraFault scheduled;
+    scheduled.fault = *fault;
+    scheduled.severity = std::stod(args.get("fault-severity", "1.0"));
+    scheduled.first_frame = args.get_int("fault-first", 0);
+    scheduled.last_frame = args.get_int("fault-last", scheduled.last_frame);
+    scheduled.period = args.get_int("fault-period", 1);
+    spec.camera_faults.push_back(scheduled);
+  }
+
+  // Bind the trace to the exact pipeline bytes it was recorded against.
+  const std::string payload = load_file_checked(pipeline_path);
+  spec.pipeline_crc = crc32(payload.data(), payload.size());
+  spec.pipeline_bytes = static_cast<int64_t>(payload.size());
+  spec.validate();
+
+  const trace::Trace trace =
+      trace::TraceRecorder::record(spec, *pipeline.detector, pipeline.steering_model.get());
+  trace.save_file(out_path);
+  std::printf("recorded %lld frames (%lld scored, %lld sensor-bad, %lld abandoned) to %s\n",
+              static_cast<long long>(trace.health.frames_total),
+              static_cast<long long>(trace.health.frames_scored),
+              static_cast<long long>(trace.health.frames_sensor_bad),
+              static_cast<long long>(trace.health.frames_abandoned), out_path.c_str());
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const std::string pipeline_path = args.get("pipeline");
+  const std::string trace_path = args.get("trace");
+  if (pipeline_path.empty() || trace_path.empty()) {
+    return fail("replay: --pipeline and --trace are required");
+  }
+  std::string kernel_error;
+  if (!apply_kernel_flag(args, kernel_error)) return fail("replay: " + kernel_error);
+  if (args.has("threads")) {
+    parallel::set_num_threads(static_cast<int>(args.get_int("threads", 0)));
+  }
+
+  const trace::Trace trace = trace::Trace::load_file(trace_path);
+  if (trace.spec.pipeline_crc != 0) {
+    const std::string payload = load_file_checked(pipeline_path);
+    if (trace.spec.pipeline_crc != crc32(payload.data(), payload.size()) ||
+        trace.spec.pipeline_bytes != static_cast<int64_t>(payload.size())) {
+      return fail("replay: " + pipeline_path +
+                  " is not the pipeline this trace was recorded against (CRC mismatch)");
+    }
+  }
+  core::LoadedPipeline pipeline = core::PipelineIo::load_file(pipeline_path);
+
+  trace::ReplayOptions options;
+  options.score_tolerance = std::stod(args.get("tolerance", "0"));
+  const trace::ReplayReport report = trace::TraceReplayer::replay(
+      trace, *pipeline.detector, pipeline.steering_model.get(), options);
+
+  const std::string line = report.format();
+  std::printf("%s\n", line.c_str());
+  const std::string report_path = args.get("report");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) return fail("replay: cannot write " + report_path);
+    out << line << '\n';
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -378,6 +540,8 @@ int main(int argc, char** argv) {
     if (args.command == "classify") return cmd_classify(args);
     if (args.command == "saliency") return cmd_saliency(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "record") return cmd_record(args);
+    if (args.command == "replay") return cmd_replay(args);
   } catch (const TruncatedFileError& e) {
     return fail(std::string(e.what()) +
                 " (file is incomplete — re-run the fit/train step that produced it)");
