@@ -20,16 +20,30 @@
 // column counts frames from fault-clear until the NoveltyMonitor releases
 // back to kNominal (0 when the fault never engaged it).
 //
+// A third table covers slow distribution drift rather than abrupt faults:
+// the exposure of an otherwise healthy camera ramps up and then holds, and
+// the same nominal stream is served once with the frozen paper thresholds
+// and once with online shadow calibration (drift-triggered hot-swap). The
+// `thresholds` CSV column separates the two regimes; the frozen rows show
+// the false-alarm blow-up the calibrator exists to prevent. This scenario
+// is self-contained (reduced-resolution raw+MSE pipeline, no shared env)
+// so `--drift-only` stays cheap enough for CI.
+//
 // Artifacts: bench_artifacts/fault_matrix.csv (one row per cell).
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
 
 #include "common.hpp"
 #include "core/monitor.hpp"
 #include "faults/fault_injector.hpp"
+#include "image/transforms.hpp"
+#include "roadsim/outdoor_generator.hpp"
+#include "serving/clock.hpp"
+#include "serving/supervisor.hpp"
 
 namespace salnov::bench {
 namespace {
@@ -125,12 +139,138 @@ int64_t recovery_latency(const core::NoveltyDetector& detector, const std::vecto
   return kRecoveryCap;
 }
 
+// --- Drift scenario --------------------------------------------------------
+
+constexpr int64_t kDriftHeight = 16;
+constexpr int64_t kDriftWidth = 24;
+constexpr int64_t kDriftCleanFrames = 200;
+constexpr int64_t kDriftRampFrames = 200;
+constexpr int64_t kDriftHoldFrames = 200;
+constexpr int64_t kDriftTailFrames = 150;  ///< measured window at the end of the hold
+constexpr double kDriftPeakSeverity = 0.45;
+
+struct DriftOutcome {
+  double tail_flag_rate = 0.0;  ///< novel-flag rate over the final hold window
+  int64_t swaps = 0;
+  int64_t drift_detections = 0;
+  int64_t final_epoch = 0;
+};
+
+/// A small raw+MSE detector fitted on nominal outdoor frames; the drift
+/// scenario exercises the calibration control loop, not image fidelity, so
+/// reduced resolution keeps `--drift-only` runs in CI territory.
+core::NoveltyDetector fit_drift_detector() {
+  core::NoveltyDetectorConfig config;
+  config.height = kDriftHeight;
+  config.width = kDriftWidth;
+  config.preprocessing = core::Preprocessing::kRaw;
+  config.score = core::ReconstructionScore::kMse;
+  config.autoencoder = core::AutoencoderConfig::tiny(kDriftHeight, kDriftWidth);
+  config.train_epochs = 12;
+  core::NoveltyDetector detector(config);
+
+  roadsim::OutdoorSceneGenerator generator;
+  Rng frame_rng(kDetectorSeed + 1);
+  std::vector<Image> train;
+  for (int i = 0; i < 32; ++i) {
+    const roadsim::Sample sample = generator.generate(frame_rng);
+    train.push_back(resize_bilinear(sample.rgb.to_grayscale(), kDriftHeight, kDriftWidth));
+  }
+  Rng fit_rng(kDetectorSeed);
+  detector.fit(train, fit_rng);
+  return detector;
+}
+
+/// Streams clean frames, then an exposure ramp that holds at its peak,
+/// through a Supervisor. Identical frame/injector seeds per call, so the
+/// frozen and hot-swapped runs see the same pixels.
+DriftOutcome run_drift(const core::NoveltyDetector& detector, bool online_calibration) {
+  serving::SupervisorConfig config;
+  // Quiet the monitor so the measured rate isolates the threshold verdicts.
+  config.monitor.trigger_frames = 1'000'000;
+  if (online_calibration) {
+    config.calibration.enabled = true;
+    config.calibration.warmup = 64;
+    config.calibration.min_samples = 128;
+    config.calibration.check_every_frames = 32;
+    config.calibration.trigger_checks = 3;
+    config.calibration.release_checks = 4;
+  }
+  serving::FakeClock clock;
+  serving::Supervisor supervisor(detector, nullptr, config, &clock);
+  faults::FaultInjector injector(kInjectorSeed);
+  roadsim::OutdoorSceneGenerator generator;
+  Rng frame_rng(kInjectorSeed + 11);
+
+  const int64_t total = kDriftCleanFrames + kDriftRampFrames + kDriftHoldFrames;
+  int64_t tail_scored = 0, tail_novel = 0;
+  for (int64_t i = 0; i < total; ++i) {
+    const roadsim::Sample sample = generator.generate(frame_rng);
+    Image frame = resize_bilinear(sample.rgb.to_grayscale(), kDriftHeight, kDriftWidth);
+    if (i >= kDriftCleanFrames) {
+      const double progress =
+          std::min(1.0, static_cast<double>(i - kDriftCleanFrames + 1) / kDriftRampFrames);
+      frame = injector.apply(faults::CameraFault::kOverExposure, kDriftPeakSeverity * progress,
+                             frame);
+    }
+    const serving::ServeResult result = supervisor.process(frame);
+    if (i >= total - kDriftTailFrames && result.scored) {
+      ++tail_scored;
+      if (result.novel) ++tail_novel;
+    }
+  }
+
+  const serving::HealthSnapshot health = supervisor.health();
+  DriftOutcome outcome;
+  outcome.tail_flag_rate =
+      tail_scored == 0 ? 1.0 : static_cast<double>(tail_novel) / static_cast<double>(tail_scored);
+  outcome.swaps = health.threshold_swaps;
+  outcome.drift_detections = health.drift_detections;
+  outcome.final_epoch = health.threshold_epoch;
+  return outcome;
+}
+
+void run_drift_scenario(std::ofstream& csv) {
+  std::printf(
+      "\nExposure drift (gain ramps over %" PRId64 " frames to severity %.2f, then holds;\n"
+      "flag rate measured over the final %" PRId64 " held frames of a *nominal* scene):\n",
+      kDriftRampFrames, kDriftPeakSeverity, kDriftTailFrames);
+
+  const core::NoveltyDetector detector = fit_drift_detector();
+  const DriftOutcome frozen = run_drift(detector, /*online_calibration=*/false);
+  const DriftOutcome adaptive = run_drift(detector, /*online_calibration=*/true);
+
+  std::printf("%-12s %-16s %-8s %-18s %s\n", "thresholds", "tail flag rate", "swaps",
+              "drift detections", "final epoch");
+  std::printf("%-12s %6.1f%%          %-8" PRId64 " %-18" PRId64 " %" PRId64 "\n", "frozen",
+              100.0 * frozen.tail_flag_rate, frozen.swaps, frozen.drift_detections,
+              frozen.final_epoch);
+  std::printf("%-12s %6.1f%%          %-8" PRId64 " %-18" PRId64 " %" PRId64 "\n", "hot-swap",
+              100.0 * adaptive.tail_flag_rate, adaptive.swaps, adaptive.drift_detections,
+              adaptive.final_epoch);
+
+  csv << "exposure-drift," << kDriftPeakSeverity << "," << frozen.tail_flag_rate << ",0,"
+      << frozen.tail_flag_rate << ",0,frozen\n";
+  csv << "exposure-drift," << kDriftPeakSeverity << "," << adaptive.tail_flag_rate << ",0,"
+      << adaptive.tail_flag_rate << ",0,hot-swap\n";
+}
+
 }  // namespace
 
-int run() {
+int run(bool drift_only) {
   print_header("Fault matrix (extends Fig. 7)",
                "Detection rate of the guarded VBP+SSIM pipeline per sensor-fault type x severity,\n"
-               "plus a weight-corruption (bit-flip) sweep on the autoencoder.");
+               "plus a weight-corruption (bit-flip) sweep on the autoencoder and a slow exposure\n"
+               "drift served with frozen vs hot-swapped thresholds.");
+
+  if (drift_only) {
+    std::ofstream csv(artifact_dir() + "/fault_matrix.csv");
+    csv << "fault,severity,detection_rate,validator_rate,novelty_rate,recovery_latency_frames,"
+           "thresholds\n";
+    run_drift_scenario(csv);
+    std::printf("\nWrote %s/fault_matrix.csv (drift rows only)\n", artifact_dir().c_str());
+    return 0;
+  }
 
   Env& env = environment();
   DetectorHandle handle = fit_or_load_detector(
@@ -146,9 +286,10 @@ int run() {
               100.0 * clean.detection_rate);
 
   std::ofstream csv(artifact_dir() + "/fault_matrix.csv");
-  csv << "fault,severity,detection_rate,validator_rate,novelty_rate,recovery_latency_frames\n";
+  csv << "fault,severity,detection_rate,validator_rate,novelty_rate,recovery_latency_frames,"
+         "thresholds\n";
   csv << "none,0," << clean.detection_rate << "," << clean.validator_rate << ","
-      << clean.novelty_rate << ",0\n";
+      << clean.novelty_rate << ",0,frozen\n";
 
   std::printf(
       "\nDetection rate per cell (v = screened by validator/frozen guard share,\n"
@@ -164,7 +305,8 @@ int run() {
       std::printf("  %5.1f%% v%3.0f%% r%-2" PRId64, 100.0 * cell.detection_rate,
                   100.0 * cell.validator_rate, recovery);
       csv << faults::camera_fault_name(fault) << "," << severity << "," << cell.detection_rate
-          << "," << cell.validator_rate << "," << cell.novelty_rate << "," << recovery << "\n";
+          << "," << cell.validator_rate << "," << cell.novelty_rate << "," << recovery
+          << ",frozen\n";
     }
     std::printf("\n");
   }
@@ -191,8 +333,10 @@ int run() {
     }
     const double rate = static_cast<double>(novel) / static_cast<double>(scores.size());
     std::printf("%-12" PRId64 " %6.1f%%            %" PRId64 "\n", flips, 100.0 * rate, non_finite);
-    csv << "weight-bit-flip," << flips << "," << rate << ",0," << rate << ",0\n";
+    csv << "weight-bit-flip," << flips << "," << rate << ",0," << rate << ",0,frozen\n";
   }
+
+  run_drift_scenario(csv);
 
   std::printf("\nWrote %s/fault_matrix.csv\n", artifact_dir().c_str());
   return 0;
@@ -200,4 +344,7 @@ int run() {
 
 }  // namespace salnov::bench
 
-int main() { return salnov::bench::run(); }
+int main(int argc, char** argv) {
+  const bool drift_only = argc > 1 && std::strcmp(argv[1], "--drift-only") == 0;
+  return salnov::bench::run(drift_only);
+}

@@ -1,0 +1,56 @@
+#include "calib/drift_detector.hpp"
+
+#include <stdexcept>
+
+namespace salnov::calib {
+
+const char* drift_state_name(DriftState state) {
+  switch (state) {
+    case DriftState::kStable:
+      return "stable";
+    case DriftState::kAlert:
+      return "alert";
+    case DriftState::kDrifted:
+      return "drifted";
+  }
+  return "unknown";
+}
+
+DriftDetector::DriftDetector(DriftDetectorConfig config) : config_(config) {
+  if (!(config_.tolerance > 0.0)) {
+    throw std::invalid_argument("DriftDetector: tolerance must be positive");
+  }
+  if (config_.trigger_checks < 1 || config_.release_checks < 1) {
+    throw std::invalid_argument("DriftDetector: trigger/release checks must be >= 1");
+  }
+}
+
+DriftState DriftDetector::update(bool drifted) {
+  if (drifted) {
+    ++drifted_streak_;
+    clean_streak_ = 0;
+    if (state_ == DriftState::kDrifted) return state_;
+    if (drifted_streak_ >= config_.trigger_checks) {
+      state_ = DriftState::kDrifted;
+    } else {
+      state_ = DriftState::kAlert;
+    }
+  } else {
+    ++clean_streak_;
+    drifted_streak_ = 0;
+    if (state_ == DriftState::kDrifted) {
+      if (clean_streak_ >= config_.release_checks) state_ = DriftState::kStable;
+    } else {
+      state_ = DriftState::kStable;
+    }
+  }
+  return state_;
+}
+
+void DriftDetector::reset() {
+  state_ = DriftState::kStable;
+  drifted_streak_ = 0;
+  clean_streak_ = 0;
+}
+
+}  // namespace salnov::calib

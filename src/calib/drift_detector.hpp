@@ -1,0 +1,84 @@
+// Drift detection: shadow vs served quantiles with hysteresis.
+//
+// Each ladder rung keeps a shadow P² sketch of the scores it actually
+// served. Periodically the calibrator compares the shadow's threshold
+// quantile against the served threshold, normalized by the served
+// calibration's own tail width (|threshold - median| of the fitted ECDF) so
+// "drift" is dimensionless and comparable across rungs whose score scales
+// differ by orders of magnitude (SSIM vs MSE). A single noisy check must
+// not trigger a recalibration, and a single quiet one must not cancel an
+// ongoing drift episode — the DriftDetector wraps the boolean check stream
+// in the same consecutive-count trigger/release hysteresis the
+// NoveltyMonitor applies to novelty verdicts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/novelty_detector.hpp"
+
+namespace salnov::calib {
+
+struct DriftDetectorConfig {
+  /// A rung counts as drifted in one check when its normalized drift ratio
+  /// exceeds this.
+  double tolerance = 0.5;
+  /// Consecutive drifted checks before the detector fires (kDrifted).
+  int64_t trigger_checks = 3;
+  /// Consecutive clean checks before an episode releases back to kStable.
+  int64_t release_checks = 5;
+};
+
+enum class DriftState {
+  kStable = 0,  ///< shadow agrees with served thresholds
+  kAlert,       ///< drifted checks accumulating toward the trigger
+  kDrifted,     ///< episode in progress: recalibration warranted
+};
+
+const char* drift_state_name(DriftState state);
+
+/// One rung's shadow-vs-served comparison in a single check.
+struct RungDrift {
+  bool eligible = false;  ///< enough shadow samples to compare at all
+  int64_t shadow_samples = 0;
+  double shadow_quantile = 0.0;   ///< threshold quantile of the shadow sketch
+  double served_threshold = 0.0;  ///< threshold currently applied by the scorer
+  double ratio = 0.0;             ///< |shadow - served| / served tail width
+  bool drifted = false;
+};
+
+/// Outcome of one periodic drift check across all rungs.
+struct DriftCheck {
+  std::array<RungDrift, core::kDetectorVariantCount> rungs{};
+  bool any_drifted = false;
+  DriftState state = DriftState::kStable;  ///< hysteresis state after the check
+};
+
+class DriftDetector {
+ public:
+  /// Throws std::invalid_argument on non-positive tolerance or
+  /// trigger/release counts below 1.
+  explicit DriftDetector(DriftDetectorConfig config);
+
+  const DriftDetectorConfig& config() const { return config_; }
+
+  /// Folds one check outcome (any rung drifted?) into the hysteresis state
+  /// machine and returns the new state. Mirrors NoveltyMonitor: kDrifted
+  /// entered after `trigger_checks` consecutive drifted checks, left after
+  /// `release_checks` consecutive clean ones.
+  DriftState update(bool drifted);
+
+  DriftState state() const { return state_; }
+
+  /// Rearms after a hot-swap: the shadow now IS the served calibration, so
+  /// the episode is over by construction.
+  void reset();
+
+ private:
+  DriftDetectorConfig config_;
+  DriftState state_ = DriftState::kStable;
+  int64_t drifted_streak_ = 0;
+  int64_t clean_streak_ = 0;
+};
+
+}  // namespace salnov::calib

@@ -1,0 +1,88 @@
+// Swappable threshold sets and the RCU-style slot that serves them.
+//
+// A recalibration produces a complete ThresholdSet — one NoveltyThreshold
+// per ladder rung, an epoch number, and provenance (which rungs were
+// rebuilt from the shadow sketch vs carried over). The set is immutable
+// after construction; replacing the served thresholds is a pointer
+// exchange, never an in-place edit, so the scorer can read thresholds on
+// every frame without ever taking a lock:
+//
+//   * Readers call ThresholdHotSwap::acquire(): a single
+//     memory_order_acquire atomic load. Wait-free, no allocation, safe on
+//     the frame-processing hot path.
+//   * Writers call install(): under a writer mutex the outgoing set is
+//     pushed onto a retired list (freed only when the slot dies — readers
+//     may still hold the raw pointer for the duration of a frame) and the
+//     new pointer is published with memory_order_release.
+//
+// Persistence rides the crash-safe checked-file protocol (temp file +
+// atomic rename + CRC trailer) with crash points planted at each milestone,
+// so a process killed mid-swap restarts with either the complete old set or
+// the complete new one — a torn file is structurally impossible and the
+// crash-injection tests prove it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/novelty_detector.hpp"
+#include "core/threshold.hpp"
+
+namespace salnov::calib {
+
+struct ThresholdSet {
+  /// Monotone recalibration generation; 0 is reserved for "the fitted
+  /// calibration, never swapped".
+  int64_t epoch = 0;
+  std::array<core::NoveltyThreshold, core::kDetectorVariantCount> thresholds{};
+  /// Shadow sample count behind each rung at build time (0 for carried-over
+  /// rungs).
+  std::array<int64_t, core::kDetectorVariantCount> shadow_samples{};
+  /// 1 when the rung was rebuilt from the shadow sketch, 0 when the
+  /// previously served threshold was carried over (insufficient samples).
+  std::array<uint8_t, core::kDetectorVariantCount> rebuilt{};
+
+  void save(std::ostream& os) const;
+  static ThresholdSet load(std::istream& is);
+
+  /// Checked persistence with crash points around the temp-write/rename
+  /// milestones (see faults/crash_points.hpp).
+  void save_file(const std::string& path) const;
+  static ThresholdSet load_file(const std::string& path);
+};
+
+class ThresholdHotSwap {
+ public:
+  ThresholdHotSwap() = default;
+  ThresholdHotSwap(const ThresholdHotSwap&) = delete;
+  ThresholdHotSwap& operator=(const ThresholdHotSwap&) = delete;
+
+  /// The currently served set, or nullptr before the first install (serve
+  /// the detector's fitted calibration then). Wait-free; the pointer stays
+  /// valid for the lifetime of the slot.
+  const ThresholdSet* acquire() const { return live_.load(std::memory_order_acquire); }
+
+  /// Publishes `next` as the served set. Thread-safe against concurrent
+  /// install() calls and against acquire() on any number of reader threads.
+  /// The outgoing set is retired, not freed — readers never race reclamation.
+  void install(std::shared_ptr<const ThresholdSet> next);
+
+  int64_t installs() const { return installs_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<const ThresholdSet*> live_{nullptr};
+  std::atomic<int64_t> installs_{0};
+  std::mutex writer_mu_;  ///< serializes install(); never touched by readers
+  /// Every set ever installed, kept alive until the slot is destroyed.
+  /// Swaps are rare (drift episodes), so the unbounded-but-tiny list is the
+  /// simplest correct reclamation scheme.
+  std::vector<std::shared_ptr<const ThresholdSet>> retired_;
+};
+
+}  // namespace salnov::calib

@@ -1,0 +1,43 @@
+#include "faults/crash_points.hpp"
+
+#include <array>
+#include <atomic>
+
+namespace salnov::faults {
+namespace {
+
+std::atomic<int> g_armed{-1};  ///< CrashPoint value, or -1 for disarmed
+std::array<std::atomic<int64_t>, kCrashPointCount> g_passes{};
+
+}  // namespace
+
+const char* crash_point_name(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kSwapBeforeTempWrite:
+      return "swap-before-temp-write";
+    case CrashPoint::kSwapAfterTempWrite:
+      return "swap-after-temp-write";
+    case CrashPoint::kSwapAfterRename:
+      return "swap-after-rename";
+  }
+  return "unknown";
+}
+
+void arm_crash_point(CrashPoint point) {
+  g_armed.store(static_cast<int>(point), std::memory_order_release);
+}
+
+void disarm_crash_points() { g_armed.store(-1, std::memory_order_release); }
+
+void hit_crash_point(CrashPoint point) {
+  g_passes[static_cast<size_t>(point)].fetch_add(1, std::memory_order_relaxed);
+  if (g_armed.load(std::memory_order_acquire) == static_cast<int>(point)) {
+    throw InjectedCrash(std::string("injected crash at ") + crash_point_name(point));
+  }
+}
+
+int64_t crash_point_passes(CrashPoint point) {
+  return g_passes[static_cast<size_t>(point)].load(std::memory_order_relaxed);
+}
+
+}  // namespace salnov::faults

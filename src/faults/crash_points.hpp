@@ -1,0 +1,68 @@
+// Crash-point injection around crash-safe persistence.
+//
+// The threshold hot-swap path persists a new ThresholdSet through the
+// temp-file + atomic-rename protocol before exposing it to the scorer. The
+// safety claim — a crash at ANY instant leaves the served threshold file
+// either the complete old set or the complete new one, never torn — is only
+// a claim until something actually crashes there. This module plants named
+// crash points along the swap path; a test arms one, the next pass through
+// it throws InjectedCrash (a stand-in for the process dying), and the test
+// then proves the file on disk still loads.
+//
+// Arming is process-wide and sticky until disarmed. The armed flag is an
+// atomic so a point may be armed from a test thread while a worker thread
+// runs the swap; hit counters are also atomic for the same reason.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace salnov::faults {
+
+/// The instants along the threshold hot-swap persistence path where a crash
+/// is injectable. Order mirrors the swap sequence.
+enum class CrashPoint : int {
+  kSwapBeforeTempWrite = 0,  ///< before any byte is written
+  kSwapAfterTempWrite,       ///< temp file complete, rename not yet done
+  kSwapAfterRename,          ///< new file in place, live pointer not yet exchanged
+};
+
+inline constexpr int kCrashPointCount = 3;
+
+const char* crash_point_name(CrashPoint point);
+
+/// Thrown at an armed crash point. Deliberately NOT a SerializationError:
+/// callers must treat it as "the process died here", not as a format issue.
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Arms `point`: every subsequent hit_crash_point(point) throws until
+/// disarm_crash_points() runs. Only one point is armed at a time.
+void arm_crash_point(CrashPoint point);
+
+/// Disarms whatever is armed (idempotent).
+void disarm_crash_points();
+
+/// Called by instrumented code at each milestone. Counts the pass, then
+/// throws InjectedCrash when `point` is armed.
+void hit_crash_point(CrashPoint point);
+
+/// How many times `point` has been passed (armed or not) since process
+/// start. Lets tests assert a code path actually reached the milestone.
+int64_t crash_point_passes(CrashPoint point);
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor so a failed EXPECT cannot leak an armed point into the next
+/// test.
+class ScopedCrashPoint {
+ public:
+  explicit ScopedCrashPoint(CrashPoint point) { arm_crash_point(point); }
+  ~ScopedCrashPoint() { disarm_crash_points(); }
+  ScopedCrashPoint(const ScopedCrashPoint&) = delete;
+  ScopedCrashPoint& operator=(const ScopedCrashPoint&) = delete;
+};
+
+}  // namespace salnov::faults

@@ -9,10 +9,16 @@
 namespace salnov {
 
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  const size_t original = sorted_.size();
   sorted_.erase(std::remove_if(sorted_.begin(), sorted_.end(),
                                [](double v) { return !std::isfinite(v); }),
                 sorted_.end());
-  if (sorted_.empty()) throw std::invalid_argument("EmpiricalCdf: no finite samples");
+  dropped_nonfinite_ = original - sorted_.size();
+  if (sorted_.empty()) {
+    throw EmptyCalibrationError("EmpiricalCdf: no finite samples (" + std::to_string(original) +
+                                " given, " + std::to_string(dropped_nonfinite_) +
+                                " non-finite dropped)");
+  }
   std::sort(sorted_.begin(), sorted_.end());
 }
 

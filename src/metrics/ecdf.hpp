@@ -8,16 +8,27 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <vector>
 
 namespace salnov {
+
+/// Thrown when a calibration fit receives no finite samples: the resulting
+/// quantiles would be degenerate and every threshold built from them
+/// meaningless. Derives from std::invalid_argument so pre-typed callers keep
+/// catching it.
+class EmptyCalibrationError : public std::invalid_argument {
+ public:
+  explicit EmptyCalibrationError(const std::string& what) : std::invalid_argument(what) {}
+};
 
 class EmpiricalCdf {
  public:
   /// Builds the ECDF of the given samples. Non-finite samples (NaN, +/-Inf)
   /// are dropped before any quantile math — NaNs violate the strict weak
   /// ordering the sort relies on, and a single corrupted score must not
-  /// poison a calibrated threshold. Throws when no finite sample remains.
+  /// poison a calibrated threshold. Throws EmptyCalibrationError when no
+  /// finite sample remains (including on empty input).
   explicit EmpiricalCdf(std::vector<double> samples);
 
   /// F(x): fraction of samples <= x.
@@ -46,6 +57,15 @@ class EmpiricalCdf {
   double max() const { return sorted_.back(); }
   size_t size() const { return sorted_.size(); }
 
+  /// Number of finite samples the CDF was fitted on (alias of size(),
+  /// spelled out for calibration-audit call sites).
+  size_t fitted_count() const { return sorted_.size(); }
+
+  /// Non-finite samples dropped during the fit. A fit-time diagnostic only:
+  /// save()/load() round-trips the retained samples, so a loaded CDF
+  /// reports 0 here.
+  size_t dropped_nonfinite() const { return dropped_nonfinite_; }
+
   /// The retained (finite, sorted) samples backing the CDF.
   const std::vector<double>& samples() const { return sorted_; }
 
@@ -56,6 +76,7 @@ class EmpiricalCdf {
 
  private:
   std::vector<double> sorted_;
+  size_t dropped_nonfinite_ = 0;
 };
 
 /// Convenience: q-th quantile of a sample set. Copies and sorts `samples`

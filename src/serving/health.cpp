@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
 namespace salnov::serving {
+namespace {
+
+/// JSON has no NaN/Inf literal: render non-finite gauges as null, finite
+/// ones with enough digits to round-trip a double.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace
 
 const char* stage_name(Stage stage) {
   switch (stage) {
@@ -85,6 +98,12 @@ std::string HealthSnapshot::to_json() const {
   os << "\"breaker_trips\":" << breaker_trips << ",";
   os << "\"probe_successes\":" << probe_successes << ",";
   os << "\"probe_failures\":" << probe_failures << ",";
+  os << "\"drift_checks\":" << drift_checks << ",";
+  os << "\"drift_detections\":" << drift_detections << ",";
+  os << "\"threshold_swaps\":" << threshold_swaps << ",";
+  os << "\"swap_persist_failures\":" << swap_persist_failures << ",";
+  os << "\"threshold_epoch\":" << threshold_epoch << ",";
+  os << "\"drift_state\":\"" << drift_state << "\",";
   os << "\"queue_capacity\":" << queue_capacity << ",";
   os << "\"queue_high_water\":" << queue_high_water << ",";
   os << "\"queue_shed\":" << queue_shed << ",";
@@ -97,6 +116,17 @@ std::string HealthSnapshot::to_json() const {
     os << "\"samples\":" << stage.samples << ",";
     os << "\"p50_ns\":" << stage.p50_ns << ",";
     os << "\"p99_ns\":" << stage.p99_ns << "}";
+  }
+  os << "],";
+  os << "\"shadow\":[";
+  for (size_t g = 0; g < shadow.size(); ++g) {
+    const ShadowGauge& gauge = shadow[g];
+    if (g > 0) os << ",";
+    os << "{\"rung\":\"" << gauge.rung << "\",";
+    os << "\"shadow_samples\":" << gauge.shadow_samples << ",";
+    os << "\"shadow_quantile\":" << json_number(gauge.shadow_quantile) << ",";
+    os << "\"served_threshold\":" << json_number(gauge.served_threshold) << ",";
+    os << "\"eligible\":" << (gauge.eligible ? "true" : "false") << "}";
   }
   os << "]}";
   return os.str();

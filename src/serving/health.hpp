@@ -98,13 +98,34 @@ struct HealthSnapshot {
   int64_t probe_successes = 0;
   int64_t probe_failures = 0;
 
+  // Online shadow calibration / drift (all zero, state "off", when the
+  // calibration loop is disabled).
+  int64_t drift_checks = 0;        ///< periodic shadow-vs-served comparisons run
+  int64_t drift_detections = 0;    ///< checks where some rung exceeded tolerance
+  int64_t threshold_swaps = 0;     ///< hot-swaps installed (auto, forced, external)
+  int64_t swap_persist_failures = 0;  ///< swaps aborted because persistence failed
+  int64_t threshold_epoch = 0;     ///< epoch of the served ThresholdSet (0 = fitted)
+  std::string drift_state = "off"; ///< "off" | "stable" | "alert" | "drifted"
+
   int64_t queue_capacity = 0;
   int64_t queue_high_water = 0;
   int64_t queue_shed = 0;
 
   std::array<StageHealth, kStageCount> stages;
 
-  /// Single-line JSON rendering (stable key order, integers only).
+  /// Per-rung shadow-vs-served quantile gauges; empty when calibration is
+  /// off. Quantiles are NaN (JSON null) until the rung has shadow samples.
+  struct ShadowGauge {
+    std::string rung;
+    int64_t shadow_samples = 0;
+    double shadow_quantile = 0.0;   ///< shadow sketch's threshold quantile
+    double served_threshold = 0.0;  ///< threshold the scorer currently applies
+    bool eligible = false;          ///< enough samples to compare/rebuild
+  };
+  std::vector<ShadowGauge> shadow;
+
+  /// Single-line JSON rendering (stable key order; counters are integers,
+  /// shadow gauges are floats rendered as JSON null when non-finite).
   std::string to_json() const;
 };
 

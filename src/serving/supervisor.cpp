@@ -40,6 +40,79 @@ Supervisor::Supervisor(const core::NoveltyDetector& detector, nn::Sequential* st
     throw std::invalid_argument("Supervisor: ladder hysteresis counts must be >= 1");
   }
   for (auto& ring : rings_) ring = LatencyRing(config_.latency_window);
+  if (config_.calibration.enabled) {
+    calibrator_.emplace(detector_, config_.calibration);  // validates the config
+  }
+}
+
+void Supervisor::install_thresholds(std::shared_ptr<const calib::ThresholdSet> set) {
+  live_thresholds_.install(std::move(set));
+  threshold_swaps_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+const core::NoveltyThreshold& Supervisor::threshold_for(core::DetectorVariant variant,
+                                                        const calib::ThresholdSet* live) const {
+  if (live != nullptr) return live->thresholds[static_cast<size_t>(variant)];
+  return detector_.variant_calibration(variant).threshold;
+}
+
+void Supervisor::perform_swap(ServeResult& result, const calib::ThresholdSet* live, bool forced) {
+  const int64_t epoch = (live != nullptr ? live->epoch : 0) + 1;
+  const std::shared_ptr<const calib::ThresholdSet> next = calibrator_->build(live, epoch);
+  ThresholdSwapEvent event;
+  event.frame_index = result.frame_index;
+  event.epoch = epoch;
+  event.forced = forced;
+  const std::string& store = calibrator_->config().store_path;
+  if (!store.empty()) {
+    try {
+      next->save_file(store);  // crash-safe: temp + atomic rename + CRC trailer
+      event.persisted = true;
+    } catch (const std::exception&) {
+      // Persistence failed (disk fault or injected crash). Policy: do not
+      // install a set that could not be made durable — disk holds either the
+      // complete old file or the complete new one, and the live pointer
+      // keeps serving the old set. The drift episode stays armed, so the
+      // swap is retried at the next check.
+      ++swap_persist_failures_;
+      return;
+    }
+  }
+  live_thresholds_.install(next);
+  threshold_swaps_.fetch_add(1, std::memory_order_acq_rel);
+  calibrator_->rearm_after_swap();
+  swap_events_.push_back(event);
+  result.threshold_swapped = true;
+  result.threshold_epoch = epoch;
+}
+
+void Supervisor::run_calibration(ServeResult& result, const calib::ThresholdSet* live,
+                                 core::DetectorVariant variant) {
+  if (!calibrator_.has_value()) return;
+  bool drift_fired = false;
+  if (result.scored) {
+    calibrator_->observe(variant, result.score);
+    if (calibrator_->check_due(frames_scored_)) {
+      ++drift_checks_;
+      const calib::DriftCheck check = calibrator_->check(live);
+      if (check.any_drifted) ++drift_detections_;
+      drift_fired = check.state == calib::DriftState::kDrifted;
+    }
+  }
+  // Forced swaps: entries for frames that never reached this point (sensor
+  // screening, abandonment) are skipped, not deferred — the schedule stays
+  // a function of frame indices alone.
+  const auto& forced_frames = calibrator_->config().forced_swap_frames;
+  while (next_forced_ < forced_frames.size() &&
+         forced_frames[next_forced_] < result.frame_index) {
+    ++next_forced_;
+  }
+  const bool forced_now =
+      next_forced_ < forced_frames.size() && forced_frames[next_forced_] == result.frame_index;
+  if (forced_now) ++next_forced_;
+  if (forced_now || (drift_fired && calibrator_->config().auto_swap)) {
+    perform_swap(result, live, forced_now);
+  }
 }
 
 Supervisor::StageOutcome Supervisor::run_stage(Stage stage, int64_t frame_index,
@@ -131,6 +204,12 @@ ServeResult Supervisor::process(const Image& frame) {
   result.frame_index = index;
   result.mode = mode_;
   bool frame_bad = false;
+
+  // One wait-free acquire pins the threshold set for the whole frame: a
+  // concurrent install takes effect at the next frame boundary, never
+  // mid-frame (retired sets stay alive, so the pointer cannot dangle).
+  const calib::ThresholdSet* live = live_thresholds_.acquire();
+  result.threshold_epoch = live != nullptr ? live->epoch : 0;
 
   // --- Stage 0: validate -------------------------------------------------
   core::FrameFault fault = core::FrameFault::kNone;
@@ -259,7 +338,7 @@ ServeResult Supervisor::process(const Image& frame) {
   if (!pipeline_broken) {
     const StageOutcome scoring = run_stage(Stage::kScore, index, result, [&] {
       score = detector_.variant_score_pair(variant, preprocessed, reconstruction);
-      novel = detector_.variant_calibration(variant).threshold.is_novel(score);
+      novel = threshold_for(variant, live).is_novel(score);
     });
     if (!scoring.ok()) frame_bad = true;
     if (scoring.threw) {
@@ -317,6 +396,7 @@ ServeResult Supervisor::process(const Image& frame) {
   }
 
   if (!tripped_this_frame) update_ladder(frame_bad);
+  run_calibration(result, live, variant);
   return result;
 }
 
@@ -337,6 +417,27 @@ HealthSnapshot Supervisor::health() const {
   snapshot.breaker_trips = breaker_.trips();
   snapshot.probe_successes = breaker_.probe_successes();
   snapshot.probe_failures = breaker_.probe_failures();
+  const calib::ThresholdSet* live = live_thresholds_.acquire();
+  snapshot.drift_checks = drift_checks_;
+  snapshot.drift_detections = drift_detections_;
+  snapshot.threshold_swaps = threshold_swaps_.load(std::memory_order_acquire);
+  snapshot.swap_persist_failures = swap_persist_failures_;
+  snapshot.threshold_epoch = live != nullptr ? live->epoch : 0;
+  if (calibrator_.has_value()) {
+    snapshot.drift_state = calib::drift_state_name(calibrator_->state());
+    snapshot.shadow.reserve(core::kDetectorVariantCount);
+    for (int v = 0; v < core::kDetectorVariantCount; ++v) {
+      const auto variant = static_cast<core::DetectorVariant>(v);
+      const calib::RungDrift rung = calibrator_->gauge(variant, live);
+      HealthSnapshot::ShadowGauge gauge;
+      gauge.rung = core::detector_variant_name(variant);
+      gauge.shadow_samples = rung.shadow_samples;
+      gauge.shadow_quantile = rung.shadow_quantile;
+      gauge.served_threshold = rung.served_threshold;
+      gauge.eligible = rung.eligible;
+      snapshot.shadow.push_back(std::move(gauge));
+    }
+  }
   for (int s = 0; s < kStageCount; ++s) {
     const size_t i = static_cast<size_t>(s);
     snapshot.stages[i].name = stage_name(static_cast<Stage>(s));

@@ -27,12 +27,16 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <vector>
 
+#include "calib/online_calibrator.hpp"
+#include "calib/threshold_set.hpp"
 #include "core/monitor.hpp"
 #include "core/novelty_detector.hpp"
 #include "faults/timing_faults.hpp"
@@ -65,6 +69,10 @@ struct SupervisorConfig {
 
   core::MonitorConfig monitor;
 
+  /// Online shadow calibration + drift-triggered threshold hot-swap;
+  /// disabled by default (frozen paper thresholds).
+  calib::OnlineCalibrationConfig calibration;
+
   /// Optional deterministic stall schedule (not owned; may be null).
   const faults::TimingFaultInjector* timing_faults = nullptr;
 
@@ -86,6 +94,16 @@ struct ServeResult {
   core::MonitorState monitor_state = core::MonitorState::kNominal;
   core::FallbackPath fallback_path = core::FallbackPath::kNone;
   std::array<int64_t, kStageCount> stage_ns{};  ///< 0 for stages not run
+  bool threshold_swapped = false;  ///< a hot-swap completed during this frame
+  int64_t threshold_epoch = 0;     ///< ThresholdSet epoch after the frame (0 = fitted)
+};
+
+/// One completed in-process threshold hot-swap (drift-triggered or forced).
+struct ThresholdSwapEvent {
+  int64_t frame_index = 0;
+  int64_t epoch = 0;
+  bool forced = false;     ///< operator-forced vs drift-triggered
+  bool persisted = false;  ///< store_path configured and the durable write succeeded
 };
 
 class Supervisor {
@@ -106,6 +124,20 @@ class Supervisor {
   BreakerState breaker_state() const { return breaker_.state(); }
   const core::NoveltyMonitor& monitor() const { return monitor_; }
   int64_t frames_total() const { return frames_total_; }
+
+  /// Publishes an externally built ThresholdSet (e.g. one recovered from the
+  /// calibration store at startup) as the served set. Thread-safe and
+  /// wait-free for the scoring path: process() never blocks on an install.
+  void install_thresholds(std::shared_ptr<const calib::ThresholdSet> set);
+
+  /// The ThresholdSet the scorer currently applies, or nullptr while the
+  /// detector's fitted calibration is served.
+  const calib::ThresholdSet* served_thresholds() const { return live_thresholds_.acquire(); }
+
+  /// In-process swaps, in frame order. NOT thread-safe against a concurrent
+  /// process(); read it after the run (the CLI prints these as swap log
+  /// lines).
+  const std::vector<ThresholdSwapEvent>& swap_events() const { return swap_events_; }
 
   HealthSnapshot health() const;
 
@@ -128,6 +160,11 @@ class Supervisor {
   void attach_monitor_state(ServeResult& result);
   void update_ladder(bool frame_bad);
   void set_mode(ServingMode mode);
+  const core::NoveltyThreshold& threshold_for(core::DetectorVariant variant,
+                                              const calib::ThresholdSet* live) const;
+  void run_calibration(ServeResult& result, const calib::ThresholdSet* live,
+                       core::DetectorVariant variant);
+  void perform_swap(ServeResult& result, const calib::ThresholdSet* live, bool forced);
 
   const core::NoveltyDetector& detector_;
   nn::Sequential* steering_model_;
@@ -157,6 +194,18 @@ class Supervisor {
   int64_t promotions_ = 0;
   std::array<int64_t, kStageCount> stage_overruns_{};
   std::array<LatencyRing, kStageCount> rings_;
+
+  // Online calibration. The hot-swap slot and the swap counter are the only
+  // state shared with other threads (install_thresholds); everything else
+  // is touched exclusively by the processing thread.
+  std::optional<calib::OnlineCalibrator> calibrator_;
+  calib::ThresholdHotSwap live_thresholds_;
+  std::atomic<int64_t> threshold_swaps_{0};
+  int64_t drift_checks_ = 0;
+  int64_t drift_detections_ = 0;
+  int64_t swap_persist_failures_ = 0;
+  size_t next_forced_ = 0;  ///< cursor into calibration.forced_swap_frames
+  std::vector<ThresholdSwapEvent> swap_events_;
 };
 
 }  // namespace salnov::serving

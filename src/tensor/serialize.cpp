@@ -148,6 +148,12 @@ uint32_t crc32(const void* data, size_t size, uint32_t crc) {
 
 void save_file_checked(const std::string& path,
                        const std::function<void(std::ostream&)>& write_payload) {
+  save_file_checked(path, write_payload, nullptr);
+}
+
+void save_file_checked(const std::string& path,
+                       const std::function<void(std::ostream&)>& write_payload,
+                       const std::function<void(SaveCheckpoint)>& checkpoint) {
   std::ostringstream buffer(std::ios::binary);
   write_payload(buffer);
   const std::string payload = buffer.str();
@@ -169,6 +175,9 @@ void save_file_checked(const std::string& path,
       os.flush();
       if (!os) throw std::runtime_error("save_file_checked: write failed for " + tmp);
     }
+    // A throw here (crash injection) leaves the temp removed and the target
+    // untouched: the complete previous file survives.
+    if (checkpoint) checkpoint(SaveCheckpoint::kTempWritten);
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {

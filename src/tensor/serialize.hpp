@@ -76,6 +76,20 @@ uint32_t crc32(const void* data, size_t size, uint32_t crc = 0);
 void save_file_checked(const std::string& path,
                        const std::function<void(std::ostream&)>& write_payload);
 
+/// Milestones inside save_file_checked, surfaced so crash-injection tests
+/// can kill the writer at each point and prove the target path always holds
+/// either the complete previous file or the complete new one.
+enum class SaveCheckpoint {
+  kTempWritten,  ///< temp file fully written and flushed; rename not yet done
+};
+
+/// As above, but invokes `checkpoint` (when non-null) at each SaveCheckpoint.
+/// A checkpoint that throws models a crash at that instant: the temp file is
+/// removed and the previous `path` contents are left untouched.
+void save_file_checked(const std::string& path,
+                       const std::function<void(std::ostream&)>& write_payload,
+                       const std::function<void(SaveCheckpoint)>& checkpoint);
+
 /// Reads `path`, verifies the integrity trailer, and returns the payload
 /// bytes. Throws TruncatedFileError when the trailer is missing/short or the
 /// recorded size disagrees with the file, CorruptFileError on CRC mismatch,

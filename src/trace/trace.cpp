@@ -17,7 +17,13 @@ namespace salnov::trace {
 namespace {
 
 constexpr const char* kTraceMagic = "salnov-trace";
-constexpr uint32_t kTraceVersion = 1;
+// v1: original format. v2 appends the online-calibration spec block, the
+// per-frame swap flag + epoch, and the drift/swap health counters. save()
+// always writes the current version; load() accepts every version back to
+// kTraceVersionMin (the checked-in goldens are v1) and fills v2 fields with
+// their calibration-off defaults.
+constexpr uint32_t kTraceVersion = 2;
+constexpr uint32_t kTraceVersionMin = 1;
 
 // Frame-record flag bits (TraceFrame bools packed into one u32).
 constexpr uint32_t kFlagScored = 1u << 0;
@@ -25,6 +31,7 @@ constexpr uint32_t kFlagAbandoned = 1u << 1;
 constexpr uint32_t kFlagDeadlineOverrun = 1u << 2;
 constexpr uint32_t kFlagSensorBad = 1u << 3;
 constexpr uint32_t kFlagNovel = 1u << 4;
+constexpr uint32_t kFlagSwapped = 1u << 5;  // v2
 
 uint32_t checked_enum(std::istream& is, uint32_t limit, const char* what) {
   const uint32_t value = read_u32(is);
@@ -122,6 +129,7 @@ void TraceRunSpec::validate() const {
   make_generator(dataset);  // throws on unknown dataset
   if (frames < 0) throw std::invalid_argument("trace: negative frame count");
   if (height <= 0 || width <= 0) throw std::invalid_argument("trace: non-positive resolution");
+  calib::validate(supervisor.calibration);  // throws on out-of-range drift knobs
   faults::TimingFaultInjector probe;
   for (const auto& stall : stalls) probe.add(stall);  // throws on a bad schedule
   for (const auto& fault : camera_faults) {
@@ -153,6 +161,8 @@ TraceFrame TraceFrame::from(const serving::ServeResult& result, serving::Serving
   frame.stage_ns = result.stage_ns;
   frame.mode_after = mode_after;
   frame.breaker_after = breaker_after;
+  frame.swapped = result.threshold_swapped;
+  frame.epoch_after = result.threshold_epoch;
   return frame;
 }
 
@@ -171,6 +181,10 @@ TraceHealth TraceHealth::from(const serving::HealthSnapshot& snapshot) {
   health.breaker_trips = snapshot.breaker_trips;
   health.probe_successes = snapshot.probe_successes;
   health.probe_failures = snapshot.probe_failures;
+  health.drift_checks = snapshot.drift_checks;
+  health.drift_detections = snapshot.drift_detections;
+  health.threshold_swaps = snapshot.threshold_swaps;
+  health.threshold_epoch = snapshot.threshold_epoch;
   return health;
 }
 
@@ -218,6 +232,21 @@ void Trace::save(std::ostream& os) const {
   write_i64(os, sup.monitor.sensor_release_frames);
   write_u32(os, sup.monitor.detect_frozen_frames ? 1 : 0);
 
+  // v2: online-calibration block. store_path is deliberately omitted (a
+  // replay must never write operator files).
+  const calib::OnlineCalibrationConfig& cal = sup.calibration;
+  write_u32(os, cal.enabled ? 1 : 0);
+  write_u32(os, cal.auto_swap ? 1 : 0);
+  write_f64(os, cal.percentile);
+  write_i64(os, cal.warmup);
+  write_i64(os, cal.min_samples);
+  write_f64(os, cal.drift_tolerance);
+  write_i64(os, cal.check_every_frames);
+  write_i64(os, cal.trigger_checks);
+  write_i64(os, cal.release_checks);
+  write_u32(os, static_cast<uint32_t>(cal.forced_swap_frames.size()));
+  for (int64_t frame : cal.forced_swap_frames) write_i64(os, frame);
+
   write_u32(os, spec.pipeline_crc);
   write_i64(os, spec.pipeline_bytes);
 
@@ -231,6 +260,7 @@ void Trace::save(std::ostream& os) const {
     if (frame.deadline_overrun) flags |= kFlagDeadlineOverrun;
     if (frame.sensor_bad) flags |= kFlagSensorBad;
     if (frame.novel) flags |= kFlagNovel;
+    if (frame.swapped) flags |= kFlagSwapped;
     write_u32(os, flags);
     write_f64(os, frame.score);
     write_f64(os, frame.steering);
@@ -239,6 +269,7 @@ void Trace::save(std::ostream& os) const {
     for (int64_t ns : frame.stage_ns) write_i64(os, ns);
     write_u32(os, static_cast<uint32_t>(frame.mode_after));
     write_u32(os, static_cast<uint32_t>(frame.breaker_after));
+    write_i64(os, frame.epoch_after);
   }
 
   write_i64(os, health.frames_total);
@@ -254,10 +285,27 @@ void Trace::save(std::ostream& os) const {
   write_i64(os, health.breaker_trips);
   write_i64(os, health.probe_successes);
   write_i64(os, health.probe_failures);
+  write_i64(os, health.drift_checks);
+  write_i64(os, health.drift_detections);
+  write_i64(os, health.threshold_swaps);
+  write_i64(os, health.threshold_epoch);
 }
 
 Trace Trace::load(std::istream& is) {
-  read_header(is, kTraceMagic, kTraceVersion);
+  // Hand-rolled header read (read_header demands one exact version): every
+  // version in [kTraceVersionMin, kTraceVersion] must keep loading so the
+  // checked-in v1 goldens stay replayable.
+  const std::string got_magic = read_string(is);
+  if (got_magic != kTraceMagic) {
+    throw SerializationError("trace: expected magic '" + std::string(kTraceMagic) + "', got '" +
+                             got_magic + "'");
+  }
+  const uint32_t version = read_u32(is);
+  if (version < kTraceVersionMin || version > kTraceVersion) {
+    throw SerializationError("trace: version " + std::to_string(version) + " unsupported (want " +
+                             std::to_string(kTraceVersionMin) + ".." +
+                             std::to_string(kTraceVersion) + ")");
+  }
   Trace trace;
   TraceRunSpec& spec = trace.spec;
 
@@ -302,6 +350,25 @@ Trace Trace::load(std::istream& is) {
   sup.monitor.sensor_release_frames = read_i64(is);
   sup.monitor.detect_frozen_frames = read_u32(is) != 0;
 
+  if (version >= 2) {
+    calib::OnlineCalibrationConfig& cal = sup.calibration;
+    cal.enabled = read_u32(is) != 0;
+    cal.auto_swap = read_u32(is) != 0;
+    cal.percentile = read_f64(is);
+    cal.warmup = read_i64(is);
+    cal.min_samples = read_i64(is);
+    cal.drift_tolerance = read_f64(is);
+    cal.check_every_frames = read_i64(is);
+    cal.trigger_checks = read_i64(is);
+    cal.release_checks = read_i64(is);
+    const uint32_t n_forced = read_u32(is);
+    if (n_forced > (1u << 20)) {
+      throw SerializationError("trace: implausible forced-swap count " + std::to_string(n_forced));
+    }
+    cal.forced_swap_frames.resize(n_forced);
+    for (int64_t& frame : cal.forced_swap_frames) frame = read_i64(is);
+  }  // v1: calibration-off defaults
+
   spec.pipeline_crc = read_u32(is);
   spec.pipeline_bytes = read_i64(is);
 
@@ -318,6 +385,7 @@ Trace Trace::load(std::istream& is) {
     frame.deadline_overrun = (flags & kFlagDeadlineOverrun) != 0;
     frame.sensor_bad = (flags & kFlagSensorBad) != 0;
     frame.novel = (flags & kFlagNovel) != 0;
+    frame.swapped = (flags & kFlagSwapped) != 0;
     frame.score = read_f64(is);
     frame.steering = read_f64(is);
     frame.monitor_state = static_cast<core::MonitorState>(checked_enum(is, 4, "monitor state"));
@@ -327,6 +395,7 @@ Trace Trace::load(std::istream& is) {
         checked_enum(is, serving::kServingModeCount, "serving mode"));
     frame.breaker_after =
         static_cast<serving::BreakerState>(checked_enum(is, 3, "breaker state"));
+    if (version >= 2) frame.epoch_after = read_i64(is);
   }
 
   TraceHealth& health = trace.health;
@@ -343,6 +412,12 @@ Trace Trace::load(std::istream& is) {
   health.breaker_trips = read_i64(is);
   health.probe_successes = read_i64(is);
   health.probe_failures = read_i64(is);
+  if (version >= 2) {
+    health.drift_checks = read_i64(is);
+    health.drift_detections = read_i64(is);
+    health.threshold_swaps = read_i64(is);
+    health.threshold_epoch = read_i64(is);
+  }
   return trace;
 }
 
@@ -374,6 +449,10 @@ serving::HealthSnapshot drive(const TraceRunSpec& spec, const core::NoveltyDetec
   for (const auto& stall : spec.stalls) stalls.add(stall);
   serving::SupervisorConfig config = spec.supervisor;
   config.timing_faults = stalls.empty() ? nullptr : &stalls;
+  // Traced runs never persist threshold sets: the decision stream must be a
+  // pure function of the spec, and a replay must not write operator files.
+  // (store_path is not serialized either; this guards in-memory specs.)
+  config.calibration.store_path.clear();
 
   // All timing under a FakeClock: elapsed time is exactly the injected
   // stalls, so the decision stream is a pure function of the spec.
@@ -465,6 +544,8 @@ ReplayReport compare(const Trace& recorded, const std::vector<TraceFrame>& repla
                     static_cast<int>(rep.mode_after), serving_mode_tag);
     diff.check_enum("breaker", "breaker_after", static_cast<int>(rec.breaker_after),
                     static_cast<int>(rep.breaker_after), breaker_state_tag);
+    diff.check_bool("calib", "swapped", rec.swapped, rep.swapped);
+    diff.check_i64("calib", "epoch_after", rec.epoch_after, rep.epoch_after);
   }
 
   if (!report.divergence) {
@@ -484,6 +565,10 @@ ReplayReport compare(const Trace& recorded, const std::vector<TraceFrame>& repla
     diff.check_i64("health", "breaker_trips", rec.breaker_trips, rep.breaker_trips);
     diff.check_i64("health", "probe_successes", rec.probe_successes, rep.probe_successes);
     diff.check_i64("health", "probe_failures", rec.probe_failures, rep.probe_failures);
+    diff.check_i64("health", "drift_checks", rec.drift_checks, rep.drift_checks);
+    diff.check_i64("health", "drift_detections", rec.drift_detections, rep.drift_detections);
+    diff.check_i64("health", "threshold_swaps", rec.threshold_swaps, rep.threshold_swaps);
+    diff.check_i64("health", "threshold_epoch", rec.threshold_epoch, rep.threshold_epoch);
   }
   return report;
 }

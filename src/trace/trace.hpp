@@ -72,8 +72,11 @@ struct TraceRunSpec {
   std::vector<faults::TimingFault> stalls;       ///< deterministic stage stalls
   std::vector<TraceCameraFault> camera_faults;   ///< deterministic pixel faults
 
-  /// Supervisor/monitor/breaker knobs for the run. `timing_faults` is
-  /// ignored here — the replayer rebuilds the injector from `stalls`.
+  /// Supervisor/monitor/breaker knobs for the run, including the online
+  /// calibration loop (format v2). `timing_faults` is ignored here — the
+  /// replayer rebuilds the injector from `stalls` — and
+  /// `calibration.store_path` is machine-local and never serialized:
+  /// replaying a trace must not write operator files.
   serving::SupervisorConfig supervisor;
 
   /// Integrity guard for the pipeline the trace was recorded against:
@@ -103,6 +106,8 @@ struct TraceFrame {
   std::array<int64_t, serving::kStageCount> stage_ns{};
   serving::ServingMode mode_after = serving::ServingMode::kVbpSsim;  ///< ladder rung after the frame
   serving::BreakerState breaker_after = serving::BreakerState::kClosed;
+  bool swapped = false;       ///< a threshold hot-swap completed on this frame
+  int64_t epoch_after = 0;    ///< served ThresholdSet epoch after the frame
 
   static TraceFrame from(const serving::ServeResult& result, serving::ServingMode mode_after,
                          serving::BreakerState breaker_after);
@@ -124,6 +129,10 @@ struct TraceHealth {
   int64_t breaker_trips = 0;
   int64_t probe_successes = 0;
   int64_t probe_failures = 0;
+  int64_t drift_checks = 0;
+  int64_t drift_detections = 0;
+  int64_t threshold_swaps = 0;
+  int64_t threshold_epoch = 0;
 
   static TraceHealth from(const serving::HealthSnapshot& snapshot);
 };

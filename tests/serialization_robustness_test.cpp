@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "calib/p2_sketch.hpp"
+#include "calib/threshold_set.hpp"
 #include "core/novelty_detector.hpp"
+#include "core/threshold.hpp"
 #include "core/pipeline_io.hpp"
 #include "image/image_io.hpp"
 #include "nn/activations.hpp"
@@ -166,6 +170,122 @@ TEST(PipelineCorruption, ImplausibleHiddenLayerCountRejected) {
   write_u32(ss, 0);      // mse
   write_u32(ss, 70000);  // absurd hidden layer count
   EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+// ---------------------------------------------------------------------------
+// Online-calibration formats: P² sketch and ThresholdSet.
+
+std::string temp_file_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string serialized_sketch(bool streaming) {
+  calib::P2Sketch sketch({0.01, 0.5, 0.99}, 16);
+  Rng rng(6);
+  const int samples = streaming ? 200 : 10;
+  for (int i = 0; i < samples; ++i) sketch.add(rng.uniform(0.0, 1.0));
+  std::stringstream ss;
+  sketch.save(ss);
+  return ss.str();
+}
+
+std::string serialized_threshold_set() {
+  calib::ThresholdSet set;
+  set.epoch = 3;
+  for (int v = 0; v < core::kDetectorVariantCount; ++v) {
+    set.thresholds[static_cast<size_t>(v)] =
+        core::NoveltyThreshold(0.5 + v, core::ScoreOrientation::kHighIsNovel);
+  }
+  std::stringstream ss;
+  set.save(ss);
+  return ss.str();
+}
+
+class SketchTruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SketchTruncationSweep, TruncatedSketchRejected) {
+  for (const bool streaming : {false, true}) {
+    const std::string full = serialized_sketch(streaming);
+    const size_t keep = full.size() * static_cast<size_t>(GetParam()) / 100;
+    std::stringstream ss(full.substr(0, keep));
+    EXPECT_THROW(calib::P2Sketch::load(ss), SerializationError)
+        << (streaming ? "streaming" : "warm-up") << " sketch cut to " << keep << " bytes";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SketchTruncationSweep,
+                         ::testing::Values(1, 5, 10, 25, 50, 75, 90, 99));
+
+class ThresholdSetTruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdSetTruncationSweep, TruncatedThresholdSetRejected) {
+  static const std::string full = serialized_threshold_set();
+  const size_t keep = full.size() * static_cast<size_t>(GetParam()) / 100;
+  std::stringstream ss(full.substr(0, keep));
+  EXPECT_THROW(calib::ThresholdSet::load(ss), SerializationError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ThresholdSetTruncationSweep,
+                         ::testing::Values(1, 5, 10, 25, 50, 75, 90, 99));
+
+TEST(SketchCorruption, FlippedMagicByteRejected) {
+  std::string data = serialized_sketch(true);
+  data[5] ^= 0x40;
+  std::stringstream ss(data);
+  EXPECT_THROW(calib::P2Sketch::load(ss), SerializationError);
+}
+
+TEST(SketchCorruption, NonMonotoneMarkerBankRejected) {
+  // Corrupt a streaming sketch's first tracked quantile so the loaded
+  // marker invariants (sorted quantiles, interior in (0,1)) break. Layout
+  // after header("salnov-p2sketch", v1): u32 tracked count, then the
+  // tracked quantiles as f64.
+  std::string data = serialized_sketch(true);
+  const size_t offset = (4 + std::string("salnov-p2sketch").size() + 4) + 4;
+  const double bogus = 7.5;  // outside (0, 1)
+  std::memcpy(&data[offset], &bogus, sizeof bogus);
+  std::stringstream ss(data);
+  EXPECT_THROW(calib::P2Sketch::load(ss), SerializationError);
+}
+
+TEST(SketchCorruption, CorruptedFileFailsCrcCheck) {
+  const std::string path = temp_file_path("salnov_sketch_crc.bin");
+  calib::P2Sketch sketch({0.5}, 8);
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) sketch.add(rng.uniform(0.0, 1.0));
+  sketch.save_file(path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(24);
+    char byte = 0;
+    f.seekg(24);
+    f.get(byte);
+    f.seekp(24);
+    f.put(static_cast<char>(byte ^ 0x01));
+  }
+  EXPECT_THROW(calib::P2Sketch::load_file(path), CorruptFileError);
+  std::remove(path.c_str());
+}
+
+TEST(ThresholdSetCorruption, TruncatedFileReportsTruncation) {
+  const std::string path = temp_file_path("salnov_thresholds_trunc.bin");
+  calib::ThresholdSet set;
+  set.epoch = 1;
+  set.save_file(path);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(calib::ThresholdSet::load_file(path), TruncatedFileError);
+  std::remove(path.c_str());
+}
+
+TEST(ThresholdSetCorruption, BadOrientationTagRejected) {
+  std::string data = serialized_threshold_set();
+  // Layout after header("salnov-thresholds", v1): i64 epoch, then the first
+  // rung's NoveltyThreshold (f64 threshold, u32 orientation tag).
+  const size_t offset = (4 + std::string("salnov-thresholds").size() + 4) + 8 + 8;
+  data[offset] = 9;
+  std::stringstream ss(data);
+  EXPECT_THROW(calib::ThresholdSet::load(ss), SerializationError);
 }
 
 // ---------------------------------------------------------------------------

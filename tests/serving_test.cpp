@@ -8,13 +8,16 @@
 // machine, loaded or not.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "calib/threshold_set.hpp"
 #include "core/novelty_detector.hpp"
 #include "driving/pilotnet.hpp"
 #include "faults/timing_faults.hpp"
@@ -661,6 +664,99 @@ TEST_F(ServingFixture, ProbeDuringQueueBurstRestoresLadder) {
   EXPECT_EQ(health.mode, ServingMode::kVbpSsim);
   const std::vector<ServeResult> results = server.take_results();
   EXPECT_EQ(static_cast<int64_t>(results.size()), health.frames_total);
+  server.stop();
+}
+
+TEST_F(ServingFixture, HotSwapChangesVerdictsWithoutInterruptingService) {
+  // Drift path end to end on the primary rung: a stream of off-distribution
+  // frames is flagged novel against the fitted threshold until the shadow
+  // calibration swaps in a threshold fitted to the new distribution — after
+  // which the same frames read as nominal. Service never pauses.
+  SupervisorConfig config = tight_config(nullptr);
+  config.monitor.trigger_frames = 1'000'000;  // keep the monitor quiet
+  config.calibration.enabled = true;
+  config.calibration.warmup = 16;
+  config.calibration.min_samples = 24;
+  config.calibration.check_every_frames = 8;
+  config.calibration.trigger_checks = 2;
+  config.calibration.release_checks = 2;
+  FakeClock clock;
+  Supervisor supervisor(*detector_, steering_, config, &clock);
+  Rng rng(75);
+
+  const auto off_distribution_frame = [&] {
+    Image img = familiar_frame(rng);
+    for (int64_t i = 0; i < img.numel(); ++i) {
+      img.tensor()[i] = 1.0f - img.tensor()[i];  // inverted gradient
+    }
+    return img;
+  };
+
+  int64_t novel_before_swap = 0;
+  int64_t scored_before_swap = 0;
+  int64_t novel_after_swap = 0;
+  int64_t scored_after_swap = 0;
+  for (int i = 0; i < 160; ++i) {
+    const ServeResult result = supervisor.process(off_distribution_frame());
+    ASSERT_TRUE(result.scored) << "frame " << i << ": service must not pause for a swap";
+    if (result.threshold_epoch == 0) {
+      ++scored_before_swap;
+      novel_before_swap += result.novel ? 1 : 0;
+    } else {
+      ++scored_after_swap;
+      novel_after_swap += result.novel ? 1 : 0;
+    }
+  }
+  const HealthSnapshot health = supervisor.health();
+  ASSERT_GE(health.threshold_swaps, 1) << "sustained shift must trigger a recalibration";
+  ASSERT_GT(scored_before_swap, 0);
+  ASSERT_GT(scored_after_swap, 0);
+  EXPECT_GT(static_cast<double>(novel_before_swap) / scored_before_swap, 0.9)
+      << "fitted threshold flags the shifted stream";
+  EXPECT_LT(static_cast<double>(novel_after_swap) / scored_after_swap, 0.25)
+      << "swapped threshold is calibrated to the shifted stream";
+}
+
+TEST_F(ServingFixture, ServerConcurrentHotSwapNeverBlocksScoring) {
+  // Hot-swap thread-safety under load (runs under TSan, see
+  // tools/run_tsan.sh): one thread streams frames through the server while
+  // another repeatedly installs fresh ThresholdSets and reads health
+  // snapshots. The scorer's acquire is wait-free, so every accepted frame is
+  // processed and the served epoch only moves forward.
+  Supervisor supervisor(*detector_, steering_, tight_config(nullptr));
+  ServerConfig server_config;
+  server_config.queue_capacity = 16;
+  ServingServer server(supervisor, server_config);
+
+  constexpr int64_t kInstalls = 200;
+  std::thread installer([&] {
+    for (int64_t epoch = 1; epoch <= kInstalls; ++epoch) {
+      auto set = std::make_shared<calib::ThresholdSet>();
+      set->epoch = epoch;
+      for (int v = 0; v < core::kDetectorVariantCount; ++v) {
+        set->thresholds[static_cast<size_t>(v)] =
+            detector_->variant_calibration(static_cast<core::DetectorVariant>(v)).threshold;
+      }
+      supervisor.install_thresholds(std::move(set));
+      (void)server.health();
+    }
+  });
+
+  Rng rng(77);
+  int64_t shed = 0;
+  for (int i = 0; i < 40; ++i) shed += static_cast<int64_t>(server.submit(familiar_frame(rng)));
+  installer.join();
+  server.drain();
+
+  const HealthSnapshot health = server.health();
+  EXPECT_EQ(health.frames_total + shed, 40);
+  EXPECT_EQ(health.threshold_swaps, kInstalls);
+  const std::vector<ServeResult> results = server.take_results();
+  int64_t last_epoch = 0;
+  for (const ServeResult& result : results) {
+    EXPECT_GE(result.threshold_epoch, last_epoch) << "served epoch must be monotone";
+    last_epoch = std::max(last_epoch, result.threshold_epoch);
+  }
   server.stop();
 }
 

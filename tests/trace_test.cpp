@@ -48,6 +48,16 @@ Trace sample_trace() {
   trace.spec.supervisor.monitor.sensor_trigger_frames = 1;
   trace.spec.supervisor.monitor.sensor_release_frames = 9;
   trace.spec.supervisor.monitor.detect_frozen_frames = false;
+  trace.spec.supervisor.calibration.enabled = true;
+  trace.spec.supervisor.calibration.auto_swap = false;
+  trace.spec.supervisor.calibration.percentile = 0.95;
+  trace.spec.supervisor.calibration.warmup = 32;
+  trace.spec.supervisor.calibration.min_samples = 100;
+  trace.spec.supervisor.calibration.drift_tolerance = 0.75;
+  trace.spec.supervisor.calibration.check_every_frames = 16;
+  trace.spec.supervisor.calibration.trigger_checks = 2;
+  trace.spec.supervisor.calibration.release_checks = 3;
+  trace.spec.supervisor.calibration.forced_swap_frames = {1, 5};
   trace.spec.pipeline_crc = 0xdeadbeef;
   trace.spec.pipeline_bytes = 12345;
 
@@ -73,6 +83,8 @@ Trace sample_trace() {
   f1.stage_ns = {5, 4, 3, 2, 1};
   f1.mode_after = serving::ServingMode::kVbpMse;
   f1.breaker_after = serving::BreakerState::kOpen;
+  f1.swapped = true;
+  f1.epoch_after = 1;
   trace.frames.push_back(f1);
 
   trace.health.frames_total = 2;
@@ -80,6 +92,10 @@ Trace sample_trace() {
   trace.health.deadline_overruns = 1;
   trace.health.step_downs = 1;
   trace.health.breaker_trips = 1;
+  trace.health.drift_checks = 4;
+  trace.health.drift_detections = 2;
+  trace.health.threshold_swaps = 1;
+  trace.health.threshold_epoch = 1;
   return trace;
 }
 
@@ -124,6 +140,23 @@ void expect_traces_equal(const Trace& a, const Trace& b) {
             b.spec.supervisor.monitor.sensor_release_frames);
   EXPECT_EQ(a.spec.supervisor.monitor.detect_frozen_frames,
             b.spec.supervisor.monitor.detect_frozen_frames);
+  EXPECT_EQ(a.spec.supervisor.calibration.enabled, b.spec.supervisor.calibration.enabled);
+  EXPECT_EQ(a.spec.supervisor.calibration.auto_swap, b.spec.supervisor.calibration.auto_swap);
+  EXPECT_EQ(a.spec.supervisor.calibration.percentile, b.spec.supervisor.calibration.percentile);
+  EXPECT_EQ(a.spec.supervisor.calibration.warmup, b.spec.supervisor.calibration.warmup);
+  EXPECT_EQ(a.spec.supervisor.calibration.min_samples, b.spec.supervisor.calibration.min_samples);
+  EXPECT_EQ(a.spec.supervisor.calibration.drift_tolerance,
+            b.spec.supervisor.calibration.drift_tolerance);
+  EXPECT_EQ(a.spec.supervisor.calibration.check_every_frames,
+            b.spec.supervisor.calibration.check_every_frames);
+  EXPECT_EQ(a.spec.supervisor.calibration.trigger_checks,
+            b.spec.supervisor.calibration.trigger_checks);
+  EXPECT_EQ(a.spec.supervisor.calibration.release_checks,
+            b.spec.supervisor.calibration.release_checks);
+  EXPECT_EQ(a.spec.supervisor.calibration.forced_swap_frames,
+            b.spec.supervisor.calibration.forced_swap_frames);
+  EXPECT_TRUE(b.spec.supervisor.calibration.store_path.empty())
+      << "store_path is machine-local and must never survive serialization";
   EXPECT_EQ(a.spec.pipeline_crc, b.spec.pipeline_crc);
   EXPECT_EQ(a.spec.pipeline_bytes, b.spec.pipeline_bytes);
 
@@ -382,6 +415,43 @@ TEST(TraceDiff, HealthCounterMismatchIsRunLevel) {
   EXPECT_EQ(report.divergence->frame, -1);
   EXPECT_EQ(report.divergence->stage, "health");
   EXPECT_EQ(report.divergence->field, "breaker_trips");
+}
+
+TEST(TraceDiff, SwapDivergenceNamesCalibStage) {
+  const Trace trace = sample_trace();
+  auto frames = trace.frames;
+  frames[1].swapped = false;
+  ReplayReport report = compare(trace, frames, trace.health);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.divergence->frame, 1);
+  EXPECT_EQ(report.divergence->stage, "calib");
+  EXPECT_EQ(report.divergence->field, "swapped");
+
+  frames = trace.frames;
+  frames[1].epoch_after += 1;
+  report = compare(trace, frames, trace.health);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.divergence->frame, 1);
+  EXPECT_EQ(report.divergence->stage, "calib");
+  EXPECT_EQ(report.divergence->field, "epoch_after");
+}
+
+TEST(TraceDiff, DriftHealthCountersAreRunLevel) {
+  const Trace trace = sample_trace();
+  TraceHealth health = trace.health;
+  health.drift_detections += 1;
+  ReplayReport report = compare(trace, trace.frames, health);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.divergence->frame, -1);
+  EXPECT_EQ(report.divergence->stage, "health");
+  EXPECT_EQ(report.divergence->field, "drift_detections");
+
+  health = trace.health;
+  health.threshold_swaps += 1;
+  report = compare(trace, trace.frames, health);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.divergence->stage, "health");
+  EXPECT_EQ(report.divergence->field, "threshold_swaps");
 }
 
 TEST(TraceDiff, NanScoresCompareEqualBitExact) {

@@ -49,6 +49,24 @@ SERVE_OK="$("$CLI" serve --pipeline detector.pipeline --frames 20 --dataset outd
 echo "$SERVE_OK" | grep -q "final_mode=vbp+ssim"
 echo "$SERVE_OK" | grep -q "deadline_overruns=0"
 
+# Online calibration: a forced swap at frame 10 must install epoch 1
+# deterministically, persist it to the threshold store, and surface the drift
+# counters in the health JSON.
+SWAP="$("$CLI" serve --pipeline detector.pipeline --frames 30 --dataset outdoor \
+        --seed 7 --fake-clock --online-calib --force-swap-at 10 \
+        --threshold-store thresholds.bin --health-out health_calib.json)"
+echo "$SWAP"
+echo "$SWAP" | grep -q "swap_event frame=10 epoch=1 reason=forced persisted=1"
+echo "$SWAP" | grep -q "threshold_swaps=1"
+test -f thresholds.bin
+grep -q '"drift_checks"' health_calib.json
+grep -q '"threshold_swaps":1' health_calib.json
+
+# A restart with the same store recovers the persisted epoch before serving.
+RECOVER="$("$CLI" serve --pipeline detector.pipeline --frames 5 --dataset outdoor \
+        --seed 7 --fake-clock --online-calib --threshold-store thresholds.bin)"
+echo "$RECOVER" | grep -q "recovered threshold store thresholds.bin (epoch 1)"
+
 # Record/replay conformance round trip: a recorded trace replays with an
 # empty diff (exit 0) at 1 and 4 threads; a replay against a different
 # pipeline is refused via the CRC binding; a stale trace (re-recorded world)

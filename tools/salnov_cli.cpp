@@ -16,8 +16,12 @@
 //       Dump VBP masks and overlays for images.
 //   salnov serve --pipeline PIPELINE [--frames N] [--dataset outdoor|indoor]
 //       [--fake-clock] [--stall-stage K --stall-ns NS ...] [--health-out FILE]
+//       [--online-calib] [--force-swap-at N] [--threshold-store FILE]
 //       Drive the fault-tolerant serving runtime over generated frames and
-//       report the health snapshot (mode ladder, breaker, overrun counters).
+//       report the health snapshot (mode ladder, breaker, overrun counters,
+//       drift/swap counters). With --online-calib the shadow calibration
+//       runs and drift can hot-swap thresholds; --threshold-store persists
+//       swapped sets crash-safely and reloads them at startup.
 //   salnov record --pipeline PIPELINE --out TRACE [--frames N] [scenario flags]
 //       Run a scenario under the FakeClock and capture the full per-frame
 //       decision trace into a CRC-guarded golden-trace file.
@@ -96,7 +100,11 @@ int usage() {
                "                   [--stall-last L] [--stall-period P]]\n"
                "                  [--demote-after N] [--promote-after N]\n"
                "                  [--breaker-threshold N] [--breaker-open-frames N]\n"
-               "                  [--health-out FILE]\n"
+               "                  [--online-calib] [--drift-tolerance X]\n"
+               "                  [--drift-min-samples N] [--drift-check-every N]\n"
+               "                  [--drift-trigger N] [--drift-release N]\n"
+               "                  [--calib-warmup N] [--force-swap-at N]\n"
+               "                  [--threshold-store FILE] [--health-out FILE]\n"
                "  record          --pipeline PIPELINE --out TRACE [--frames N]\n"
                "                  [--dataset outdoor|indoor] [--frame-seed S] [--fault-seed S]\n"
                "                  [--kernel scalar|simd] [serve's budget/ladder/breaker flags]\n"
@@ -104,6 +112,7 @@ int usage() {
                "                   [--stall-last L] [--stall-period P]]\n"
                "                  [--camera-fault NAME [--fault-severity X] [--fault-first F]\n"
                "                   [--fault-last L] [--fault-period P]]\n"
+               "                  [serve's --online-calib/drift/forced-swap flags]\n"
                "  replay          --pipeline PIPELINE --trace TRACE [--tolerance X]\n"
                "                  [--threads N] [--kernel scalar|simd] [--report FILE]\n"
                "common: --height H --width W (default 60 160), --seed S\n");
@@ -304,6 +313,25 @@ int cmd_saliency(const Args& args) {
 
 // --- serve ----------------------------------------------------------------------
 
+/// Shared by serve and record: online-calibration knobs. --force-swap-at
+/// implies the calibration loop (a forced swap needs the shadow sketches).
+/// `store_path` is serve-only — a recorded trace must stay machine-portable.
+void apply_calibration_flags(const Args& args, calib::OnlineCalibrationConfig& calibration) {
+  calibration.enabled = args.has("online-calib") || args.has("force-swap-at");
+  if (args.has("drift-tolerance")) {
+    calibration.drift_tolerance = std::stod(args.get("drift-tolerance"));
+  }
+  calibration.warmup = args.get_int("calib-warmup", calibration.warmup);
+  calibration.min_samples = args.get_int("drift-min-samples", calibration.min_samples);
+  calibration.check_every_frames =
+      args.get_int("drift-check-every", calibration.check_every_frames);
+  calibration.trigger_checks = args.get_int("drift-trigger", calibration.trigger_checks);
+  calibration.release_checks = args.get_int("drift-release", calibration.release_checks);
+  if (args.has("force-swap-at")) {
+    calibration.forced_swap_frames.push_back(args.get_int("force-swap-at", 0));
+  }
+}
+
 int cmd_serve(const Args& args) {
   const std::string pipeline_path = args.get("pipeline");
   if (pipeline_path.empty()) return fail("serve: --pipeline is required");
@@ -334,6 +362,9 @@ int cmd_serve(const Args& args) {
   config.breaker.failure_threshold =
       static_cast<int>(args.get_int("breaker-threshold", config.breaker.failure_threshold));
   config.breaker.open_frames = args.get_int("breaker-open-frames", config.breaker.open_frames);
+  apply_calibration_flags(args, config.calibration);
+  const std::string threshold_store = args.get("threshold-store");
+  if (!threshold_store.empty()) config.calibration.store_path = threshold_store;
 
   faults::TimingFaultInjector injector;
   if (args.has("stall-stage")) {
@@ -352,6 +383,16 @@ int cmd_serve(const Args& args) {
   serving::FakeClock fake_clock;
   serving::Clock* clock = args.has("fake-clock") ? &fake_clock : nullptr;
   serving::Supervisor supervisor(detector, pipeline.steering_model.get(), config, clock);
+
+  // Crash recovery: an earlier run's swap that completed its atomic rename
+  // (even if the process died immediately after) is picked up here.
+  if (!threshold_store.empty() && std::filesystem::exists(threshold_store)) {
+    auto recovered =
+        std::make_shared<calib::ThresholdSet>(calib::ThresholdSet::load_file(threshold_store));
+    std::printf("recovered threshold store %s (epoch %lld)\n", threshold_store.c_str(),
+                static_cast<long long>(recovered->epoch));
+    supervisor.install_thresholds(std::move(recovered));
+  }
 
   Rng rng(static_cast<uint64_t>(args.get_int("seed", 1)));
   int64_t novel_frames = 0;
@@ -382,6 +423,14 @@ int cmd_serve(const Args& args) {
   std::printf("step_downs=%lld\n", static_cast<long long>(health.step_downs));
   std::printf("promotions=%lld\n", static_cast<long long>(health.promotions));
   std::printf("breaker_trips=%lld\n", static_cast<long long>(health.breaker_trips));
+  for (const serving::ThresholdSwapEvent& event : supervisor.swap_events()) {
+    std::printf("swap_event frame=%lld epoch=%lld reason=%s persisted=%d\n",
+                static_cast<long long>(event.frame_index), static_cast<long long>(event.epoch),
+                event.forced ? "forced" : "drift", event.persisted ? 1 : 0);
+  }
+  std::printf("threshold_swaps=%lld\n", static_cast<long long>(health.threshold_swaps));
+  std::printf("drift_checks=%lld\n", static_cast<long long>(health.drift_checks));
+  std::printf("drift_detections=%lld\n", static_cast<long long>(health.drift_detections));
   return 0;
 }
 
@@ -451,6 +500,7 @@ int cmd_record(const Args& args) {
       args.get_int("breaker-threshold", spec.supervisor.breaker.failure_threshold));
   spec.supervisor.breaker.open_frames =
       args.get_int("breaker-open-frames", spec.supervisor.breaker.open_frames);
+  apply_calibration_flags(args, spec.supervisor.calibration);
 
   if (args.has("stall-stage")) {
     faults::TimingFault stall;
