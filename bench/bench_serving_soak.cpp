@@ -8,20 +8,27 @@
 // and promotions, final mode back at the top) and every frame is accounted
 // for. Phase B bursts frames at a ServingServer faster than the worker can
 // drain them, asserting the bounded queue sheds instead of growing and the
-// high-water mark respects the capacity.
+// high-water mark respects the capacity. Phase C drives eight live streams
+// at uneven rates through a micro-batching ServingCluster with one stream
+// stalling mid-run, asserting a dead camera never holds other streams'
+// frames past the gather window (no cross-stream head-of-line blocking) and
+// per-stream accounting stays exact.
 //
 // Frame count is argv[1] (default 10000, minimum 200); CI smoke passes a
-// small count. Emits BENCH_serving.json for trend tracking.
+// small count. Phase C runs a fixed 64 rounds regardless of the frame
+// count. Emits BENCH_serving.json for trend tracking.
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "faults/timing_faults.hpp"
+#include "serving/cluster.hpp"
 #include "serving/server.hpp"
 #include "serving/supervisor.hpp"
 
@@ -149,6 +156,105 @@ int run(int64_t frames) {
   failures += check(b.frames_total + b.queue_shed == burst, "phase B accounted for every frame");
   failures += check(b.frames_total > 0, "worker processed at least some of the burst");
 
+  // --- Phase C: multi-stream cluster under uneven live rates ---------------
+  // Eight streams at three different frame rates share two replicas through
+  // the micro-batching ServingCluster; the fastest-indexed stream stalls
+  // halfway through (a dead camera). Arrival timestamps come from a fake
+  // clock advanced once per round, but submission is live — workers batch
+  // and process concurrently — so the phase asserts liveness: a stalled
+  // stream must never hold other streams' frames past the gather window.
+  // Also checked: exact per-stream accounting and the gather-wait bound.
+  constexpr int64_t kCRounds = 64;
+  constexpr int64_t kCStreams = 8;
+  constexpr int64_t kCPeriodNs = 1 * kMs;      // clock advance per round
+  constexpr int64_t kCWindowNs = 2 * kMs;      // gather window
+  serving::ClusterConfig c_config;
+  c_config.streams = kCStreams;
+  c_config.replicas = 2;
+  // 15 frames/round over two replicas: the busier replica fills 16 inside
+  // one window (max-batch seals) while the other seals on the deadline —
+  // both seal paths get exercised, plus flush seals from the final drain.
+  c_config.max_batch = 16;
+  c_config.gather_window_ns = kCWindowNs;
+  c_config.supervisor.stage_budget_ns.fill(0);  // scheduling phase, not ladder
+  c_config.supervisor.frame_budget_ns = 0;
+  c_config.keep_results = false;
+
+  std::printf("\nPhase C: %" PRId64 " uneven streams on 2 replicas, one stalls at round %"
+              PRId64 "...\n",
+              kCStreams, kCRounds / 2);
+  const auto c_start = std::chrono::steady_clock::now();
+  serving::FakeClock c_clock;
+  serving::ServingCluster cluster(detector, steering, c_config, &c_clock);
+  std::vector<int64_t> submitted(static_cast<size_t>(kCStreams), 0);
+  std::vector<std::vector<int64_t>> submitted_through_round;  // per-stream, per round
+  int64_t c_total = 0;
+  bool c_live = true;
+  const auto streams_caught_up = [&](const std::vector<int64_t>& due) {
+    for (int64_t s = 0; s < kCStreams; ++s) {
+      if (cluster.stream_health(s).frames_total < due[static_cast<size_t>(s)]) return false;
+    }
+    return true;
+  };
+  for (int64_t round = 0; round < kCRounds && c_live; ++round) {
+    c_clock.advance_ns(kCPeriodNs);
+    for (int64_t s = 0; s < kCStreams; ++s) {
+      if (s == kCStreams - 1 && round >= kCRounds / 2) continue;  // camera died
+      for (int64_t j = 0; j < s % 3 + 1; ++j) {  // 1/2/3 frames per round
+        cluster.submit(s, pool[static_cast<size_t>((s * 37 + c_total) % pool.size())]);
+        ++submitted[static_cast<size_t>(s)];
+        ++c_total;
+      }
+    }
+    submitted_through_round.push_back(submitted);
+    if (round < 4) continue;
+    // Every stream's frames from four rounds ago must be processed by now:
+    // the window deadline is strict (seals fire on the clock advance AFTER
+    // it passes) and a max-batch seal may leave a frame queued for one more
+    // seal cycle. The check is per stream so one replica racing ahead
+    // cannot mask the other lagging. Give the workers bounded real time to
+    // clear the backlog; a timeout means the stalled stream (or anything
+    // else) wedged cross-stream progress.
+    const std::vector<int64_t>& due = submitted_through_round[static_cast<size_t>(round - 4)];
+    const auto wait_start = std::chrono::steady_clock::now();
+    while (!streams_caught_up(due) && elapsed_ms(wait_start) < 5000.0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (!streams_caught_up(due)) {
+      failures += check(false, "phase C: stalled stream blocked cross-stream progress");
+      c_live = false;
+    }
+  }
+  cluster.drain();
+  const serving::ClusterStats c_stats = cluster.stats();
+  const double c_ms = elapsed_ms(c_start);
+
+  std::printf("  %.0f ms, %" PRId64 " frames in %" PRId64 " batches (seals: %" PRId64
+              " window, %" PRId64 " max-batch, %" PRId64 " flush), worst gather wait %.2f ms\n",
+              c_ms, c_stats.batched_frames, c_stats.batches, c_stats.window_seals,
+              c_stats.max_batch_seals, c_stats.flush_seals,
+              static_cast<double>(c_stats.max_gather_wait_ns) / 1e6);
+  failures += check(c_stats.batched_frames == c_total, "phase C processed every frame");
+  for (int64_t s = 0; s < kCStreams; ++s) {
+    const serving::HealthSnapshot health = cluster.stream_health(s);
+    if (health.frames_total != submitted[static_cast<size_t>(s)]) {
+      std::fprintf(stderr,
+                   "SOAK FAILURE: phase C stream %" PRId64 " accounted %" PRId64 "/%" PRId64
+                   " frames\n",
+                   s, health.frames_total, submitted[static_cast<size_t>(s)]);
+      ++failures;
+    }
+  }
+  failures += check(c_stats.window_seals >= 1,
+                    "phase C: uneven rates produced window-deadline seals");
+  // Gather-wait bound: a frame submitted at round x must be processed
+  // before the liveness guard releases round x+4's successor, i.e. before
+  // the clock reaches x+5 — so no frame can wait more than the window plus
+  // two periods, no matter how slow the workers run in real time.
+  failures += check(c_stats.max_gather_wait_ns <= kCWindowNs + 2 * kCPeriodNs,
+                    "phase C: no frame waited past the gather window bound");
+  cluster.stop();
+
   std::ofstream json("BENCH_serving.json");
   json << "{\n  \"phase_a\": {\"frames\": " << frames << ", \"elapsed_ms\": " << a_ms
        << ", \"deadline_overruns\": " << a.deadline_overruns
@@ -160,7 +266,14 @@ int run(int64_t frames) {
        << "  \"phase_b\": {\"frames_submitted\": " << burst
        << ", \"frames_processed\": " << b.frames_total << ", \"shed\": " << b.queue_shed
        << ", \"queue_high_water\": " << b.queue_high_water
-       << ", \"queue_capacity\": " << b.queue_capacity << ", \"elapsed_ms\": " << b_ms << "}\n}\n";
+       << ", \"queue_capacity\": " << b.queue_capacity << ", \"elapsed_ms\": " << b_ms << "},\n"
+       << "  \"phase_c\": {\"streams\": " << kCStreams << ", \"rounds\": " << kCRounds
+       << ", \"frames\": " << c_stats.batched_frames << ", \"batches\": " << c_stats.batches
+       << ", \"window_seals\": " << c_stats.window_seals
+       << ", \"max_batch_seals\": " << c_stats.max_batch_seals
+       << ", \"flush_seals\": " << c_stats.flush_seals
+       << ", \"max_gather_wait_ns\": " << c_stats.max_gather_wait_ns
+       << ", \"elapsed_ms\": " << c_ms << "}\n}\n";
   std::printf("\nwrote BENCH_serving.json\n");
 
   if (failures > 0) {

@@ -77,9 +77,19 @@ DetectorHandle fit_or_load_detector(Env& env, core::NoveltyDetectorConfig config
                          : config.preprocessing == core::Preprocessing::kVbp      ? "vbp"
                          : config.preprocessing == core::Preprocessing::kGradient ? "grad"
                                                                                   : "lrp";
+  // Non-default autoencoder layouts get an architecture segment so a
+  // capacity-scaled fit can never collide with a paper-scale cache entry.
+  std::string arch;
+  if (config.autoencoder.hidden_units != core::AutoencoderConfig{}.hidden_units) {
+    arch = "_h";
+    for (size_t i = 0; i < config.autoencoder.hidden_units.size(); ++i) {
+      if (i > 0) arch += "x";
+      arch += std::to_string(config.autoencoder.hidden_units[i]);
+    }
+  }
   const std::string cache_path =
       artifact_dir() + "/detector_" + pre_name + "_" +
-      (config.score == core::ReconstructionScore::kSsim ? "ssim" : "mse") + "_" +
+      (config.score == core::ReconstructionScore::kSsim ? "ssim" : "mse") + arch + "_" +
       std::to_string(config.train_epochs) + "ep_seed" + std::to_string(seed) + ".pipeline";
 
   DetectorHandle handle;

@@ -1,5 +1,6 @@
 #include "core/novelty_detector.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "metrics/mse.hpp"
@@ -223,6 +224,64 @@ double NoveltyDetector::variant_score_pair(DetectorVariant variant, const Image&
     return mse(reconstruction, preprocessed);
   }
   return ssim_.mean_ssim(reconstruction.flattened(), preprocessed.flattened());
+}
+
+std::vector<Image> NoveltyDetector::variant_preprocess_batch(
+    DetectorVariant variant, const std::vector<const Image*>& inputs) const {
+  const bool saliency = uses_saliency(variant_preprocessing(variant));
+  for (const Image* input : inputs) {
+    if (input == nullptr) {
+      throw std::invalid_argument("variant_preprocess_batch: null input image");
+    }
+    validate_input(*input, saliency);
+  }
+  if (!saliency) {
+    std::vector<Image> out;
+    out.reserve(inputs.size());
+    for (const Image* input : inputs) out.push_back(*input);
+    return out;
+  }
+  return saliency_->compute_batch(*steering_model_, inputs);
+}
+
+std::vector<Image> NoveltyDetector::reconstruct_batch(
+    const std::vector<const Image*>& preprocessed) const {
+  if (!fitted_) throw std::logic_error("NoveltyDetector: not fitted");
+  if (preprocessed.empty()) return {};
+  const int64_t batch = static_cast<int64_t>(preprocessed.size());
+  const int64_t dim = config_.height * config_.width;
+  Tensor input({batch, dim});
+  for (int64_t n = 0; n < batch; ++n) {
+    const Image* image = preprocessed[static_cast<size_t>(n)];
+    if (image == nullptr) throw std::invalid_argument("reconstruct_batch: null image");
+    if (image->numel() != dim) {
+      throw std::invalid_argument("reconstruct_batch: image size does not match the pipeline");
+    }
+    input.set_slice0(n, image->flattened());
+  }
+  const Tensor output = const_cast<nn::Sequential&>(autoencoder_).forward(input, nn::Mode::kInfer);
+  std::vector<Image> result(preprocessed.size());
+  for (int64_t n = 0; n < batch; ++n) {
+    Tensor row({dim});
+    std::memcpy(row.data(), output.data() + n * dim, static_cast<size_t>(dim) * sizeof(float));
+    result[static_cast<size_t>(n)] =
+        Image(config_.height, config_.width, row.reshape({config_.height, config_.width}));
+  }
+  return result;
+}
+
+std::vector<double> NoveltyDetector::score_batch(DetectorVariant variant,
+                                                 const std::vector<const Image*>& inputs) const {
+  const std::vector<Image> preprocessed = variant_preprocess_batch(variant, inputs);
+  std::vector<const Image*> views;
+  views.reserve(preprocessed.size());
+  for (const Image& image : preprocessed) views.push_back(&image);
+  const std::vector<Image> reconstructions = reconstruct_batch(views);
+  std::vector<double> scores(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    scores[i] = variant_score_pair(variant, preprocessed[i], reconstructions[i]);
+  }
+  return scores;
 }
 
 double NoveltyDetector::score(const Image& input) const {

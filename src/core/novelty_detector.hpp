@@ -159,6 +159,30 @@ class NoveltyDetector {
   /// identical to score(x).
   double score_variant(DetectorVariant variant, const Image& input) const;
 
+  // --- Cross-frame batched scoring (serving-cluster hot path) --------------
+  // These aggregate many frames into batch-B forward passes (autoencoder
+  // GEMMs, VBP forward) instead of B batch-1 matvecs. The contract is strict
+  // bitwise equivalence: element i of every batched call is bit-identical to
+  // the corresponding batch-1 call, regardless of batch size or composition.
+  // (Conv layers loop per sample; dense GEMM kernels accumulate each output
+  // row in the same ascending-k order at any m; packing pads with zeros.)
+
+  /// Batched preprocessing stage. Element i is bit-identical to
+  /// variant_preprocess(variant, *inputs[i]); saliency-backed configurations
+  /// share one batched VBP pass. Validates every input (same checks, same
+  /// order, as the batch-1 entry).
+  std::vector<Image> variant_preprocess_batch(DetectorVariant variant,
+                                              const std::vector<const Image*>& inputs) const;
+
+  /// Batched autoencoder reconstruction: one [B, H*W] forward. Element i is
+  /// bit-identical to reconstruct(*preprocessed[i]).
+  std::vector<Image> reconstruct_batch(const std::vector<const Image*>& preprocessed) const;
+
+  /// Batched full-pipeline scoring under one variant. Element i is
+  /// bit-identical to score_variant(variant, *inputs[i]).
+  std::vector<double> score_batch(DetectorVariant variant,
+                                  const std::vector<const Image*>& inputs) const;
+
   /// Per-variant calibration (training-score ECDF + threshold), fitted for
   /// all variants by fit() and persisted through PipelineIo. Throws
   /// std::logic_error when the detector was not fitted/loaded.

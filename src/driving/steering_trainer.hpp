@@ -37,4 +37,13 @@ double steering_mae(nn::Sequential& model, const roadsim::DrivingDataset& datase
 /// Predicts the steering angle for one image.
 double predict_steering(nn::Sequential& model, const Image& image);
 
+/// Predicts steering angles for a batch of same-sized images with one fused
+/// [B, 1, H, W] forward pass. Every layer in the inference path treats batch
+/// rows independently (per-sample conv loops, per-row GEMM accumulation
+/// chains, elementwise activations), so element i is bit-identical to
+/// predict_steering(model, *images[i]) at any batch size — the serving
+/// cluster's cross-frame micro-batching relies on this.
+std::vector<double> predict_steering_batch(nn::Sequential& model,
+                                           const std::vector<const Image*>& images);
+
 }  // namespace salnov::driving

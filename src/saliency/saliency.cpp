@@ -7,6 +7,17 @@
 
 namespace salnov::saliency {
 
+std::vector<Image> SaliencyMethod::compute_batch(nn::Sequential& model,
+                                                 const std::vector<const Image*>& inputs) {
+  std::vector<Image> masks;
+  masks.reserve(inputs.size());
+  for (const Image* input : inputs) {
+    if (input == nullptr) throw std::invalid_argument("compute_batch: null input image");
+    masks.push_back(compute(model, *input));
+  }
+  return masks;
+}
+
 double mask_energy_fraction(const Image& saliency_mask, const Image& relevance) {
   if (!saliency_mask.same_size(relevance)) {
     throw std::invalid_argument("mask_energy_fraction: size mismatch");

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "image/image.hpp"
 #include "nn/sequential.hpp"
@@ -23,6 +24,16 @@ class SaliencyMethod {
   /// `model` is taken non-const because some methods (gradient saliency)
   /// run a backward pass through the layer caches; no weights are modified.
   virtual Image compute(nn::Sequential& model, const Image& input) = 0;
+
+  /// Computes masks for a batch of same-sized images. The contract is
+  /// strict bitwise equivalence: element i must be bit-identical to
+  /// compute(model, *inputs[i]) regardless of batch size or composition —
+  /// the serving cluster's micro-batching scatters these masks back into
+  /// per-stream decisions recorded by the golden-trace harness. The default
+  /// simply loops; methods with a genuine cross-frame batched path
+  /// (VisualBackProp) override it.
+  virtual std::vector<Image> compute_batch(nn::Sequential& model,
+                                           const std::vector<const Image*>& inputs);
 
   /// True when concurrent compute() calls on the same method + model are
   /// safe (the method keeps no per-call scratch in members and only runs

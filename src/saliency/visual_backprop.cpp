@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/conv2d.hpp"
+#include "parallel/parallel_for.hpp"
 #include "tensor/workspace.hpp"
 
 namespace salnov::saliency {
@@ -29,17 +30,20 @@ std::vector<ConvStage> find_conv_stages(const nn::Sequential& model) {
   return stages;
 }
 
-/// Mean over channels of a [1, C, H, W] activation -> [H, W].
-Tensor channel_average(const Tensor& activation) {
-  if (activation.rank() != 4 || activation.dim(0) != 1) {
-    throw std::logic_error("VisualBackProp: expected [1, C, H, W] activation, got " +
+/// Mean over channels of sample `n` of a [B, C, H, W] activation -> [H, W].
+/// Channels are accumulated in ascending order, so the batched path and the
+/// batch-1 path sum the same values in the same order — bit-identical.
+Tensor channel_average_sample(const Tensor& activation, int64_t n) {
+  if (activation.rank() != 4 || n < 0 || n >= activation.dim(0)) {
+    throw std::logic_error("VisualBackProp: expected [B, C, H, W] activation with sample " +
+                           std::to_string(n) + " in range, got " +
                            shape_to_string(activation.shape()));
   }
   const int64_t channels = activation.dim(1);
   const int64_t h = activation.dim(2);
   const int64_t w = activation.dim(3);
   Tensor avg({h, w});
-  const float* src = activation.data();
+  const float* src = activation.data() + n * channels * h * w;
   for (int64_t c = 0; c < channels; ++c) {
     for (int64_t i = 0; i < h * w; ++i) avg[i] += src[c * h * w + i];
   }
@@ -81,38 +85,12 @@ void deconv_ones_into(const float* map, int64_t in_h, int64_t in_w, int64_t kern
   }
 }
 
-}  // namespace
-
-Tensor deconv_ones(const Tensor& map, int64_t kernel_h, int64_t kernel_w, int64_t stride,
-                   int64_t padding, int64_t out_h, int64_t out_w) {
-  if (map.rank() != 2) {
-    throw std::invalid_argument("deconv_ones: expected [h, w] map, got " + shape_to_string(map.shape()));
-  }
-  Tensor out({out_h, out_w});
-  deconv_ones_into(map.data(), map.dim(0), map.dim(1), kernel_h, kernel_w, stride, padding, out_h,
-                   out_w, out.data());
-  return out;
-}
-
-Image VisualBackProp::compute(nn::Sequential& model, const Image& input) {
-  std::vector<Tensor> averaged_maps;
-  return compute_with_maps(model, input, averaged_maps);
-}
-
-Image VisualBackProp::compute_with_maps(nn::Sequential& model, const Image& input,
-                                        std::vector<Tensor>& averaged_maps) const {
-  const auto stages = find_conv_stages(model);
-  if (stages.empty()) {
-    throw std::invalid_argument("VisualBackProp: model has no convolutional stages");
-  }
-  const auto activations = model.forward_collect(input.as_nchw());
-
-  averaged_maps.clear();
-  averaged_maps.reserve(stages.size());
-  for (const auto& stage : stages) {
-    averaged_maps.push_back(channel_average(activations[stage.output_index]));
-  }
-
+/// Walks the averaged maps deep-to-shallow, multiplying each deconvolved
+/// relevance map into the next stage's averaged activation, and returns the
+/// normalized input-resolution mask. Shared by the batch-1 and batched
+/// entries so they cannot drift apart.
+Image relevance_chain(const std::vector<ConvStage>& stages,
+                      const std::vector<Tensor>& averaged_maps, int64_t in_h, int64_t in_w) {
   // The relevance chain ping-pongs between two workspace buffers sized for
   // the largest intermediate map, so steady-state frames allocate nothing.
   int64_t max_map = averaged_maps.back().numel();
@@ -142,13 +120,84 @@ Image VisualBackProp::compute_with_maps(nn::Sequential& model, const Image& inpu
   }
 
   const nn::Conv2dConfig& first = stages.front().conv->config();
-  Tensor relevance({input.height(), input.width()});
+  Tensor relevance({in_h, in_w});
   deconv_ones_into(cur, cur_h, cur_w, first.kernel_h, first.kernel_w, first.stride, first.padding,
-                   input.height(), input.width(), relevance.data());
+                   in_h, in_w, relevance.data());
 
-  Image mask(input.height(), input.width(), std::move(relevance));
+  Image mask(in_h, in_w, std::move(relevance));
   mask.normalize_minmax();
   return mask;
+}
+
+}  // namespace
+
+Tensor deconv_ones(const Tensor& map, int64_t kernel_h, int64_t kernel_w, int64_t stride,
+                   int64_t padding, int64_t out_h, int64_t out_w) {
+  if (map.rank() != 2) {
+    throw std::invalid_argument("deconv_ones: expected [h, w] map, got " + shape_to_string(map.shape()));
+  }
+  Tensor out({out_h, out_w});
+  deconv_ones_into(map.data(), map.dim(0), map.dim(1), kernel_h, kernel_w, stride, padding, out_h,
+                   out_w, out.data());
+  return out;
+}
+
+Image VisualBackProp::compute(nn::Sequential& model, const Image& input) {
+  std::vector<Tensor> averaged_maps;
+  return compute_with_maps(model, input, averaged_maps);
+}
+
+Image VisualBackProp::compute_with_maps(nn::Sequential& model, const Image& input,
+                                        std::vector<Tensor>& averaged_maps) const {
+  const auto stages = find_conv_stages(model);
+  if (stages.empty()) {
+    throw std::invalid_argument("VisualBackProp: model has no convolutional stages");
+  }
+  const auto activations = model.forward_collect(input.as_nchw());
+
+  averaged_maps.clear();
+  averaged_maps.reserve(stages.size());
+  for (const auto& stage : stages) {
+    averaged_maps.push_back(channel_average_sample(activations[stage.output_index], 0));
+  }
+  return relevance_chain(stages, averaged_maps, input.height(), input.width());
+}
+
+std::vector<Image> VisualBackProp::compute_batch(nn::Sequential& model,
+                                                 const std::vector<const Image*>& inputs) {
+  if (inputs.empty()) return {};
+  const auto stages = find_conv_stages(model);
+  if (stages.empty()) {
+    throw std::invalid_argument("VisualBackProp: model has no convolutional stages");
+  }
+  const int64_t batch = static_cast<int64_t>(inputs.size());
+  const int64_t h = inputs[0]->height();
+  const int64_t w = inputs[0]->width();
+  Tensor stacked({batch, 1, h, w});
+  for (int64_t n = 0; n < batch; ++n) {
+    const Image& input = *inputs[static_cast<size_t>(n)];
+    if (input.height() != h || input.width() != w) {
+      throw std::invalid_argument("VisualBackProp: mixed image sizes in one batch");
+    }
+    std::memcpy(stacked.data() + n * h * w, input.tensor().data(),
+                static_cast<size_t>(h * w) * sizeof(float));
+  }
+  // One forward pass for the whole batch: this is where the batch-B GEMMs
+  // replace B batch-1 calls. The activations are shared read-only below.
+  const auto activations = model.forward_collect(stacked);
+
+  std::vector<Image> masks(inputs.size());
+  parallel::parallel_for(0, batch, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t n = begin; n < end; ++n) {
+      std::vector<Tensor> averaged_maps;
+      averaged_maps.reserve(stages.size());
+      for (const auto& stage : stages) {
+        averaged_maps.push_back(channel_average_sample(activations[stage.output_index], n));
+      }
+      masks[static_cast<size_t>(n)] = relevance_chain(stages, averaged_maps, h, w);
+    }
+  });
+  return masks;
 }
 
 }  // namespace salnov::saliency

@@ -29,6 +29,18 @@ class VisualBackProp : public SaliencyMethod {
   /// so one VisualBackProp instance may serve concurrent compute() calls —
   /// the detector's parallel scoring fan-out relies on this.
   Image compute(nn::Sequential& model, const Image& input) override;
+
+  /// Cross-frame batched VBP: one forward_collect over the stacked
+  /// [B, 1, H, W] input (conv layers loop per sample with identical
+  /// im2col + GEMM calls; dense layers accumulate each output row in the
+  /// same ascending-k order at any batch size), then per-sample channel
+  /// averages and deconvolution chains. Element i is bit-identical to
+  /// compute(model, *inputs[i]) for any batch composition. The per-sample
+  /// relevance chains fan out across the worker pool (they are pure and
+  /// write disjoint outputs).
+  std::vector<Image> compute_batch(nn::Sequential& model,
+                                   const std::vector<const Image*>& inputs) override;
+
   bool thread_safe() const override { return true; }
   std::string name() const override { return "vbp"; }
 

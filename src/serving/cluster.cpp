@@ -1,0 +1,455 @@
+#include "serving/cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+#include "driving/steering_trainer.hpp"
+
+namespace salnov::serving {
+
+ServingCluster::ServingCluster(const core::NoveltyDetector& detector,
+                               nn::Sequential* steering_model, ClusterConfig config,
+                               Clock* clock)
+    : detector_(detector),
+      steering_model_(steering_model),
+      config_(std::move(config)),
+      owned_clock_(clock == nullptr ? std::make_unique<SteadyClock>() : nullptr),
+      clock_(clock == nullptr ? owned_clock_.get() : clock),
+      saliency_configured_(core::uses_saliency(detector.config().preprocessing)) {
+  if (config_.streams < 1) {
+    throw std::invalid_argument("ServingCluster: streams must be >= 1");
+  }
+  if (config_.replicas < 1) {
+    throw std::invalid_argument("ServingCluster: replicas must be >= 1");
+  }
+  if (config_.max_batch < 1) {
+    throw std::invalid_argument("ServingCluster: max_batch must be >= 1");
+  }
+  if (config_.gather_window_ns < 0) config_.gather_window_ns = 0;
+
+  supervisors_.reserve(static_cast<size_t>(config_.streams));
+  for (int64_t s = 0; s < config_.streams; ++s) {
+    supervisors_.push_back(
+        std::make_unique<Supervisor>(detector_, steering_model_, config_.supervisor, clock_));
+  }
+  // A replica beyond one-per-stream could never receive a frame.
+  const int64_t replica_count = std::min(config_.replicas, config_.streams);
+  replicas_.reserve(static_cast<size_t>(replica_count));
+  for (int64_t i = 0; i < replica_count; ++i) {
+    auto replica = std::make_unique<Replica>();
+    replica->index = i;
+    replicas_.push_back(std::move(replica));
+  }
+  for (auto& replica : replicas_) {
+    replica->worker = std::thread([this, r = replica.get()] { worker_loop(*r); });
+  }
+}
+
+ServingCluster::~ServingCluster() { stop(); }
+
+void ServingCluster::submit(int64_t stream_id, Image frame) {
+  if (stream_id < 0 || stream_id >= config_.streams) {
+    throw std::out_of_range("ServingCluster: bad stream id " + std::to_string(stream_id));
+  }
+  if (stopped_.load(std::memory_order_acquire)) return;
+  PendingFrame pending;
+  pending.stream_id = stream_id;
+  pending.arrival_seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+  pending.arrival_ns = clock_->now_ns();
+  pending.frame = std::move(frame);
+  Replica& replica = *replicas_[static_cast<size_t>(replica_for(stream_id))];
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(replica.mu);
+    replica.queue.push_back(std::move(pending));
+  }
+  replica.cv.notify_all();
+}
+
+void ServingCluster::pause() { paused_.store(true, std::memory_order_release); }
+
+void ServingCluster::resume() {
+  if (!paused_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& replica : replicas_) {
+    // Notify under the replica lock: a worker that read paused_ == true but
+    // has not entered wait() yet still holds mu, so it cannot miss this.
+    std::lock_guard<std::mutex> lock(replica->mu);
+    replica->cv.notify_all();
+  }
+}
+
+void ServingCluster::drain() {
+  resume();
+  for (auto& replica : replicas_) {
+    {
+      std::lock_guard<std::mutex> lock(replica->mu);
+      replica->flush = true;
+    }
+    replica->cv.notify_all();
+  }
+  {
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [&] { return outstanding_.load(std::memory_order_acquire) == 0; });
+  }
+  for (auto& replica : replicas_) {
+    std::lock_guard<std::mutex> lock(replica->mu);
+    replica->flush = false;
+  }
+}
+
+void ServingCluster::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  resume();
+  for (auto& replica : replicas_) {
+    {
+      std::lock_guard<std::mutex> lock(replica->mu);
+      replica->stopping = true;  // drains the queue, then the worker exits
+    }
+    replica->cv.notify_all();
+  }
+  for (auto& replica : replicas_) {
+    if (replica->worker.joinable()) replica->worker.join();
+  }
+}
+
+std::vector<ClusterResult> ServingCluster::take_results() {
+  std::vector<ClusterResult> out;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    out.swap(results_);
+  }
+  std::sort(out.begin(), out.end(), [](const ClusterResult& a, const ClusterResult& b) {
+    return a.arrival_seq < b.arrival_seq;
+  });
+  return out;
+}
+
+HealthSnapshot ServingCluster::stream_health(int64_t stream_id) const {
+  if (stream_id < 0 || stream_id >= config_.streams) {
+    throw std::out_of_range("ServingCluster: bad stream id " + std::to_string(stream_id));
+  }
+  const Replica& replica = *replicas_[static_cast<size_t>(replica_for(stream_id))];
+  std::lock_guard<std::mutex> lock(replica.proc_mu);
+  return supervisors_[static_cast<size_t>(stream_id)]->health();
+}
+
+namespace {
+
+int breaker_severity(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return 0;
+    case BreakerState::kHalfOpen:
+      return 1;
+    case BreakerState::kOpen:
+      return 2;
+  }
+  return 0;
+}
+
+int drift_severity(const std::string& state) {
+  if (state == "drifted") return 3;
+  if (state == "alert") return 2;
+  if (state == "stable") return 1;
+  return 0;  // "off"
+}
+
+}  // namespace
+
+HealthSnapshot ServingCluster::aggregate_health() const {
+  HealthSnapshot agg;
+  for (int64_t s = 0; s < config_.streams; ++s) {
+    const HealthSnapshot h = stream_health(s);
+    if (static_cast<int>(h.mode) > static_cast<int>(agg.mode)) agg.mode = h.mode;
+    if (breaker_severity(h.breaker_state) > breaker_severity(agg.breaker_state)) {
+      agg.breaker_state = h.breaker_state;
+    }
+    agg.frames_total += h.frames_total;
+    agg.frames_scored += h.frames_scored;
+    agg.frames_abandoned += h.frames_abandoned;
+    agg.frames_held += h.frames_held;
+    agg.frames_sensor_bad += h.frames_sensor_bad;
+    agg.deadline_overruns += h.deadline_overruns;
+    agg.scoring_failures += h.scoring_failures;
+    agg.nonfinite_scores += h.nonfinite_scores;
+    agg.step_downs += h.step_downs;
+    agg.promotions += h.promotions;
+    agg.breaker_trips += h.breaker_trips;
+    agg.probe_successes += h.probe_successes;
+    agg.probe_failures += h.probe_failures;
+    agg.drift_checks += h.drift_checks;
+    agg.drift_detections += h.drift_detections;
+    agg.threshold_swaps += h.threshold_swaps;
+    agg.swap_persist_failures += h.swap_persist_failures;
+    agg.threshold_epoch = std::max(agg.threshold_epoch, h.threshold_epoch);
+    if (drift_severity(h.drift_state) > drift_severity(agg.drift_state)) {
+      agg.drift_state = h.drift_state;
+    }
+    for (int i = 0; i < kStageCount; ++i) {
+      const size_t idx = static_cast<size_t>(i);
+      agg.stages[idx].name = h.stages[idx].name;
+      agg.stages[idx].overruns += h.stages[idx].overruns;
+      agg.stages[idx].samples += h.stages[idx].samples;
+      agg.stages[idx].p50_ns = std::max(agg.stages[idx].p50_ns, h.stages[idx].p50_ns);
+      agg.stages[idx].p99_ns = std::max(agg.stages[idx].p99_ns, h.stages[idx].p99_ns);
+    }
+  }
+  return agg;
+}
+
+ClusterStats ServingCluster::stats() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  return stats_;
+}
+
+Supervisor& ServingCluster::stream_supervisor(int64_t stream_id) {
+  if (stream_id < 0 || stream_id >= config_.streams) {
+    throw std::out_of_range("ServingCluster: bad stream id " + std::to_string(stream_id));
+  }
+  return *supervisors_[static_cast<size_t>(stream_id)];
+}
+
+bool ServingCluster::should_seal(const Replica& r) const {
+  if (r.queue.empty()) return false;
+  if (r.flush || r.stopping) return true;
+  if (static_cast<int64_t>(r.queue.size()) >= config_.max_batch) return true;
+  const int64_t deadline = r.queue.front().arrival_ns + config_.gather_window_ns;
+  if (r.queue.back().arrival_ns > deadline) return true;  // a frame landed past the window
+  return clock_->now_ns() > deadline;                     // the window expired in real time
+}
+
+std::vector<ServingCluster::PendingFrame> ServingCluster::seal_batch(Replica& r,
+                                                                     SealReason& reason) {
+  // The cut depends only on arrival order and timestamps: up to max_batch
+  // frames whose arrival falls within the head's gather window. Whichever
+  // trigger fired (max_batch, a beyond-window arrival, the clock passing the
+  // deadline, or a flush), the same queue contents produce the same batch.
+  std::vector<PendingFrame> batch;
+  const int64_t head_deadline = r.queue.front().arrival_ns + config_.gather_window_ns;
+  while (!r.queue.empty() && static_cast<int64_t>(batch.size()) < config_.max_batch &&
+         r.queue.front().arrival_ns <= head_deadline) {
+    batch.push_back(std::move(r.queue.front()));
+    r.queue.pop_front();
+  }
+  // Reason classification checks the arrival-determined triggers before the
+  // flush flag: a batch whose window had already expired counts as a window
+  // seal even when a drain() raced in — so the seal-reason stats are as
+  // deterministic as the composition under a FakeClock.
+  if (static_cast<int64_t>(batch.size()) == config_.max_batch) {
+    reason = SealReason::kMaxBatch;
+  } else if (!r.queue.empty() && r.queue.front().arrival_ns > head_deadline) {
+    reason = SealReason::kWindow;
+  } else if (clock_->now_ns() > head_deadline) {
+    reason = SealReason::kWindow;
+  } else {
+    reason = SealReason::kFlush;  // drain()/stop() sealed a still-open window
+  }
+  ++r.batches_sealed;
+  return batch;
+}
+
+void ServingCluster::worker_loop(Replica& r) {
+  for (;;) {
+    std::vector<PendingFrame> batch;
+    SealReason reason = SealReason::kFlush;
+    int64_t sealed_ns = 0;
+    int64_t batch_seq = 0;
+    {
+      std::unique_lock<std::mutex> lock(r.mu);
+      for (;;) {
+        const bool paused = paused_.load(std::memory_order_acquire);
+        if (!paused && should_seal(r)) break;
+        if (!paused && r.stopping && r.queue.empty()) return;
+        if (!paused && !r.queue.empty()) {
+          // A partial batch is pending: sleep until the head's window
+          // deadline so window seals fire even with no further arrivals.
+          // Under a FakeClock the deadline never approaches in real time;
+          // the periodic re-check is harmless (drain()/stop() notify, and
+          // the batch composition is arrival-determined either way).
+          int64_t wait_ns =
+              r.queue.front().arrival_ns + config_.gather_window_ns - clock_->now_ns();
+          if (wait_ns < 100'000) wait_ns = 100'000;
+          r.cv.wait_for(lock, std::chrono::nanoseconds(wait_ns));
+        } else {
+          r.cv.wait(lock);
+        }
+      }
+      sealed_ns = clock_->now_ns();
+      batch = seal_batch(r, reason);
+      batch_seq = r.batches_sealed - 1;
+    }
+    process_batch(r, std::move(batch), reason, sealed_ns, batch_seq);
+  }
+}
+
+void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
+                                   SealReason reason, int64_t sealed_ns, int64_t batch_seq) {
+  const size_t b = batch.size();
+
+  // Per-frame speculation slot: which supervisor serves the frame and which
+  // batched results it will be handed.
+  struct Slot {
+    Supervisor* supervisor = nullptr;
+    ProvidedCompute provided;
+    bool valid = false;
+    const Image* recon_in = nullptr;
+  };
+  std::vector<Slot> slots(b);
+
+  // --- Plan: screen frames and predict each one's compute needs -----------
+  // The batched preprocess/reconstruct entries throw on malformed inputs,
+  // while the supervisor folds the same faults into its sensor path — so
+  // frames the validator rejects are excluded from batched compute and left
+  // to their supervisor (which screens them identically). The saliency
+  // prediction applies the supervisor's own rule to the stream's current
+  // mode/breaker; a frame whose stream changes mid-batch simply falls back
+  // to in-stage compute of the same bits.
+  std::vector<const Image*> steer_in;
+  std::vector<size_t> steer_at;
+  std::vector<const Image*> sal_in;
+  std::vector<size_t> sal_at;
+  int64_t prescreen_rejects = 0;
+  for (size_t i = 0; i < b; ++i) {
+    Slot& slot = slots[i];
+    slot.supervisor = supervisors_[static_cast<size_t>(batch[i].stream_id)].get();
+    slot.valid = detector_.frame_validator().check(batch[i].frame) == core::FrameFault::kNone;
+    if (!slot.valid) {
+      ++prescreen_rejects;
+      continue;
+    }
+    if (steering_model_ != nullptr) {
+      steer_in.push_back(&batch[i].frame);
+      steer_at.push_back(i);
+    }
+    const BreakerState breaker = slot.supervisor->breaker_state();
+    const bool want_saliency =
+        saliency_configured_ && breaker != BreakerState::kOpen &&
+        (Supervisor::mode_uses_saliency(slot.supervisor->mode()) ||
+         breaker == BreakerState::kHalfOpen);
+    if (want_saliency) {
+      sal_in.push_back(&batch[i].frame);
+      sal_at.push_back(i);
+    }
+  }
+
+  // --- Batched compute: steer, saliency, reconstruct ----------------------
+  // Any batched entry that throws simply provides nothing: each supervisor's
+  // own stage recomputes (or registers the identical failure) in-line.
+  if (!steer_in.empty()) {
+    try {
+      const std::vector<double> angles =
+          driving::predict_steering_batch(*steering_model_, steer_in);
+      for (size_t k = 0; k < steer_at.size(); ++k) {
+        slots[steer_at[k]].provided.steering = angles[k];
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  if (!sal_in.empty()) {
+    try {
+      std::vector<Image> masks =
+          detector_.variant_preprocess_batch(core::DetectorVariant::kPrimary, sal_in);
+      for (size_t k = 0; k < sal_at.size(); ++k) {
+        slots[sal_at[k]].provided.saliency_mask = std::move(masks[k]);
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  std::vector<const Image*> recon_in;
+  std::vector<size_t> recon_at;
+  for (size_t i = 0; i < b; ++i) {
+    Slot& slot = slots[i];
+    if (!slot.valid) continue;
+    // Predicted autoencoder input: the mask when saliency is expected to
+    // serve the frame, the raw frame otherwise (the supervisor's raw rungs
+    // feed the frame through unchanged).
+    slot.recon_in = slot.provided.saliency_mask.has_value() ? &*slot.provided.saliency_mask
+                                                            : &batch[i].frame;
+    recon_in.push_back(slot.recon_in);
+    recon_at.push_back(i);
+  }
+  if (!recon_in.empty()) {
+    try {
+      std::vector<Image> recons = detector_.reconstruct_batch(recon_in);
+      for (size_t k = 0; k < recon_at.size(); ++k) {
+        Slot& slot = slots[recon_at[k]];
+        slot.provided.recon_input = *slot.recon_in;
+        slot.provided.reconstruction = std::move(recons[k]);
+      }
+    } catch (const std::exception&) {
+    }
+  }
+
+  // --- Policy: replay each frame through its own supervisor, in order -----
+  int64_t provided_steer = 0;
+  int64_t provided_saliency = 0;
+  int64_t provided_recon = 0;
+  int64_t mispredicts = 0;
+  int64_t max_wait = 0;
+  std::vector<ClusterResult> out;
+  out.reserve(b);
+  {
+    std::lock_guard<std::mutex> proc(r.proc_mu);
+    for (size_t i = 0; i < b; ++i) {
+      Slot& slot = slots[i];
+      ClusterResult cr;
+      cr.stream_id = batch[i].stream_id;
+      cr.arrival_seq = batch[i].arrival_seq;
+      cr.arrival_ns = batch[i].arrival_ns;
+      cr.sealed_ns = sealed_ns;
+      cr.replica = r.index;
+      cr.batch_seq = batch_seq;
+      cr.batch_size = static_cast<int64_t>(b);
+      cr.result = slot.supervisor->process(batch[i].frame, &slot.provided);
+      cr.mode_after = slot.supervisor->mode();
+      cr.breaker_after = slot.supervisor->breaker_state();
+      if (slot.provided.steering.has_value()) ++provided_steer;
+      if (slot.provided.saliency_mask.has_value()) ++provided_saliency;
+      if (slot.provided.reconstruction.has_value()) {
+        if (slot.supervisor->last_recon_mispredicted()) {
+          ++mispredicts;
+        } else {
+          ++provided_recon;
+        }
+      }
+      const int64_t wait = sealed_ns - batch[i].arrival_ns;
+      if (wait > max_wait) max_wait = wait;
+      out.push_back(std::move(cr));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    ++stats_.batches;
+    stats_.batched_frames += static_cast<int64_t>(b);
+    switch (reason) {
+      case SealReason::kMaxBatch:
+        ++stats_.max_batch_seals;
+        break;
+      case SealReason::kWindow:
+        ++stats_.window_seals;
+        break;
+      case SealReason::kFlush:
+        ++stats_.flush_seals;
+        break;
+    }
+    if (max_wait > stats_.max_gather_wait_ns) stats_.max_gather_wait_ns = max_wait;
+    stats_.provided_steer += provided_steer;
+    stats_.provided_saliency += provided_saliency;
+    stats_.provided_recon += provided_recon;
+    stats_.recon_mispredicts += mispredicts;
+    stats_.prescreen_rejects += prescreen_rejects;
+    if (config_.keep_results) {
+      for (auto& cr : out) results_.push_back(std::move(cr));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    outstanding_.fetch_sub(static_cast<int64_t>(b), std::memory_order_acq_rel);
+  }
+  idle_cv_.notify_all();
+}
+
+}  // namespace salnov::serving

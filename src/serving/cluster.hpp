@@ -1,0 +1,211 @@
+// ServingCluster: multi-stream serving with cross-frame micro-batching.
+//
+// One cluster owns N detector replicas (worker threads) sharing a single
+// set of read-only pre-packed weights (Dense::packed_weights caches panels
+// behind a double-checked atomic, so replicas share one copy). Many
+// concurrent streams submit frames; each stream keeps its OWN Supervisor —
+// its own mode-ladder position, circuit breaker, NoveltyMonitor, per-rung
+// ECDF calibrations, deadline budgets, and HealthSnapshot. The cluster
+// never mixes policy across streams.
+//
+// What IS shared is compute. A BatchAssembler (one per replica) gathers
+// frames arriving within a bounded window across streams and runs the pure
+// compute stages as batch-B forward passes — one stacked steering forward,
+// one stacked VBP forward_collect, one [B, H*W] autoencoder GEMM — instead
+// of B per-frame matvecs. The per-frame results are handed to each frame's
+// own Supervisor through ProvidedCompute, and the supervisor replays its
+// normal staged pipeline consuming them. Because every *decision* (budget,
+// ladder, breaker, monitor, calibration) still runs inside the supervisor,
+// and every batched kernel is bit-identical per sample to its batch-1
+// counterpart (see NoveltyDetector's batched-scoring contract), scores and
+// transitions are bit-identical regardless of which batch a frame landed
+// in.
+//
+// Determinism: a frame is stamped with the clock at submit(); a batch seals
+// when (a) it reaches max_batch, (b) a frame arrives outside the gather
+// window of the batch head, or (c) the clock passes the head's window
+// deadline. All three cuts depend only on arrival order and timestamps, so
+// under a FakeClock the batch composition is a pure function of the arrival
+// sequence — and since scores are batch-invariant anyway, even a different
+// composition could not change them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serving/supervisor.hpp"
+
+namespace salnov::serving {
+
+struct ClusterConfig {
+  int64_t streams = 1;   ///< independent per-stream supervisors
+  int64_t replicas = 1;  ///< worker threads (clamped to `streams`)
+  /// Frames arriving within this window of a batch head are gathered into
+  /// the same batch (<= 0 degenerates to per-frame batches of size 1 unless
+  /// frames carry identical timestamps).
+  int64_t gather_window_ns = 2'000'000;
+  int64_t max_batch = 16;  ///< hard cap on one batched forward
+  /// Per-stream supervisor configuration (applied to every stream).
+  SupervisorConfig supervisor;
+  /// Retain per-frame ClusterResults for take_results(). Disable for soak
+  /// runs where only health counters matter.
+  bool keep_results = true;
+};
+
+/// One completed frame, tagged with its routing and batching context.
+struct ClusterResult {
+  int64_t stream_id = 0;
+  int64_t arrival_seq = 0;  ///< global submit order (0-based)
+  int64_t arrival_ns = 0;   ///< clock at submit()
+  int64_t sealed_ns = 0;    ///< clock when the containing batch sealed
+  int64_t replica = 0;      ///< worker that served the frame
+  int64_t batch_seq = 0;    ///< per-replica batch counter
+  int64_t batch_size = 0;   ///< frames in the containing batch
+  ServeResult result;
+  ServingMode mode_after = ServingMode::kVbpSsim;        ///< stream mode after the frame
+  BreakerState breaker_after = BreakerState::kClosed;    ///< stream breaker after the frame
+};
+
+/// Exact assembler/batching counters (aggregated across replicas).
+struct ClusterStats {
+  int64_t batches = 0;          ///< batched forwards executed
+  int64_t batched_frames = 0;   ///< frames that went through a batch (== frames submitted)
+  int64_t max_batch_seals = 0;  ///< batches sealed by hitting max_batch
+  int64_t window_seals = 0;     ///< batches sealed by the gather-window deadline
+  int64_t flush_seals = 0;      ///< batches sealed by drain()/stop()
+  int64_t max_gather_wait_ns = 0;  ///< worst sealed_ns - arrival_ns over all frames
+  int64_t provided_steer = 0;      ///< frames served a batched steering angle
+  int64_t provided_saliency = 0;   ///< frames served a batched saliency mask
+  int64_t provided_recon = 0;      ///< frames served a batched reconstruction
+  int64_t recon_mispredicts = 0;   ///< provided reconstructions discarded (input mismatch)
+  int64_t prescreen_rejects = 0;   ///< frames excluded from batched compute by the validator
+};
+
+class ServingCluster {
+ public:
+  /// `detector` must be fitted and outlive the cluster; `steering_model`
+  /// follows the same contract as Supervisor's. `clock` may be null (a
+  /// SteadyClock is created) and is shared by every stream's supervisor.
+  /// Worker threads start immediately.
+  ServingCluster(const core::NoveltyDetector& detector, nn::Sequential* steering_model,
+                 ClusterConfig config, Clock* clock = nullptr);
+
+  /// Drains and joins the workers.
+  ~ServingCluster();
+
+  /// Enqueues one frame on `stream_id`'s replica queue; never blocks on
+  /// compute. Throws std::out_of_range on a bad stream id; submissions
+  /// after stop() are dropped.
+  void submit(int64_t stream_id, Image frame);
+
+  /// Holds workers before their next batch seal. Frames submitted while
+  /// paused accumulate with their submit-time stamps; resume() processes
+  /// them in order. Used by the trace driver to stage a deterministic
+  /// arrival schedule under a FakeClock before any compute runs.
+  void pause();
+  void resume();
+
+  /// Blocks until every submitted frame has been processed (seals partial
+  /// batches rather than waiting out their gather windows). Implies
+  /// resume().
+  void drain();
+
+  /// Drains, then stops and joins the workers. Idempotent.
+  void stop();
+
+  /// Moves out the accumulated per-frame results, sorted by arrival_seq
+  /// (empty when config.keep_results is false).
+  std::vector<ClusterResult> take_results();
+
+  /// One stream's supervisor snapshot. Safe against concurrent processing.
+  HealthSnapshot stream_health(int64_t stream_id) const;
+
+  /// Cluster-wide snapshot: counters summed over streams; mode/breaker are
+  /// the most-degraded across streams; per-stage percentiles are the
+  /// per-stream maxima (a conservative aggregate tail).
+  HealthSnapshot aggregate_health() const;
+
+  ClusterStats stats() const;
+
+  int64_t streams() const { return config_.streams; }
+  int64_t replicas() const { return static_cast<int64_t>(replicas_.size()); }
+
+  /// Direct access for tests (stream supervisors are only otherwise touched
+  /// by their replica worker; do not call process() on these concurrently
+  /// with submitted frames).
+  Supervisor& stream_supervisor(int64_t stream_id);
+
+ private:
+  struct PendingFrame {
+    int64_t stream_id = 0;
+    int64_t arrival_seq = 0;
+    int64_t arrival_ns = 0;
+    Image frame;
+  };
+
+  enum class SealReason { kMaxBatch, kWindow, kFlush };
+
+  struct Replica {
+    int64_t index = 0;
+    mutable std::mutex mu;  ///< guards queue / flags below
+    std::condition_variable cv;
+    std::deque<PendingFrame> queue;
+    bool flush = false;     ///< seal partial batches immediately (drain)
+    bool stopping = false;  ///< worker exits once the queue is empty
+    int64_t batches_sealed = 0;
+    /// Serializes this replica's supervisor access (worker processing vs
+    /// health snapshots). Streams are partitioned across replicas, so one
+    /// mutex per replica covers all its streams.
+    mutable std::mutex proc_mu;
+    std::thread worker;
+  };
+
+  int64_t replica_for(int64_t stream_id) const {
+    return stream_id % static_cast<int64_t>(replicas_.size());
+  }
+
+  /// True when the head of the queue must seal now (max_batch reached, a
+  /// frame beyond the head's window arrived, the clock passed the head's
+  /// deadline, or a flush/stop is pending). Caller holds r.mu.
+  bool should_seal(const Replica& r) const;
+
+  /// Pops the sealed batch (up to max_batch frames within the head's
+  /// window). Caller holds r.mu.
+  std::vector<PendingFrame> seal_batch(Replica& r, SealReason& reason);
+
+  void worker_loop(Replica& r);
+  void process_batch(Replica& r, std::vector<PendingFrame> batch, SealReason reason,
+                     int64_t sealed_ns, int64_t batch_seq);
+
+  const core::NoveltyDetector& detector_;
+  nn::Sequential* steering_model_;
+  ClusterConfig config_;
+  std::unique_ptr<Clock> owned_clock_;
+  Clock* clock_;
+  const bool saliency_configured_;
+
+  std::vector<std::unique_ptr<Supervisor>> supervisors_;  ///< one per stream
+  std::vector<std::unique_ptr<Replica>> replicas_;
+
+  std::atomic<int64_t> next_seq_{0};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stopped_{false};
+
+  /// Accepted frames not yet processed; the worker's decrement-to-zero
+  /// notifies idle_cv_ (same idiom as ServingServer).
+  std::atomic<int64_t> outstanding_{0};
+  mutable std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+
+  mutable std::mutex results_mu_;  ///< guards results_ and stats_
+  std::vector<ClusterResult> results_;
+  ClusterStats stats_;
+};
+
+}  // namespace salnov::serving

@@ -197,13 +197,14 @@ void Supervisor::update_ladder(bool frame_bad) {
   }
 }
 
-ServeResult Supervisor::process(const Image& frame) {
+ServeResult Supervisor::process(const Image& frame, const ProvidedCompute* provided) {
   const int64_t index = frames_total_++;
   const int64_t frame_start = clock_->now_ns();
   ServeResult result;
   result.frame_index = index;
   result.mode = mode_;
   bool frame_bad = false;
+  last_recon_mispredicted_ = false;
 
   // One wait-free acquire pins the threshold set for the whole frame: a
   // concurrent install takes effect at the next frame boundary, never
@@ -252,7 +253,11 @@ ServeResult Supervisor::process(const Image& frame) {
   // every mode that reaches this point.
   if (steering_model_ != nullptr) {
     const StageOutcome steer = run_stage(Stage::kSteer, index, result, [&] {
-      result.steering = driving::predict_steering(*steering_model_, frame);
+      // A provided angle is the batched forward's row for this frame —
+      // bit-identical to the direct call (per-row GEMM identity).
+      result.steering = provided != nullptr && provided->steering.has_value()
+                            ? *provided->steering
+                            : driving::predict_steering(*steering_model_, frame);
     });
     if (!steer.ok()) frame_bad = true;
     if (steer.threw) ++scoring_failures_;
@@ -274,7 +279,12 @@ ServeResult Supervisor::process(const Image& frame) {
   if (attempt_saliency) {
     Image mask;
     const StageOutcome saliency = run_stage(Stage::kSaliency, index, result, [&] {
-      mask = detector_.variant_preprocess(core::DetectorVariant::kPrimary, frame);
+      // A provided mask skips only the compute: the frame already passed the
+      // same validator in the kValidate stage, so the direct call could not
+      // have rejected it either.
+      mask = provided != nullptr && provided->saliency_mask.has_value()
+                 ? *provided->saliency_mask
+                 : detector_.variant_preprocess(core::DetectorVariant::kPrimary, frame);
     });
     if (saliency.ok()) {
       breaker_.record_success();
@@ -319,7 +329,21 @@ ServeResult Supervisor::process(const Image& frame) {
   const core::DetectorVariant variant = variant_for(mode_used);
   Image reconstruction;
   const StageOutcome reconstruct = run_stage(Stage::kReconstruct, index, result, [&] {
-    reconstruction = detector_.reconstruct(preprocessed);
+    // The provided reconstruction is only trusted when it was computed from
+    // exactly the image this frame actually feeds the autoencoder (value
+    // equality, the frozen-frame idiom): a batching front end speculates on
+    // the preprocessed input before policy runs, and a mid-batch mode or
+    // breaker change can invalidate that guess. A miss recomputes the same
+    // bits, just unbatched.
+    if (provided != nullptr && provided->reconstruction.has_value() &&
+        provided->recon_input.tensor() == preprocessed.tensor()) {
+      reconstruction = *provided->reconstruction;
+    } else {
+      if (provided != nullptr && provided->reconstruction.has_value()) {
+        last_recon_mispredicted_ = true;
+      }
+      reconstruction = detector_.reconstruct(preprocessed);
+    }
   });
   bool pipeline_broken = reconstruct.threw;
   if (!reconstruct.ok()) frame_bad = true;

@@ -98,6 +98,23 @@ struct ServeResult {
   int64_t threshold_epoch = 0;     ///< ThresholdSet epoch after the frame (0 = fitted)
 };
 
+/// Precomputed stage results injected by a batching front end (the
+/// ServingCluster aggregates frames across streams into batch-B forward
+/// passes and hands each frame's share back through this struct). Each
+/// field replaces exactly one *pure compute* call inside process(); every
+/// policy decision — validation, budgets, ladder, breaker, monitor,
+/// calibration — still runs in the supervisor itself, so the decision
+/// stream is bit-identical to the unbatched path by construction. A field
+/// left empty (or a reconstruction whose recon_input no longer matches the
+/// frame's actual preprocessed image, e.g. after a mid-batch mode change)
+/// falls back to the direct call, which computes the same bits.
+struct ProvidedCompute {
+  std::optional<double> steering;       ///< predict_steering(model, frame)
+  std::optional<Image> saliency_mask;   ///< variant_preprocess(kPrimary, frame)
+  std::optional<Image> reconstruction;  ///< reconstruct(recon_input)
+  Image recon_input;  ///< the preprocessed image `reconstruction` was computed from
+};
+
 /// One completed in-process threshold hot-swap (drift-triggered or forced).
 struct ThresholdSwapEvent {
   int64_t frame_index = 0;
@@ -118,7 +135,17 @@ class Supervisor {
   /// Runs one frame through the staged pipeline. Never throws on malformed
   /// frames or stage failures — misbehaviour is folded into the result and
   /// the health counters.
-  ServeResult process(const Image& frame);
+  ServeResult process(const Image& frame) { return process(frame, nullptr); }
+
+  /// As process(frame), consuming batched precompute where valid (see
+  /// ProvidedCompute). `provided` may be null and is not retained.
+  ServeResult process(const Image& frame, const ProvidedCompute* provided);
+
+  /// True when the last process() call discarded a provided reconstruction
+  /// because its recon_input did not match the frame's actual preprocessed
+  /// image (a batching front end's speculation missed). Diagnostic for the
+  /// cluster's stats; reset at every process() entry.
+  bool last_recon_mispredicted() const { return last_recon_mispredicted_; }
 
   ServingMode mode() const { return mode_; }
   BreakerState breaker_state() const { return breaker_.state(); }
@@ -141,6 +168,13 @@ class Supervisor {
 
   HealthSnapshot health() const;
 
+  /// True for ladder rungs whose scoring path consumes the saliency mask.
+  /// Public so batching front ends can predict a frame's compute needs with
+  /// the same rule the supervisor applies.
+  static bool mode_uses_saliency(ServingMode mode) {
+    return mode == ServingMode::kVbpSsim || mode == ServingMode::kVbpMse;
+  }
+
  private:
   struct StageOutcome {
     bool threw = false;
@@ -149,9 +183,6 @@ class Supervisor {
   };
 
   static core::DetectorVariant variant_for(ServingMode mode);
-  static bool mode_uses_saliency(ServingMode mode) {
-    return mode == ServingMode::kVbpSsim || mode == ServingMode::kVbpMse;
-  }
 
   StageOutcome run_stage(Stage stage, int64_t frame_index, ServeResult& result,
                          const std::function<void()>& body);
@@ -177,6 +208,7 @@ class Supervisor {
   const bool saliency_configured_;
 
   ServingMode mode_ = ServingMode::kVbpSsim;
+  bool last_recon_mispredicted_ = false;
   int bad_streak_ = 0;
   int healthy_streak_ = 0;
   std::optional<Image> last_valid_frame_;  ///< frozen-frame detection

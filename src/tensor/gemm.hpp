@@ -39,7 +39,7 @@ void set_gemm_kernel(GemmKernel kernel);
 /// True when the SIMD kernel can run on this CPU.
 bool gemm_simd_available();
 
-/// Human-readable name of a kernel ("scalar", "avx2", "neon").
+/// Human-readable name of a kernel ("scalar", "avx2", "avx512", "neon").
 const char* gemm_kernel_name(GemmKernel kernel);
 
 /// Whether Dense/Conv2d cache pre-packed weight panels for inference.

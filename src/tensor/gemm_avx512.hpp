@@ -1,0 +1,34 @@
+// Optional AVX-512 upgrade of the SIMD GEMM micro-kernel.
+//
+// Same 6 x 16 tile, same packed-panel layout, and — critically — the same
+// per-element arithmetic as the AVX2 micro-kernel: every output element is
+// a single ascending-k FMA chain, biases and ReLU are applied in the same
+// order at the store. One 16-float B row is one zmm register instead of two
+// ymm registers, halving the FMA and load micro-op count per k step, so the
+// upgraded tile kernel is faster but BIT-IDENTICAL to the AVX2 tile kernel
+// (it is an implementation detail of GemmKernel::kSimd, not a new kernel).
+//
+// The batch-1 matvec path is untouched: it is DRAM-bandwidth-bound, so
+// wider vectors would not move it.
+//
+// This TU is the only one compiled with -mavx512f; callers must check
+// gemm_avx512_available() (which performs the runtime CPUID check) before
+// using the function pointer.
+#pragma once
+
+#include <cstdint>
+
+namespace salnov::detail {
+
+/// True when the binary carries the AVX-512 tile kernel and the CPU
+/// supports it. Always false on non-x86 or pre-AVX-512 toolchains.
+bool gemm_avx512_available();
+
+/// Drop-in replacement for the AVX2 6x16 micro-kernel (same contract: ap is
+/// a packed A panel, bp a packed B panel, c the [rows, cols] output tile
+/// with leading dimension ldc). Only call when gemm_avx512_available().
+void micro_kernel_avx512(const float* ap, const float* bp, int64_t k, float* c, int64_t ldc,
+                         int64_t rows, int64_t cols, const float* bias_row,
+                         const float* bias_col, bool relu);
+
+}  // namespace salnov::detail

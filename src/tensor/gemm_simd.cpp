@@ -1,8 +1,10 @@
 // Register-tiled SIMD GEMM micro-kernels (AVX2+FMA / NEON).
 //
-// This is the only translation unit compiled with architecture flags; the
-// dispatcher (gemm.cpp) checks simd_gemm_available() before calling in, so
-// the binary stays runtime-safe on CPUs without the compiled extension.
+// This TU and gemm_avx512.cpp are the only ones compiled with architecture
+// flags; the dispatcher (gemm.cpp) checks simd_gemm_available() before
+// calling in, so the binary stays runtime-safe on CPUs without the compiled
+// extension. On AVX-512 hardware the tile loop swaps in the bit-identical
+// AVX-512 micro-kernel (gemm_avx512.hpp); the batch-1 matvec stays AVX2.
 //
 // Kernel scheme (identical for both architectures):
 //   * C is computed in kGemmMR x kGemmNR (6 x 16) register tiles from
@@ -28,10 +30,13 @@
 #include "tensor/gemm_simd.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "parallel/parallel_for.hpp"
+#include "tensor/gemm_avx512.hpp"
 #include "tensor/workspace.hpp"
 
 #if defined(__AVX2__) && defined(__FMA__)
@@ -267,6 +272,17 @@ void matvec(const float* a, const float* b, float* c, int64_t n, int64_t k,
 
 #endif  // architecture micro-kernels
 
+// Tile-kernel dispatch, checked per gemm call: the AVX-512 variant
+// (bit-identical, see gemm_avx512.hpp) when compiled in, supported by the
+// CPU, and not disabled for A/B timing; else the baseline micro-kernel.
+using MicroKernelFn = void (*)(const float*, const float*, int64_t, float*, int64_t, int64_t,
+                               int64_t, const float*, const float*, bool);
+
+MicroKernelFn tile_kernel() {
+  return gemm_avx512_available() && gemm_avx512_tile_enabled() ? &micro_kernel_avx512
+                                                               : &micro_kernel;
+}
+
 }  // namespace
 
 bool simd_gemm_available() {
@@ -283,7 +299,7 @@ bool simd_gemm_available() {
 
 const char* simd_arch_name() {
 #if defined(SALNOV_SIMD_AVX2)
-  return "avx2";
+  return gemm_avx512_available() && gemm_avx512_tile_enabled() ? "avx512" : "avx2";
 #else
   return "neon";
 #endif
@@ -308,6 +324,7 @@ void simd_gemm(const float* a, const float* b, float* c, int64_t m, int64_t n, i
   }
   const float* ap_all = packed_a != nullptr ? packed_a->data.data() : nullptr;
   const int64_t panels = gemm_col_panels(n);
+  const MicroKernelFn micro = tile_kernel();
 
   const auto band = [&](int64_t row_begin, int64_t row_end) {
     // Band-local scratch: pool workers pack A tiles into their own arenas.
@@ -326,16 +343,39 @@ void simd_gemm(const float* a, const float* b, float* c, int64_t m, int64_t n, i
       for (int64_t p = 0; p < panels; ++p) {
         const int64_t j0 = p * kGemmNR;
         const int64_t cols = std::min<int64_t>(kGemmNR, n - j0);
-        micro_kernel(ap, bp + p * kGemmNR * k, k, c + i0 * n + j0, n, rows, cols, bias_row,
-                     epi.bias_col != nullptr ? epi.bias_col + j0 : nullptr, epi.relu);
+        micro(ap, bp + p * kGemmNR * k, k, c + i0 * n + j0, n, rows, cols, bias_row,
+              epi.bias_col != nullptr ? epi.bias_col + j0 : nullptr, epi.relu);
       }
     }
   };
 
-  if (m > kSimdRowGrain && m * n * k >= kMinParallelFlops) {
+  if (m > kSimdRowGrain && m * n * k >= kMinParallelFlops && parallel::num_threads() > 1) {
     parallel::parallel_for(0, m, kSimdRowGrain, band);
   } else {
-    band(0, m);
+    // Single-worker path: panel-outer / band-inner, so each packed B panel
+    // streams through cache exactly once per call instead of once per row
+    // band (the thin-m batched-inference shapes are otherwise bound on
+    // re-reading B). The micro-kernel invocations are the banded order
+    // permuted — every output element still accumulates in ascending k —
+    // so results stay bit-identical to the parallel partition.
+    WorkspaceScope serial_scope;
+    const float* ap_panels = ap_all;
+    if (ap_panels == nullptr) {
+      float* scratch = serial_scope.floats(packed_a_floats(m, k));
+      pack_a_panels_into(a, m, k, scratch);
+      ap_panels = scratch;
+    }
+    for (int64_t p = 0; p < panels; ++p) {
+      const int64_t j0 = p * kGemmNR;
+      const int64_t cols = std::min<int64_t>(kGemmNR, n - j0);
+      const float* bias_col = epi.bias_col != nullptr ? epi.bias_col + j0 : nullptr;
+      for (int64_t i0 = 0; i0 < m; i0 += kGemmMR) {
+        const int64_t rows = std::min<int64_t>(kGemmMR, m - i0);
+        micro(ap_panels + (i0 / kGemmMR) * kGemmMR * k, bp + p * kGemmNR * k, k,
+              c + i0 * n + j0, n, rows, cols,
+              epi.bias_row != nullptr ? epi.bias_row + i0 : nullptr, bias_col, epi.relu);
+      }
+    }
   }
 }
 
@@ -347,5 +387,23 @@ void simd_gemm(const float*, const float*, float*, int64_t, int64_t, int64_t,
                const GemmEpilogue&, const PackedMatrix*, const PackedMatrix*) {}
 
 #endif
+
+namespace {
+
+std::atomic<bool>& avx512_tile_flag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("SALNOV_GEMM_AVX512");
+    return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool gemm_avx512_tile_enabled() { return avx512_tile_flag().load(std::memory_order_relaxed); }
+
+void set_gemm_avx512_tile(bool enabled) {
+  avx512_tile_flag().store(enabled, std::memory_order_relaxed);
+}
 
 }  // namespace salnov::detail

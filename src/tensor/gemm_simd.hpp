@@ -15,8 +15,17 @@ namespace salnov::detail {
 /// True when the running CPU can execute the compiled SIMD kernel.
 bool simd_gemm_available();
 
-/// Architecture tag of the compiled kernel: "avx2", "neon", or "none".
+/// Architecture tag of the compiled kernel: "avx2", "avx512", "neon", or
+/// "none". "avx512" means the tile loop runs the bit-identical AVX-512
+/// micro-kernel upgrade (gemm_avx512.hpp).
 const char* simd_arch_name();
+
+/// Whether the AVX-512 tile micro-kernel is used when hardware supports it.
+/// Defaults to on; SALNOV_GEMM_AVX512=0 or the setter disables it. The two
+/// tile kernels are bit-identical — the switch exists for A/B timing and
+/// the identity test, not for correctness.
+bool gemm_avx512_tile_enabled();
+void set_gemm_avx512_tile(bool enabled);
 
 /// C = A * B with fused epilogue; the SIMD counterpart of gemm_ex. Caller
 /// guarantees m, n, k > 0 and simd_gemm_available(). Packed operands, when

@@ -45,7 +45,15 @@ float* Workspace::alloc_floats(int64_t count) {
     ++cur_chunk_;
     cur_offset_ = 0;
   }
-  const int64_t capacity = need > kMinChunkFloats ? need : kMinChunkFloats;
+  // Geometric growth: a new chunk is at least as large as everything
+  // reserved so far, so total capacity at least doubles per heap trip. A
+  // pipeline whose shapes grow (batch-1 warm-up followed by batch-B panels
+  // in the serving cluster) reaches its new high-water mark in O(log B)
+  // allocations instead of one chunk per enlarged request.
+  int64_t reserved_floats = 0;
+  for (const Chunk& existing : chunks_) reserved_floats += existing.capacity;
+  int64_t capacity = need > kMinChunkFloats ? need : kMinChunkFloats;
+  if (reserved_floats > capacity) capacity = reserved_floats;
   Chunk chunk;
   chunk.data = static_cast<float*>(::operator new(
       static_cast<size_t>(capacity) * sizeof(float), std::align_val_t{kAlignBytes}));

@@ -10,6 +10,7 @@
 #include "roadsim/indoor_generator.hpp"
 #include "roadsim/outdoor_generator.hpp"
 #include "serving/clock.hpp"
+#include "serving/cluster.hpp"
 #include "tensor/serialize.hpp"
 
 namespace salnov::trace {
@@ -18,11 +19,12 @@ namespace {
 
 constexpr const char* kTraceMagic = "salnov-trace";
 // v1: original format. v2 appends the online-calibration spec block, the
-// per-frame swap flag + epoch, and the drift/swap health counters. save()
-// always writes the current version; load() accepts every version back to
-// kTraceVersionMin (the checked-in goldens are v1) and fills v2 fields with
-// their calibration-off defaults.
-constexpr uint32_t kTraceVersion = 2;
+// per-frame swap flag + epoch, and the drift/swap health counters. v3
+// appends the multi-stream cluster spec block and the per-frame stream_id.
+// save() always writes the current version; load() accepts every version
+// back to kTraceVersionMin (checked-in goldens span v1..v3) and fills newer
+// fields with their feature-off defaults (calibration off, single stream).
+constexpr uint32_t kTraceVersion = 3;
 constexpr uint32_t kTraceVersionMin = 1;
 
 // Frame-record flag bits (TraceFrame bools packed into one u32).
@@ -140,6 +142,20 @@ void TraceRunSpec::validate() const {
       throw std::invalid_argument("trace: bad camera-fault schedule");
     }
   }
+  if (cluster.streams < 0) throw std::invalid_argument("trace: negative stream count");
+  if (cluster.streams > 0) {
+    if (cluster.replicas < 1) throw std::invalid_argument("trace: cluster replicas must be >= 1");
+    if (cluster.max_batch < 1) throw std::invalid_argument("trace: cluster max_batch must be >= 1");
+    if (cluster.gather_window_ns < 0 || cluster.arrival_period_ns < 0) {
+      throw std::invalid_argument("trace: negative cluster window/period");
+    }
+    if (cluster.replicas > 1 && !stalls.empty()) {
+      // Concurrent replicas share the FakeClock: a stall advanced by one
+      // worker would bleed into another worker's stage timings, making
+      // stage_ns a race instead of a function of the spec.
+      throw std::invalid_argument("trace: stalls require a single replica");
+    }
+  }
 }
 
 // --- conversion -------------------------------------------------------------
@@ -247,6 +263,13 @@ void Trace::save(std::ostream& os) const {
   write_u32(os, static_cast<uint32_t>(cal.forced_swap_frames.size()));
   for (int64_t frame : cal.forced_swap_frames) write_i64(os, frame);
 
+  // v3: multi-stream cluster block.
+  write_i64(os, spec.cluster.streams);
+  write_i64(os, spec.cluster.replicas);
+  write_i64(os, spec.cluster.gather_window_ns);
+  write_i64(os, spec.cluster.max_batch);
+  write_i64(os, spec.cluster.arrival_period_ns);
+
   write_u32(os, spec.pipeline_crc);
   write_i64(os, spec.pipeline_bytes);
 
@@ -270,6 +293,7 @@ void Trace::save(std::ostream& os) const {
     write_u32(os, static_cast<uint32_t>(frame.mode_after));
     write_u32(os, static_cast<uint32_t>(frame.breaker_after));
     write_i64(os, frame.epoch_after);
+    write_i64(os, frame.stream_id);  // v3
   }
 
   write_i64(os, health.frames_total);
@@ -369,6 +393,14 @@ Trace Trace::load(std::istream& is) {
     for (int64_t& frame : cal.forced_swap_frames) frame = read_i64(is);
   }  // v1: calibration-off defaults
 
+  if (version >= 3) {
+    spec.cluster.streams = read_i64(is);
+    spec.cluster.replicas = read_i64(is);
+    spec.cluster.gather_window_ns = read_i64(is);
+    spec.cluster.max_batch = read_i64(is);
+    spec.cluster.arrival_period_ns = read_i64(is);
+  }  // v1/v2: single-stream defaults
+
   spec.pipeline_crc = read_u32(is);
   spec.pipeline_bytes = read_i64(is);
 
@@ -396,6 +428,7 @@ Trace Trace::load(std::istream& is) {
     frame.breaker_after =
         static_cast<serving::BreakerState>(checked_enum(is, 3, "breaker state"));
     if (version >= 2) frame.epoch_after = read_i64(is);
+    if (version >= 3) frame.stream_id = read_i64(is);
   }
 
   TraceHealth& health = trace.health;
@@ -457,25 +490,77 @@ serving::HealthSnapshot drive(const TraceRunSpec& spec, const core::NoveltyDetec
   // All timing under a FakeClock: elapsed time is exactly the injected
   // stalls, so the decision stream is a pure function of the spec.
   serving::FakeClock clock;
-  serving::Supervisor supervisor(detector, steering_model, config, &clock);
 
-  Rng rng(spec.frame_seed);
-  faults::FaultInjector camera(spec.fault_seed);
-  for (int64_t i = 0; i < spec.frames; ++i) {
-    const roadsim::Sample sample = generator->generate(rng);
-    Image view = resize_bilinear(sample.rgb.to_grayscale(), spec.height, spec.width);
-    // Tick every scheduled fault each frame — severity 0 when inactive — so
-    // stateful faults (frozen-frame) and per-call variate draws see the same
-    // stream a continuously-faulted camera would.
-    for (const auto& fault : spec.camera_faults) {
-      view = camera.apply(fault.fault, fault_active(fault, i) ? fault.severity : 0.0, view);
+  if (spec.cluster.streams <= 0) {
+    serving::Supervisor supervisor(detector, steering_model, config, &clock);
+
+    Rng rng(spec.frame_seed);
+    faults::FaultInjector camera(spec.fault_seed);
+    for (int64_t i = 0; i < spec.frames; ++i) {
+      const roadsim::Sample sample = generator->generate(rng);
+      Image view = resize_bilinear(sample.rgb.to_grayscale(), spec.height, spec.width);
+      // Tick every scheduled fault each frame — severity 0 when inactive —
+      // so stateful faults (frozen-frame) and per-call variate draws see the
+      // same stream a continuously-faulted camera would.
+      for (const auto& fault : spec.camera_faults) {
+        view = camera.apply(fault.fault, fault_active(fault, i) ? fault.severity : 0.0, view);
+      }
+      const serving::ServeResult result = supervisor.process(view);
+      if (on_frame) {
+        on_frame(TraceFrame::from(result, supervisor.mode(), supervisor.breaker_state()));
+      }
     }
-    const serving::ServeResult result = supervisor.process(view);
-    if (on_frame) {
-      on_frame(TraceFrame::from(result, supervisor.mode(), supervisor.breaker_state()));
+    return supervisor.health();
+  }
+
+  // Multi-stream path: one ServingCluster, deterministic arrival schedule.
+  // The whole schedule is staged while the workers are paused — every frame
+  // is stamped with its scheduled fake arrival time before any compute runs,
+  // so the batch composition (and, with a single replica, every stall-driven
+  // stage timing) is a pure function of the spec.
+  serving::ClusterConfig cluster_config;
+  cluster_config.streams = spec.cluster.streams;
+  cluster_config.replicas = spec.cluster.replicas;
+  cluster_config.gather_window_ns = spec.cluster.gather_window_ns;
+  cluster_config.max_batch = spec.cluster.max_batch;
+  cluster_config.supervisor = config;
+  serving::ServingCluster cluster(detector, steering_model, cluster_config, &clock);
+  cluster.pause();
+
+  const int64_t streams = spec.cluster.streams;
+  std::vector<std::unique_ptr<roadsim::SceneGenerator>> generators;
+  std::vector<Rng> rngs;
+  std::vector<faults::FaultInjector> cameras;
+  for (int64_t s = 0; s < streams; ++s) {
+    generators.push_back(make_generator(spec.dataset));
+    rngs.emplace_back(spec.frame_seed + static_cast<uint64_t>(s));
+    cameras.emplace_back(spec.fault_seed + static_cast<uint64_t>(s));
+  }
+  for (int64_t i = 0; i < spec.frames; ++i) {
+    for (int64_t s = 0; s < streams; ++s) {
+      const size_t si = static_cast<size_t>(s);
+      const roadsim::Sample sample = generators[si]->generate(rngs[si]);
+      Image view = resize_bilinear(sample.rgb.to_grayscale(), spec.height, spec.width);
+      for (const auto& fault : spec.camera_faults) {
+        view = cameras[si].apply(fault.fault, fault_active(fault, i) ? fault.severity : 0.0, view);
+      }
+      cluster.submit(s, std::move(view));
+    }
+    clock.advance_ns(spec.cluster.arrival_period_ns);
+  }
+  cluster.drain();
+  if (on_frame) {
+    // take_results() sorts by arrival_seq == submission order, so the frame
+    // stream is emitted in global arrival order.
+    for (const auto& cr : cluster.take_results()) {
+      TraceFrame frame = TraceFrame::from(cr.result, cr.mode_after, cr.breaker_after);
+      frame.stream_id = cr.stream_id;
+      on_frame(frame);
     }
   }
-  return supervisor.health();
+  const serving::HealthSnapshot health = cluster.aggregate_health();
+  cluster.stop();
+  return health;
 }
 
 Trace TraceRecorder::record(const TraceRunSpec& spec, const core::NoveltyDetector& detector,
@@ -523,6 +608,7 @@ ReplayReport compare(const Trace& recorded, const std::vector<TraceFrame>& repla
     // Fields in pipeline order, so the first divergence names the earliest
     // stage that moved.
     diff.check_i64("supervisor", "frame_index", rec.frame_index, rep.frame_index);
+    diff.check_i64("cluster", "stream_id", rec.stream_id, rep.stream_id);
     diff.check_enum("ladder", "mode", static_cast<int>(rec.mode), static_cast<int>(rep.mode),
                     serving_mode_tag);
     diff.check_bool("validate", "sensor_bad", rec.sensor_bad, rep.sensor_bad);

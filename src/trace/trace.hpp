@@ -58,6 +58,23 @@ struct TraceCameraFault {
   int64_t period = 1;
 };
 
+/// Multi-stream scenario shape (format v3). `streams == 0` selects the
+/// legacy single-supervisor driver; `streams > 0` drives a ServingCluster:
+/// stream s draws its scene stream from frame_seed + s and its camera-fault
+/// variates from fault_seed + s, `frames` becomes frames *per stream*, and
+/// arrivals are scheduled round-robin (every stream's frame i arrives at
+/// i * arrival_period_ns of fake time) so the batch composition is a pure
+/// function of the spec. Stalls require `replicas == 1`: concurrent
+/// replicas share the FakeClock, and a stall advanced by one worker would
+/// bleed into another worker's stage timings.
+struct TraceClusterSpec {
+  int64_t streams = 0;    ///< 0 = single-stream legacy driver
+  int64_t replicas = 1;
+  int64_t gather_window_ns = 2'000'000;
+  int64_t max_batch = 16;
+  int64_t arrival_period_ns = 1'000'000;  ///< fake time between arrival rounds
+};
+
 /// Complete description of a recordable scenario. Everything that can move
 /// a decision is in here; the fitted pipeline arrives separately (and is
 /// guarded by `pipeline_crc`).
@@ -78,6 +95,10 @@ struct TraceRunSpec {
   /// `calibration.store_path` is machine-local and never serialized:
   /// replaying a trace must not write operator files.
   serving::SupervisorConfig supervisor;
+
+  /// Multi-stream cluster shape; default (streams == 0) keeps the
+  /// single-stream driver and serializes backward-compatibly.
+  TraceClusterSpec cluster;
 
   /// Integrity guard for the pipeline the trace was recorded against:
   /// CRC32 + byte size of the checked pipeline file's payload (0 = unset).
@@ -108,6 +129,7 @@ struct TraceFrame {
   serving::BreakerState breaker_after = serving::BreakerState::kClosed;
   bool swapped = false;       ///< a threshold hot-swap completed on this frame
   int64_t epoch_after = 0;    ///< served ThresholdSet epoch after the frame
+  int64_t stream_id = 0;      ///< owning stream (v3; 0 in single-stream runs)
 
   static TraceFrame from(const serving::ServeResult& result, serving::ServingMode mode_after,
                          serving::BreakerState breaker_after);
@@ -153,9 +175,10 @@ struct Trace {
 };
 
 /// Re-executes a spec against a fitted pipeline under a FakeClock, invoking
-/// `on_frame` once per frame in order. This is the ONE scenario driver —
-/// recording and replaying go through the same code path, so they cannot
-/// drift apart. Returns the final health snapshot.
+/// `on_frame` once per frame in order (multi-stream runs emit frames in
+/// global arrival order, each tagged with its stream_id, and return the
+/// aggregate health). This is the ONE scenario driver — recording and
+/// replaying go through the same code path, so they cannot drift apart.
 serving::HealthSnapshot drive(const TraceRunSpec& spec, const core::NoveltyDetector& detector,
                               nn::Sequential* steering_model,
                               const std::function<void(const TraceFrame&)>& on_frame);

@@ -1,0 +1,442 @@
+// ServingCluster tests: multi-stream routing, cross-frame micro-batching,
+// batch-composition determinism, per-stream policy isolation, and the
+// bit-identity contract — a frame scored inside any batch must produce
+// exactly the result it would have produced through a bare Supervisor.
+//
+// All scenarios run under a FakeClock with pre-staged arrival schedules
+// (pause -> submit -> advance -> resume), so batch composition is a pure
+// function of the scripted timestamps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/novelty_detector.hpp"
+#include "driving/pilotnet.hpp"
+#include "faults/timing_faults.hpp"
+#include "serving/clock.hpp"
+#include "serving/cluster.hpp"
+#include "serving/supervisor.hpp"
+
+namespace salnov::serving {
+namespace {
+
+using core::NoveltyDetector;
+using core::NoveltyDetectorConfig;
+using core::Preprocessing;
+using core::ReconstructionScore;
+
+constexpr int64_t kH = 16;
+constexpr int64_t kW = 24;
+constexpr int64_t kMs = 1'000'000;  // ns
+
+class ClusterFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(41);
+    steering_ = new nn::Sequential(
+        driving::build_pilotnet(driving::PilotNetConfig::tiny(kH, kW), rng));
+
+    NoveltyDetectorConfig config;
+    config.height = kH;
+    config.width = kW;
+    config.preprocessing = Preprocessing::kVbp;
+    config.score = ReconstructionScore::kSsim;
+    config.autoencoder = core::AutoencoderConfig::tiny(kH, kW);
+    config.train_epochs = 10;
+    detector_ = new NoveltyDetector(config);
+    detector_->attach_steering_model(steering_);
+
+    std::vector<Image> train;
+    for (int i = 0; i < 24; ++i) train.push_back(familiar_frame(rng));
+    detector_->fit(train, rng);
+  }
+
+  static void TearDownTestSuite() {
+    delete detector_;
+    detector_ = nullptr;
+    delete steering_;
+    steering_ = nullptr;
+  }
+
+  static Image familiar_frame(Rng& rng) {
+    Image img(kH, kW);
+    const double slope = rng.uniform(0.8, 1.2);
+    for (int64_t y = 0; y < kH; ++y) {
+      for (int64_t x = 0; x < kW; ++x) {
+        img(y, x) = static_cast<float>(slope * (y + x) / static_cast<double>(kH + kW));
+      }
+    }
+    img.clamp01();
+    return img;
+  }
+
+  static Image noise_frame(Rng& rng) {
+    Image img(kH, kW);
+    for (int64_t y = 0; y < kH; ++y) {
+      for (int64_t x = 0; x < kW; ++x) img(y, x) = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+    return img;
+  }
+
+  /// Per-stream frame scripts: stream s gets a deterministic mix of
+  /// familiar and novel frames, distinct across streams.
+  static std::vector<std::vector<Image>> stream_scripts(int64_t streams, int64_t frames) {
+    std::vector<std::vector<Image>> scripts(static_cast<size_t>(streams));
+    for (int64_t s = 0; s < streams; ++s) {
+      Rng rng(100 + static_cast<uint64_t>(s));
+      for (int64_t i = 0; i < frames; ++i) {
+        scripts[static_cast<size_t>(s)].push_back(
+            (i + s) % 3 == 2 ? noise_frame(rng) : familiar_frame(rng));
+      }
+    }
+    return scripts;
+  }
+
+  static void expect_results_bitexact(const ServeResult& solo, const ServeResult& batched) {
+    EXPECT_EQ(solo.frame_index, batched.frame_index);
+    EXPECT_EQ(solo.mode, batched.mode);
+    EXPECT_EQ(solo.scored, batched.scored);
+    EXPECT_EQ(solo.abandoned, batched.abandoned);
+    EXPECT_EQ(solo.deadline_overrun, batched.deadline_overrun);
+    EXPECT_EQ(solo.sensor_bad, batched.sensor_bad);
+    EXPECT_EQ(solo.novel, batched.novel);
+    // Bit-exact, NaN-tolerant: compare the representations.
+    EXPECT_TRUE((std::isnan(solo.score) && std::isnan(batched.score)) ||
+                solo.score == batched.score)
+        << "score " << solo.score << " vs " << batched.score;
+    EXPECT_TRUE((std::isnan(solo.steering) && std::isnan(batched.steering)) ||
+                solo.steering == batched.steering)
+        << "steering " << solo.steering << " vs " << batched.steering;
+    EXPECT_EQ(solo.monitor_state, batched.monitor_state);
+    EXPECT_EQ(solo.fallback_path, batched.fallback_path);
+  }
+
+  static NoveltyDetector* detector_;
+  static nn::Sequential* steering_;
+};
+
+NoveltyDetector* ClusterFixture::detector_ = nullptr;
+nn::Sequential* ClusterFixture::steering_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Construction and basic routing.
+
+TEST_F(ClusterFixture, RejectsBadConfigs) {
+  ClusterConfig config;
+  config.streams = 0;
+  EXPECT_THROW(ServingCluster(*detector_, steering_, config), std::invalid_argument);
+  config.streams = 1;
+  config.replicas = 0;
+  EXPECT_THROW(ServingCluster(*detector_, steering_, config), std::invalid_argument);
+  config.replicas = 1;
+  config.max_batch = 0;
+  EXPECT_THROW(ServingCluster(*detector_, steering_, config), std::invalid_argument);
+}
+
+TEST_F(ClusterFixture, RejectsBadStreamIds) {
+  FakeClock clock;
+  ClusterConfig config;
+  config.streams = 2;
+  ServingCluster cluster(*detector_, steering_, config, &clock);
+  Rng rng(7);
+  EXPECT_THROW(cluster.submit(-1, familiar_frame(rng)), std::out_of_range);
+  EXPECT_THROW(cluster.submit(2, familiar_frame(rng)), std::out_of_range);
+  EXPECT_THROW(cluster.stream_health(2), std::out_of_range);
+  cluster.stop();
+}
+
+TEST_F(ClusterFixture, StopIsIdempotentAndDropsLateSubmissions) {
+  FakeClock clock;
+  ClusterConfig config;
+  config.streams = 1;
+  ServingCluster cluster(*detector_, steering_, config, &clock);
+  Rng rng(7);
+  cluster.submit(0, familiar_frame(rng));
+  cluster.stop();
+  cluster.stop();
+  cluster.submit(0, familiar_frame(rng));  // dropped, not queued
+  EXPECT_EQ(cluster.stream_health(0).frames_total, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole contract: batched scores are bit-identical to the solo path.
+
+TEST_F(ClusterFixture, BatchedResultsBitIdenticalToSoloSupervisors) {
+  const int64_t streams = 4;
+  const int64_t frames = 6;
+  const auto scripts = stream_scripts(streams, frames);
+
+  // Reference: one independent supervisor per stream (FakeClock, no stalls:
+  // timing never varies, so decisions depend only on the frames).
+  std::vector<std::vector<ServeResult>> solo(static_cast<size_t>(streams));
+  for (int64_t s = 0; s < streams; ++s) {
+    FakeClock clock;
+    Supervisor supervisor(*detector_, steering_, SupervisorConfig{}, &clock);
+    for (const Image& frame : scripts[static_cast<size_t>(s)]) {
+      solo[static_cast<size_t>(s)].push_back(supervisor.process(frame));
+    }
+  }
+
+  // Cluster: 2 replicas, generous window so whole rounds batch together.
+  FakeClock clock;
+  ClusterConfig config;
+  config.streams = streams;
+  config.replicas = 2;
+  config.gather_window_ns = 10 * kMs;
+  config.max_batch = 16;
+  ServingCluster cluster(*detector_, steering_, config, &clock);
+  cluster.pause();
+  for (int64_t i = 0; i < frames; ++i) {
+    for (int64_t s = 0; s < streams; ++s) {
+      cluster.submit(s, scripts[static_cast<size_t>(s)][static_cast<size_t>(i)]);
+    }
+    clock.advance_ns(20 * kMs);  // each round is its own gather window
+  }
+  cluster.drain();
+  const std::vector<ClusterResult> results = cluster.take_results();
+  cluster.stop();
+
+  ASSERT_EQ(results.size(), static_cast<size_t>(streams * frames));
+  std::map<int64_t, int64_t> next_frame;
+  bool any_batched = false;
+  for (const ClusterResult& cr : results) {
+    const int64_t s = cr.stream_id;
+    const int64_t i = next_frame[s]++;
+    ASSERT_LT(i, frames);
+    expect_results_bitexact(solo[static_cast<size_t>(s)][static_cast<size_t>(i)], cr.result);
+    if (cr.batch_size > 1) any_batched = true;
+  }
+  EXPECT_TRUE(any_batched) << "scenario never exercised a multi-frame batch";
+  // Every frame went through batched compute: steer and reconstruction were
+  // provided for all frames, saliency for every frame predicted on a
+  // saliency rung.
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.batched_frames, streams * frames);
+  EXPECT_EQ(stats.provided_steer, streams * frames);
+  EXPECT_GT(stats.provided_saliency, 0);
+  EXPECT_GT(stats.provided_recon, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Batch composition is a pure function of the arrival schedule.
+
+TEST_F(ClusterFixture, SealsOnGatherWindowBoundaries) {
+  FakeClock clock;
+  ClusterConfig config;
+  config.streams = 1;
+  config.gather_window_ns = 2 * kMs;
+  config.max_batch = 16;
+  ServingCluster cluster(*detector_, steering_, config, &clock);
+  cluster.pause();
+  Rng rng(5);
+  for (int i = 0; i < 3; ++i) cluster.submit(0, familiar_frame(rng));  // t = 0
+  clock.advance_ns(6 * kMs);
+  for (int i = 0; i < 2; ++i) cluster.submit(0, familiar_frame(rng));  // t = 6 ms
+  clock.advance_ns(6 * kMs);                                           // now 12 ms > 6 + 2
+  cluster.drain();
+  const std::vector<ClusterResult> results = cluster.take_results();
+  cluster.stop();
+
+  ASSERT_EQ(results.size(), 5u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].batch_size, 3) << "frame " << i;
+    EXPECT_EQ(results[static_cast<size_t>(i)].batch_seq, 0) << "frame " << i;
+  }
+  for (int i = 3; i < 5; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].batch_size, 2) << "frame " << i;
+    EXPECT_EQ(results[static_cast<size_t>(i)].batch_seq, 1) << "frame " << i;
+  }
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_EQ(stats.window_seals, 2);
+  EXPECT_EQ(stats.max_batch_seals, 0);
+  // Gather wait is bounded by the scripted schedule: the first batch sealed
+  // when the beyond-window frames landed at t = 6 ms.
+  EXPECT_LE(stats.max_gather_wait_ns, 12 * kMs);
+}
+
+TEST_F(ClusterFixture, SealsAtMaxBatch) {
+  FakeClock clock;
+  ClusterConfig config;
+  config.streams = 1;
+  config.gather_window_ns = 100 * kMs;
+  config.max_batch = 4;
+  ServingCluster cluster(*detector_, steering_, config, &clock);
+  cluster.pause();
+  Rng rng(5);
+  for (int i = 0; i < 6; ++i) cluster.submit(0, familiar_frame(rng));  // all t = 0
+  cluster.drain();  // seals 4 (max_batch), then flushes the remaining 2
+  const std::vector<ClusterResult> results = cluster.take_results();
+  cluster.stop();
+
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(results[static_cast<size_t>(i)].batch_size, 4);
+  for (int i = 4; i < 6; ++i) EXPECT_EQ(results[static_cast<size_t>(i)].batch_size, 2);
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.max_batch_seals, 1);
+  EXPECT_EQ(stats.flush_seals, 1);
+}
+
+TEST_F(ClusterFixture, CompositionIsDeterministicAcrossRuns) {
+  const auto run_once = [&] {
+    FakeClock clock;
+    ClusterConfig config;
+    config.streams = 3;
+    config.replicas = 2;
+    config.gather_window_ns = 3 * kMs;
+    config.max_batch = 4;
+    ServingCluster cluster(*detector_, steering_, config, &clock);
+    cluster.pause();
+    const auto scripts = stream_scripts(3, 5);
+    for (int64_t i = 0; i < 5; ++i) {
+      for (int64_t s = 0; s < 3; ++s) {
+        cluster.submit(s, scripts[static_cast<size_t>(s)][static_cast<size_t>(i)]);
+      }
+      clock.advance_ns(2 * kMs);  // every other round crosses a window boundary
+    }
+    cluster.drain();
+    auto results = cluster.take_results();
+    cluster.stop();
+    return results;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stream_id, b[i].stream_id) << i;
+    EXPECT_EQ(a[i].arrival_seq, b[i].arrival_seq) << i;
+    EXPECT_EQ(a[i].replica, b[i].replica) << i;
+    EXPECT_EQ(a[i].batch_seq, b[i].batch_seq) << i;
+    EXPECT_EQ(a[i].batch_size, b[i].batch_size) << i;
+    EXPECT_TRUE((std::isnan(a[i].result.score) && std::isnan(b[i].result.score)) ||
+                a[i].result.score == b[i].result.score)
+        << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-stream policy isolation.
+
+TEST_F(ClusterFixture, StreamsDegradeIndependently) {
+  FakeClock clock;
+  ClusterConfig config;
+  config.streams = 2;
+  config.replicas = 2;
+  config.gather_window_ns = 5 * kMs;
+  // Fast monitor so the novelty-fed stream reaches fallback within the run.
+  config.supervisor.monitor.trigger_frames = 3;
+  ServingCluster cluster(*detector_, steering_, config, &clock);
+  cluster.pause();
+  Rng familiar_rng(11);
+  Rng noise_rng(12);
+  for (int i = 0; i < 8; ++i) {
+    cluster.submit(0, familiar_frame(familiar_rng));
+    cluster.submit(1, noise_frame(noise_rng));
+    clock.advance_ns(10 * kMs);
+  }
+  cluster.drain();
+  cluster.stop();
+
+  const HealthSnapshot healthy = cluster.stream_health(0);
+  const HealthSnapshot novel = cluster.stream_health(1);
+  EXPECT_EQ(healthy.frames_total, 8);
+  EXPECT_EQ(novel.frames_total, 8);
+  EXPECT_EQ(healthy.frames_scored, 8);
+  // Stream 1 scores novel frame after frame; its monitor must escalate while
+  // stream 0 stays nominal.
+  const core::NoveltyMonitor& monitor0 = cluster.stream_supervisor(0).monitor();
+  const core::NoveltyMonitor& monitor1 = cluster.stream_supervisor(1).monitor();
+  EXPECT_NE(monitor0.state(), core::MonitorState::kFallback);
+  EXPECT_EQ(monitor1.state(), core::MonitorState::kFallback);
+
+  const HealthSnapshot aggregate = cluster.aggregate_health();
+  EXPECT_EQ(aggregate.frames_total, 16);
+  EXPECT_EQ(aggregate.frames_scored, healthy.frames_scored + novel.frames_scored);
+}
+
+// ---------------------------------------------------------------------------
+// Speculation misses fall back to in-stage compute with identical bits.
+
+TEST_F(ClusterFixture, MispredictedReconstructionFallsBackBitIdentically) {
+  // Stalls on the reconstruct stage of frames 0 and 1 demote the stream to
+  // raw+MSE; frame 2 sits in the same batch, so its reconstruction was
+  // speculated from the saliency mask and must be discarded and recomputed
+  // from the raw frame.
+  faults::TimingFaultInjector stalls;
+  stalls.add({/*stage=*/3, /*stall_ns=*/10 * kMs, /*first_frame=*/0, /*last_frame=*/1,
+              /*period=*/1});
+  SupervisorConfig sup;
+  sup.stage_budget_ns = {kMs, kMs, kMs, kMs, kMs};
+  sup.frame_budget_ns = 1000 * kMs;
+  sup.timing_faults = &stalls;
+
+  const auto scripts = stream_scripts(1, 6);
+
+  // Solo reference under the identical stall schedule.
+  std::vector<ServeResult> solo;
+  {
+    FakeClock clock;
+    Supervisor supervisor(*detector_, steering_, sup, &clock);
+    for (const Image& frame : scripts[0]) solo.push_back(supervisor.process(frame));
+  }
+
+  FakeClock clock;
+  ClusterConfig config;
+  config.streams = 1;
+  config.gather_window_ns = 100 * kMs;
+  config.max_batch = 16;
+  config.supervisor = sup;
+  ServingCluster cluster(*detector_, steering_, config, &clock);
+  cluster.pause();
+  for (const Image& frame : scripts[0]) cluster.submit(0, frame);
+  cluster.drain();
+  const std::vector<ClusterResult> results = cluster.take_results();
+  const ClusterStats stats = cluster.stats();
+  cluster.stop();
+
+  ASSERT_EQ(results.size(), solo.size());
+  EXPECT_EQ(results[0].batch_size, 6) << "scenario requires one mixed batch";
+  for (size_t i = 0; i < solo.size(); ++i) {
+    expect_results_bitexact(solo[i], results[i].result);
+  }
+  // The mode change mid-batch invalidated at least one speculated
+  // reconstruction (raw rung scores against the frame, not the mask).
+  EXPECT_GT(stats.recon_mispredicts, 0);
+  EXPECT_EQ(cluster.stream_health(0).mode, ServingMode::kRawMse);
+}
+
+// ---------------------------------------------------------------------------
+// Invalid frames are screened out of batched compute but still accounted.
+
+TEST_F(ClusterFixture, MalformedFramesAreScreenedNotBatched) {
+  FakeClock clock;
+  ClusterConfig config;
+  config.streams = 1;
+  config.gather_window_ns = 100 * kMs;
+  ServingCluster cluster(*detector_, steering_, config, &clock);
+  cluster.pause();
+  Rng rng(9);
+  Image bad(kH, kW);
+  bad(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  cluster.submit(0, familiar_frame(rng));
+  cluster.submit(0, bad);
+  cluster.submit(0, familiar_frame(rng));
+  cluster.drain();
+  const std::vector<ClusterResult> results = cluster.take_results();
+  const ClusterStats stats = cluster.stats();
+  cluster.stop();
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].result.sensor_bad);
+  EXPECT_TRUE(results[1].result.sensor_bad);
+  EXPECT_FALSE(results[2].result.sensor_bad);
+  EXPECT_EQ(stats.prescreen_rejects, 1);
+  EXPECT_EQ(cluster.stream_health(0).frames_sensor_bad, 1);
+  EXPECT_EQ(cluster.stream_health(0).frames_scored, 2);
+}
+
+}  // namespace
+}  // namespace salnov::serving

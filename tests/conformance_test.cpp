@@ -14,6 +14,7 @@
 //     refactors.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -421,7 +422,9 @@ TEST_F(GoldenReplay, GoldensReplayBitExactAtOneAndFourThreads) {
       const ReplayReport report =
           TraceReplayer::replay(trace, *pipeline.detector, pipeline.steering_model.get());
       EXPECT_TRUE(report.ok()) << "threads=" << threads << ": " << report.format();
-      EXPECT_EQ(report.frames_compared, trace.spec.frames);
+      // Multi-stream traces carry spec.frames frames PER stream.
+      const int64_t streams = std::max<int64_t>(trace.spec.cluster.streams, 1);
+      EXPECT_EQ(report.frames_compared, trace.spec.frames * streams);
     }
   }
 }

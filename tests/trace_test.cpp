@@ -58,6 +58,11 @@ Trace sample_trace() {
   trace.spec.supervisor.calibration.trigger_checks = 2;
   trace.spec.supervisor.calibration.release_checks = 3;
   trace.spec.supervisor.calibration.forced_swap_frames = {1, 5};
+  trace.spec.cluster.streams = 2;
+  trace.spec.cluster.replicas = 1;  // stalls above require a single replica
+  trace.spec.cluster.gather_window_ns = 3'000'000;
+  trace.spec.cluster.max_batch = 8;
+  trace.spec.cluster.arrival_period_ns = 500'000;
   trace.spec.pipeline_crc = 0xdeadbeef;
   trace.spec.pipeline_bytes = 12345;
 
@@ -85,6 +90,7 @@ Trace sample_trace() {
   f1.breaker_after = serving::BreakerState::kOpen;
   f1.swapped = true;
   f1.epoch_after = 1;
+  f1.stream_id = 1;
   trace.frames.push_back(f1);
 
   trace.health.frames_total = 2;
@@ -157,6 +163,11 @@ void expect_traces_equal(const Trace& a, const Trace& b) {
             b.spec.supervisor.calibration.forced_swap_frames);
   EXPECT_TRUE(b.spec.supervisor.calibration.store_path.empty())
       << "store_path is machine-local and must never survive serialization";
+  EXPECT_EQ(a.spec.cluster.streams, b.spec.cluster.streams);
+  EXPECT_EQ(a.spec.cluster.replicas, b.spec.cluster.replicas);
+  EXPECT_EQ(a.spec.cluster.gather_window_ns, b.spec.cluster.gather_window_ns);
+  EXPECT_EQ(a.spec.cluster.max_batch, b.spec.cluster.max_batch);
+  EXPECT_EQ(a.spec.cluster.arrival_period_ns, b.spec.cluster.arrival_period_ns);
   EXPECT_EQ(a.spec.pipeline_crc, b.spec.pipeline_crc);
   EXPECT_EQ(a.spec.pipeline_bytes, b.spec.pipeline_bytes);
 
@@ -290,6 +301,44 @@ TEST(TraceSpec, ValidateRejectsBadSpecs) {
 
   spec = TraceRunSpec{};
   spec.frames = 0;  // zero frames is explicitly allowed
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(TraceSpec, ValidateEnforcesClusterRules) {
+  // A well-formed multi-stream spec passes.
+  TraceRunSpec spec;
+  spec.cluster.streams = 3;
+  spec.cluster.replicas = 2;
+  EXPECT_NO_THROW(spec.validate());
+
+  // streams == 0 is the legacy single-supervisor driver; negative is garbage.
+  spec = TraceRunSpec{};
+  spec.cluster.streams = -1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = TraceRunSpec{};
+  spec.cluster.streams = 2;
+  spec.cluster.replicas = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = TraceRunSpec{};
+  spec.cluster.streams = 2;
+  spec.cluster.max_batch = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = TraceRunSpec{};
+  spec.cluster.streams = 2;
+  spec.cluster.gather_window_ns = -1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  // Stall injection is only deterministic with one replica: concurrent
+  // replicas share the FakeClock, so stall sleeps would interleave.
+  spec = TraceRunSpec{};
+  spec.cluster.streams = 2;
+  spec.cluster.replicas = 2;
+  spec.stalls.push_back({2, 10'000'000, 0, 5, 1});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.cluster.replicas = 1;
   EXPECT_NO_THROW(spec.validate());
 }
 
@@ -452,6 +501,19 @@ TEST(TraceDiff, DriftHealthCountersAreRunLevel) {
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.divergence->stage, "health");
   EXPECT_EQ(report.divergence->field, "threshold_swaps");
+}
+
+TEST(TraceDiff, StreamIdDivergenceNamesClusterStage) {
+  // A replay that routes a frame to the wrong stream is a batching bug, not
+  // a scoring bug — the diff must attribute it to the cluster layer.
+  const Trace trace = sample_trace();
+  auto frames = trace.frames;
+  frames[1].stream_id = 0;
+  const ReplayReport report = compare(trace, frames, trace.health);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.divergence->frame, 1);
+  EXPECT_EQ(report.divergence->stage, "cluster");
+  EXPECT_EQ(report.divergence->field, "stream_id");
 }
 
 TEST(TraceDiff, NanScoresCompareEqualBitExact) {

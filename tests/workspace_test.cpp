@@ -85,6 +85,20 @@ TEST(Workspace, GrowthKeepsOldBuffersValid) {
   EXPECT_EQ(small[0], 7.0f) << "growth must append chunks, never move old ones";
 }
 
+TEST(Workspace, GrowthIsGeometricNotLinear) {
+  // Batch-B panels make arenas grow far past the single-frame high-water
+  // mark; growth must be amortized. N live allocations of the minimum chunk
+  // size must cost O(log N) heap trips (each new chunk reserves at least the
+  // total reserved so far), not one chunk per allocation.
+  Workspace ws;
+  constexpr int64_t kMinChunkFloats = 1 << 16;  // workspace.cpp's floor
+  const int64_t before = Workspace::heap_allocation_count();
+  for (int i = 0; i < 200; ++i) ws.alloc_floats(kMinChunkFloats);
+  const int64_t chunks = Workspace::heap_allocation_count() - before;
+  EXPECT_LE(chunks, 12) << "200 min-sized allocations must share geometric chunks";
+  EXPECT_GE(chunks, 1);
+}
+
 TEST(Workspace, ZeroCountAllocationIsValid) {
   Workspace ws;
   EXPECT_NO_THROW(ws.alloc_floats(0));

@@ -1,19 +1,23 @@
 // make_golden — records the golden conformance traces under tests/golden/.
 //
 // Fits a small deterministic pipeline (scalar GEMM kernel, fixed seeds, tiny
-// 16x24 autoencoder so the checked-in file stays small), records the three
+// 16x24 autoencoder so the checked-in file stays small), records the four
 // canonical scenarios — nominal, stall-ladder (breaker trip + probe
 // recovery), sensor-fault (frozen camera, then salt-and-pepper novelty
-// re-entry) — and self-verifies every trace before writing it:
+// re-entry), multi-stream (three micro-batched streams on two replicas with
+// a frozen-camera burst) — and self-verifies every trace before writing it:
 //
 //   * replays bit-exactly at 1 and 4 worker threads under the scalar kernel;
 //   * replays within the cross-kernel tolerance under SIMD when available;
 //   * every scored frame's |score - threshold| margin is wide enough that a
 //     differently-rounding GEMM kernel cannot flip a verdict.
 //
-// Usage: make_golden --out tests/golden
+// Usage: make_golden --out tests/golden [--only SCENARIO]
 // Re-run it (and commit the result) whenever an intentional pipeline change
-// invalidates the goldens; CI replays them on every push.
+// invalidates the goldens; CI replays them on every push. --only records a
+// single scenario, leaving the other checked-in traces untouched — older
+// traces at earlier format versions deliberately stay as-is, so the replay
+// job keeps exercising the loader's version gating.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -89,6 +93,21 @@ std::vector<Scenario> scenarios() {
                                        /*first=*/14, /*last=*/17, /*period=*/1});
   all.push_back(sensor);
 
+  // Three streams micro-batched on two replicas; 10 frames per stream. A
+  // frozen-camera burst hits each stream's own fault schedule, so the trace
+  // pins per-stream monitor divergence on top of the batch routing. No
+  // stalls: concurrent replicas share the FakeClock (see
+  // TraceRunSpec::validate).
+  Scenario multi{"multi_stream", base_spec(10)};
+  multi.spec.cluster.streams = 3;
+  multi.spec.cluster.replicas = 2;
+  multi.spec.cluster.gather_window_ns = 2 * kMs;
+  multi.spec.cluster.max_batch = 8;
+  multi.spec.cluster.arrival_period_ns = kMs;
+  multi.spec.camera_faults.push_back({faults::CameraFault::kFrozenFrame, /*severity=*/1.0,
+                                      /*first=*/4, /*last=*/6, /*period=*/1});
+  all.push_back(multi);
+
   return all;
 }
 
@@ -127,7 +146,7 @@ bool replay_ok(const trace::Trace& trace, const core::NoveltyDetector& detector,
   return report.ok();
 }
 
-int run(const std::string& out_dir) {
+int run(const std::string& out_dir, const std::string& only) {
   // Goldens are recorded under the scalar kernel: it exists on every machine,
   // so any checkout can re-verify them bit-for-bit.
   set_gemm_kernel(GemmKernel::kScalar);
@@ -166,7 +185,10 @@ int run(const std::string& out_dir) {
               pipeline_crc);
 
   bool all_ok = true;
+  bool matched = false;
   for (Scenario& scenario : scenarios()) {
+    if (!only.empty() && scenario.name != only) continue;
+    matched = true;
     scenario.spec.pipeline_crc = pipeline_crc;
     scenario.spec.pipeline_bytes = static_cast<int64_t>(payload.size());
     const trace::Trace trace =
@@ -201,6 +223,10 @@ int run(const std::string& out_dir) {
         static_cast<long long>(trace.health.promotions));
   }
 
+  if (!matched) {
+    std::fprintf(stderr, "make_golden: no scenario named '%s'\n", only.c_str());
+    return 2;
+  }
   if (!all_ok) {
     std::fprintf(stderr, "make_golden: verification failed; goldens not (fully) written\n");
     return 1;
@@ -214,16 +240,19 @@ int run(const std::string& out_dir) {
 
 int main(int argc, char** argv) {
   std::string out_dir = "tests/golden";
+  std::string only;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: make_golden [--out DIR]\n");
+      std::fprintf(stderr, "usage: make_golden [--out DIR] [--only SCENARIO]\n");
       return 2;
     }
   }
   try {
-    return run(out_dir);
+    return run(out_dir, only);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "make_golden: %s\n", e.what());
     return 1;

@@ -17,14 +17,22 @@
 //   salnov serve --pipeline PIPELINE [--frames N] [--dataset outdoor|indoor]
 //       [--fake-clock] [--stall-stage K --stall-ns NS ...] [--health-out FILE]
 //       [--online-calib] [--force-swap-at N] [--threshold-store FILE]
+//       [--streams N [--replicas R] [--batch-window-us W] [--max-batch B]
+//        [--arrival-us U]]
 //       Drive the fault-tolerant serving runtime over generated frames and
 //       report the health snapshot (mode ladder, breaker, overrun counters,
 //       drift/swap counters). With --online-calib the shadow calibration
 //       runs and drift can hot-swap thresholds; --threshold-store persists
-//       swapped sets crash-safely and reloads them at startup.
+//       swapped sets crash-safely and reloads them at startup. With
+//       --streams the multi-stream ServingCluster serves N streams
+//       (--frames each) through cross-frame micro-batching and prints one
+//       grep-able "stream=S ..." summary line per stream plus aggregate
+//       batching counters.
 //   salnov record --pipeline PIPELINE --out TRACE [--frames N] [scenario flags]
 //       Run a scenario under the FakeClock and capture the full per-frame
-//       decision trace into a CRC-guarded golden-trace file.
+//       decision trace into a CRC-guarded golden-trace file. With --streams
+//       the multi-stream cluster scenario is recorded (frames per stream,
+//       round-robin arrivals every --arrival-us).
 //   salnov replay --pipeline PIPELINE --trace TRACE [--tolerance X]
 //       [--threads N] [--kernel scalar|simd] [--report FILE]
 //       Re-drive a recorded trace and diff the decision streams; exits 1 and
@@ -105,6 +113,8 @@ int usage() {
                "                  [--drift-trigger N] [--drift-release N]\n"
                "                  [--calib-warmup N] [--force-swap-at N]\n"
                "                  [--threshold-store FILE] [--health-out FILE]\n"
+               "                  [--streams N [--replicas R] [--batch-window-us W]\n"
+               "                   [--max-batch B] [--arrival-us U]]\n"
                "  record          --pipeline PIPELINE --out TRACE [--frames N]\n"
                "                  [--dataset outdoor|indoor] [--frame-seed S] [--fault-seed S]\n"
                "                  [--kernel scalar|simd] [serve's budget/ladder/breaker flags]\n"
@@ -113,6 +123,8 @@ int usage() {
                "                  [--camera-fault NAME [--fault-severity X] [--fault-first F]\n"
                "                   [--fault-last L] [--fault-period P]]\n"
                "                  [serve's --online-calib/drift/forced-swap flags]\n"
+               "                  [--streams N [--replicas R] [--batch-window-us W]\n"
+               "                   [--max-batch B] [--arrival-us U]]\n"
                "  replay          --pipeline PIPELINE --trace TRACE [--tolerance X]\n"
                "                  [--threads N] [--kernel scalar|simd] [--report FILE]\n"
                "common: --height H --width W (default 60 160), --seed S\n");
@@ -332,6 +344,107 @@ void apply_calibration_flags(const Args& args, calib::OnlineCalibrationConfig& c
   }
 }
 
+std::unique_ptr<roadsim::SceneGenerator> make_generator(const std::string& dataset) {
+  if (dataset == "outdoor") return std::make_unique<roadsim::OutdoorSceneGenerator>();
+  if (dataset == "indoor") return std::make_unique<roadsim::IndoorSceneGenerator>();
+  return nullptr;
+}
+
+/// Multi-stream serve: drives a ServingCluster with --frames frames PER
+/// stream, round-robin arrivals. Under --fake-clock the arrival schedule is
+/// staged while paused so the batch composition (and hence the stats lines)
+/// is reproducible bit-for-bit.
+int cmd_serve_cluster(const Args& args, const core::LoadedPipeline& pipeline,
+                      const serving::SupervisorConfig& supervisor_config, serving::Clock* clock,
+                      serving::FakeClock* fake, const std::string& dataset, int64_t frames) {
+  const core::NoveltyDetector& detector = *pipeline.detector;
+  serving::ClusterConfig config;
+  config.streams = args.get_int("streams", 1);
+  config.replicas = args.get_int("replicas", 1);
+  config.gather_window_ns = args.get_int("batch-window-us", 2000) * 1000;
+  config.max_batch = args.get_int("max-batch", config.max_batch);
+  config.supervisor = supervisor_config;
+  if (config.streams < 1) return fail("serve: --streams must be >= 1");
+  if (config.replicas < 1) return fail("serve: --replicas must be >= 1");
+  const int64_t arrival_ns = args.get_int("arrival-us", 1000) * 1000;
+
+  serving::ServingCluster cluster(detector, pipeline.steering_model.get(), config, clock);
+
+  const uint64_t seed = static_cast<uint64_t>(args.get_int("seed", 1));
+  std::vector<std::unique_ptr<roadsim::SceneGenerator>> generators;
+  std::vector<Rng> rngs;
+  for (int64_t s = 0; s < config.streams; ++s) {
+    generators.push_back(make_generator(dataset));
+    rngs.emplace_back(seed + static_cast<uint64_t>(s));
+  }
+
+  if (fake) cluster.pause();
+  for (int64_t i = 0; i < frames; ++i) {
+    for (int64_t s = 0; s < config.streams; ++s) {
+      const roadsim::Sample sample = generators[static_cast<size_t>(s)]->generate(
+          rngs[static_cast<size_t>(s)]);
+      Image view = resize_bilinear(sample.rgb.to_grayscale(), detector.config().height,
+                                   detector.config().width);
+      cluster.submit(s, std::move(view));
+    }
+    if (fake) fake->advance_ns(arrival_ns);
+  }
+  cluster.drain();
+  const std::vector<serving::ClusterResult> results = cluster.take_results();
+
+  const serving::HealthSnapshot aggregate = cluster.aggregate_health();
+  const serving::ClusterStats stats = cluster.stats();
+  const std::string json = aggregate.to_json();
+  const std::string health_out = args.get("health-out");
+  if (!health_out.empty()) {
+    std::ofstream out(health_out);
+    if (!out) return fail("serve: cannot write " + health_out);
+    out << json << '\n';
+  }
+  std::printf("%s\n", json.c_str());
+
+  // Grep-able per-stream summary lines for shell harnesses.
+  int64_t novel_total = 0;
+  for (int64_t s = 0; s < config.streams; ++s) {
+    int64_t stream_frames = 0, stream_scored = 0, stream_novel = 0;
+    for (const serving::ClusterResult& r : results) {
+      if (r.stream_id != s) continue;
+      ++stream_frames;
+      stream_scored += r.result.scored ? 1 : 0;
+      stream_novel += (r.result.scored && r.result.novel) ? 1 : 0;
+    }
+    novel_total += stream_novel;
+    const serving::HealthSnapshot health = cluster.stream_health(s);
+    std::printf("stream=%lld frames=%lld scored=%lld novel=%lld final_mode=%s breaker_state=%s\n",
+                static_cast<long long>(s), static_cast<long long>(stream_frames),
+                static_cast<long long>(stream_scored), static_cast<long long>(stream_novel),
+                serving::serving_mode_name(health.mode),
+                serving::breaker_state_name(health.breaker_state));
+  }
+
+  // Aggregate lines, same keys as single-stream serve plus batching counters.
+  std::printf("streams=%lld\n", static_cast<long long>(cluster.streams()));
+  std::printf("replicas=%lld\n", static_cast<long long>(cluster.replicas()));
+  std::printf("final_mode=%s\n", serving::serving_mode_name(aggregate.mode));
+  std::printf("breaker_state=%s\n", serving::breaker_state_name(aggregate.breaker_state));
+  std::printf("frames_total=%lld\n", static_cast<long long>(aggregate.frames_total));
+  std::printf("frames_scored=%lld\n", static_cast<long long>(aggregate.frames_scored));
+  std::printf("novel_frames=%lld\n", static_cast<long long>(novel_total));
+  std::printf("deadline_overruns=%lld\n", static_cast<long long>(aggregate.deadline_overruns));
+  std::printf("batches=%lld\n", static_cast<long long>(stats.batches));
+  std::printf("batched_frames=%lld\n", static_cast<long long>(stats.batched_frames));
+  std::printf("max_batch_seals=%lld\n", static_cast<long long>(stats.max_batch_seals));
+  std::printf("window_seals=%lld\n", static_cast<long long>(stats.window_seals));
+  std::printf("flush_seals=%lld\n", static_cast<long long>(stats.flush_seals));
+  std::printf("max_gather_wait_us=%lld\n", static_cast<long long>(stats.max_gather_wait_ns / 1000));
+  std::printf("provided_steer=%lld\n", static_cast<long long>(stats.provided_steer));
+  std::printf("provided_saliency=%lld\n", static_cast<long long>(stats.provided_saliency));
+  std::printf("provided_recon=%lld\n", static_cast<long long>(stats.provided_recon));
+  std::printf("recon_mispredicts=%lld\n", static_cast<long long>(stats.recon_mispredicts));
+  std::printf("prescreen_rejects=%lld\n", static_cast<long long>(stats.prescreen_rejects));
+  return 0;
+}
+
 int cmd_serve(const Args& args) {
   const std::string pipeline_path = args.get("pipeline");
   if (pipeline_path.empty()) return fail("serve: --pipeline is required");
@@ -341,14 +454,8 @@ int cmd_serve(const Args& args) {
   const int64_t frames = args.get_int("frames", 200);
   if (frames < 1) return fail("serve: --frames must be >= 1");
   const std::string dataset = args.get("dataset", "outdoor");
-  std::unique_ptr<roadsim::SceneGenerator> generator;
-  if (dataset == "outdoor") {
-    generator = std::make_unique<roadsim::OutdoorSceneGenerator>();
-  } else if (dataset == "indoor") {
-    generator = std::make_unique<roadsim::IndoorSceneGenerator>();
-  } else {
-    return fail("serve: unknown dataset '" + dataset + "'");
-  }
+  std::unique_ptr<roadsim::SceneGenerator> generator = make_generator(dataset);
+  if (!generator) return fail("serve: unknown dataset '" + dataset + "'");
 
   serving::SupervisorConfig config;
   if (args.has("stage-budget-ns")) {
@@ -381,7 +488,16 @@ int cmd_serve(const Args& args) {
   // Under --fake-clock the only elapsed time is the injected stalls, so the
   // overrun/fallback trace is reproducible bit-for-bit across machines.
   serving::FakeClock fake_clock;
-  serving::Clock* clock = args.has("fake-clock") ? &fake_clock : nullptr;
+  serving::FakeClock* fake = args.has("fake-clock") ? &fake_clock : nullptr;
+  serving::Clock* clock = fake;
+
+  if (args.has("streams")) {
+    if (!threshold_store.empty()) {
+      return fail("serve: --threshold-store is single-stream only (one store per supervisor)");
+    }
+    return cmd_serve_cluster(args, pipeline, config, clock, fake, dataset, frames);
+  }
+
   serving::Supervisor supervisor(detector, pipeline.steering_model.get(), config, clock);
 
   // Crash recovery: an earlier run's swap that completed its atomic rename
@@ -521,6 +637,18 @@ int cmd_record(const Args& args) {
     scheduled.last_frame = args.get_int("fault-last", scheduled.last_frame);
     scheduled.period = args.get_int("fault-period", 1);
     spec.camera_faults.push_back(scheduled);
+  }
+
+  // Multi-stream cluster scenario: --frames becomes frames PER stream and
+  // arrivals are round-robin every --arrival-us (see TraceClusterSpec).
+  spec.cluster.streams = args.get_int("streams", 0);
+  spec.cluster.replicas = args.get_int("replicas", spec.cluster.replicas);
+  if (args.has("batch-window-us")) {
+    spec.cluster.gather_window_ns = args.get_int("batch-window-us", 2000) * 1000;
+  }
+  spec.cluster.max_batch = args.get_int("max-batch", spec.cluster.max_batch);
+  if (args.has("arrival-us")) {
+    spec.cluster.arrival_period_ns = args.get_int("arrival-us", 1000) * 1000;
   }
 
   // Bind the trace to the exact pipeline bytes it was recorded against.
