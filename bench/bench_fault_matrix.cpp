@@ -29,20 +29,34 @@
 // is self-contained (reduced-resolution raw+MSE pipeline, no shared env)
 // so `--drift-only` stays cheap enough for CI.
 //
-// Artifacts: bench_artifacts/fault_matrix.csv (one row per cell).
+// A fourth table moves the fault from the sensor and the weights to the
+// *serving replica*: each row injects one replica-fault kind (crash, hang,
+// slow, weight-corruption) into a small live ServingCluster under the fake
+// clock and reports how the watchdog failure domain absorbs it — quarantines,
+// probes, restores, and the `failover_latency_frames` column: how many frames
+// arrived cluster-wide between fault onset and the quarantine that migrated
+// the victim's streams (the window in which frames could queue behind a dead
+// replica before redispatch).
+//
+// Artifacts: bench_artifacts/fault_matrix.csv (one row per cell; the final
+// failover_latency_frames column is 0 for non-replica rows).
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "core/monitor.hpp"
 #include "faults/fault_injector.hpp"
+#include "faults/replica_faults.hpp"
 #include "image/transforms.hpp"
 #include "roadsim/outdoor_generator.hpp"
 #include "serving/clock.hpp"
+#include "serving/cluster.hpp"
 #include "serving/supervisor.hpp"
 
 namespace salnov::bench {
@@ -250,9 +264,147 @@ void run_drift_scenario(std::ofstream& csv) {
               adaptive.final_epoch);
 
   csv << "exposure-drift," << kDriftPeakSeverity << "," << frozen.tail_flag_rate << ",0,"
-      << frozen.tail_flag_rate << ",0,frozen\n";
+      << frozen.tail_flag_rate << ",0,frozen,0\n";
   csv << "exposure-drift," << kDriftPeakSeverity << "," << adaptive.tail_flag_rate << ",0,"
-      << adaptive.tail_flag_rate << ",0,hot-swap\n";
+      << adaptive.tail_flag_rate << ",0,hot-swap,0\n";
+}
+
+// --- Replica failure domain ------------------------------------------------
+
+constexpr int64_t kRfStreams = 4;
+constexpr int64_t kRfReplicas = 2;
+constexpr int64_t kRfRounds = 64;
+constexpr int64_t kRfPeriodNs = 1'000'000;  ///< one submit round per fake millisecond
+constexpr int64_t kRfFaultStartNs = 16 * kRfPeriodNs;
+constexpr int64_t kRfFaultEndNs = 32 * kRfPeriodNs;
+
+struct ReplicaOutcome {
+  int64_t submitted = 0;
+  serving::ClusterStats stats;
+  int64_t failover_latency_frames = -1;  ///< frames arrived fault-onset -> quarantine
+  int64_t restore_latency_frames = -1;   ///< frames arrived fault-clear -> restore
+};
+
+/// Drives a live 4-stream / 2-replica cluster under the fake clock with one
+/// scheduled fault on replica 0, one frame per stream per fake millisecond.
+/// The driver paces itself with the serving soak's bounded-staleness guard;
+/// while it withholds submits it keeps fake time flowing and ticks the
+/// cluster, so quarantine/probe decisions are not starved of watchdog passes.
+ReplicaOutcome run_replica_cell(const core::NoveltyDetector& detector,
+                                nn::Sequential* steering, const std::vector<Image>& images,
+                                const faults::ReplicaFault& fault) {
+  faults::ReplicaFaultSchedule schedule;
+  schedule.add(fault);
+
+  serving::ClusterConfig config;
+  config.streams = kRfStreams;
+  config.replicas = kRfReplicas;
+  config.max_batch = 8;
+  config.gather_window_ns = 2 * kRfPeriodNs;
+  config.supervisor.stage_budget_ns.fill(0);
+  config.supervisor.frame_budget_ns = 0;
+  config.keep_results = false;
+  config.watchdog.enabled = true;
+  config.watchdog.batch_deadline_ns = 2 * kRfPeriodNs;
+  config.watchdog.missed_deadlines_to_quarantine = 2;
+  config.watchdog.probe_backoff_ns = 4 * kRfPeriodNs;
+  config.watchdog.max_probe_backoff_ns = 32 * kRfPeriodNs;
+  // Periodic canaries are the only live detector for weight corruption (a
+  // corrupted replica still seals and serves on time).
+  config.watchdog.canary_period_ns = 4 * kRfPeriodNs;
+  config.watchdog.canary_failures_to_quarantine = 1;
+  config.replica_faults = &schedule;
+  config.sleep_on_slow = false;  // FakeClock is shared across replicas
+
+  serving::FakeClock clock;
+  serving::ServingCluster cluster(detector, steering, config, &clock);
+  ReplicaOutcome out;
+  const auto caught_up = [&](int64_t due_per_stream) {
+    for (int64_t s = 0; s < kRfStreams; ++s) {
+      if (cluster.stream_health(s).frames_total + cluster.shed_for_stream(s) < due_per_stream) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int64_t round = 0; round < kRfRounds; ++round) {
+    clock.advance_ns(kRfPeriodNs);
+    for (int64_t s = 0; s < kRfStreams; ++s) {
+      cluster.submit(s, images[static_cast<size_t>((s * 17 + round) % images.size())]);
+      ++out.submitted;
+    }
+    if (round < 8) continue;
+    const auto wait_start = std::chrono::steady_clock::now();
+    int64_t extra_ms = 0;
+    const auto waited_ms = [&]() {
+      return std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now() - wait_start)
+          .count();
+    };
+    // One frame per stream per round: frames through round-8 must be done.
+    while (!caught_up(round - 7) && waited_ms() < 5000) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      if (extra_ms < 8 && waited_ms() > 2 * (extra_ms + 1)) {
+        clock.advance_ns(kRfPeriodNs);
+        cluster.tick();
+        ++extra_ms;
+      }
+    }
+  }
+  cluster.drain();
+  out.stats = cluster.stats();
+  for (const serving::ClusterEvent& event : cluster.take_events()) {
+    if (event.kind == serving::ClusterEventKind::kQuarantine &&
+        out.failover_latency_frames < 0 && event.at_ns >= fault.start_ns) {
+      out.failover_latency_frames = (event.at_ns - fault.start_ns) / kRfPeriodNs * kRfStreams;
+    }
+    if (event.kind == serving::ClusterEventKind::kRestore && out.restore_latency_frames < 0 &&
+        event.at_ns >= fault.end_ns) {
+      out.restore_latency_frames = (event.at_ns - fault.end_ns) / kRfPeriodNs * kRfStreams;
+    }
+  }
+  cluster.stop();
+  return out;
+}
+
+void run_replica_scenario(const core::NoveltyDetector& detector, nn::Sequential* steering,
+                          const std::vector<Image>& images, std::ofstream& csv) {
+  std::printf(
+      "\nReplica failure domain (one fault on replica 0 of a %" PRId64 "-stream / %" PRId64
+      "-replica\nlive cluster, fake-clock rounds; latency columns count frames arrived\n"
+      "cluster-wide from fault onset to quarantine and from fault clear to restore):\n",
+      kRfStreams, kRfReplicas);
+  std::printf("%-14s %-8s %-10s %-9s %-10s %-13s %-11s %s\n", "fault", "served", "quarant.",
+              "restores", "failovers", "redispatched", "failover_f", "restore_f");
+
+  struct Row {
+    const char* name;
+    faults::ReplicaFault fault;
+  };
+  const std::vector<Row> rows = {
+      {"crash", {0, faults::ReplicaFaultKind::kCrash, kRfFaultStartNs, kRfFaultEndNs}},
+      {"hang", {0, faults::ReplicaFaultKind::kHang, kRfFaultStartNs, kRfFaultEndNs}},
+      {"slow",
+       {0, faults::ReplicaFaultKind::kSlow, kRfFaultStartNs, kRfFaultEndNs,
+        /*slow_penalty_ns=*/10 * kRfPeriodNs}},
+      {"bit-flip",
+       {0, faults::ReplicaFaultKind::kWeightCorrupt, kRfFaultStartNs, kRfFaultEndNs,
+        /*slow_penalty_ns=*/0, /*weight_bits=*/64, /*seed=*/kInjectorSeed}},
+  };
+  for (const Row& row : rows) {
+    const ReplicaOutcome out = run_replica_cell(detector, steering, images, row.fault);
+    const int64_t served = out.stats.batched_frames + out.stats.fallback_frames;
+    std::printf("replica-%-6s %4" PRId64 "/%-4" PRId64 " %-10" PRId64 " %-9" PRId64 " %-10" PRId64
+                " %-13" PRId64 " %-11" PRId64 " %" PRId64 "\n",
+                row.name, served, out.submitted, out.stats.quarantines, out.stats.restores,
+                out.stats.failovers, out.stats.redispatched_frames, out.failover_latency_frames,
+                out.restore_latency_frames);
+    // detection_rate doubles as the served share; recovery latency column
+    // carries the restore latency so the CSV schema stays uniform.
+    csv << "replica-" << row.name << ",1,"
+        << (static_cast<double>(served) / static_cast<double>(out.submitted)) << ",0,0,"
+        << out.restore_latency_frames << ",frozen," << out.failover_latency_frames << "\n";
+  }
 }
 
 }  // namespace
@@ -266,7 +418,7 @@ int run(bool drift_only) {
   if (drift_only) {
     std::ofstream csv(artifact_dir() + "/fault_matrix.csv");
     csv << "fault,severity,detection_rate,validator_rate,novelty_rate,recovery_latency_frames,"
-           "thresholds\n";
+           "thresholds,failover_latency_frames\n";
     run_drift_scenario(csv);
     std::printf("\nWrote %s/fault_matrix.csv (drift rows only)\n", artifact_dir().c_str());
     return 0;
@@ -287,9 +439,9 @@ int run(bool drift_only) {
 
   std::ofstream csv(artifact_dir() + "/fault_matrix.csv");
   csv << "fault,severity,detection_rate,validator_rate,novelty_rate,recovery_latency_frames,"
-         "thresholds\n";
+         "thresholds,failover_latency_frames\n";
   csv << "none,0," << clean.detection_rate << "," << clean.validator_rate << ","
-      << clean.novelty_rate << ",0,frozen\n";
+      << clean.novelty_rate << ",0,frozen,0\n";
 
   std::printf(
       "\nDetection rate per cell (v = screened by validator/frozen guard share,\n"
@@ -306,7 +458,7 @@ int run(bool drift_only) {
                   100.0 * cell.validator_rate, recovery);
       csv << faults::camera_fault_name(fault) << "," << severity << "," << cell.detection_rate
           << "," << cell.validator_rate << "," << cell.novelty_rate << "," << recovery
-          << ",frozen\n";
+          << ",frozen,0\n";
     }
     std::printf("\n");
   }
@@ -333,9 +485,10 @@ int run(bool drift_only) {
     }
     const double rate = static_cast<double>(novel) / static_cast<double>(scores.size());
     std::printf("%-12" PRId64 " %6.1f%%            %" PRId64 "\n", flips, 100.0 * rate, non_finite);
-    csv << "weight-bit-flip," << flips << "," << rate << ",0," << rate << ",0,frozen\n";
+    csv << "weight-bit-flip," << flips << "," << rate << ",0," << rate << ",0,frozen,0\n";
   }
 
+  run_replica_scenario(detector, handle.steering ? handle.steering.get() : &env.steering, images, csv);
   run_drift_scenario(csv);
 
   std::printf("\nWrote %s/fault_matrix.csv\n", artifact_dir().c_str());

@@ -12,11 +12,20 @@
 // at uneven rates through a micro-batching ServingCluster with one stream
 // stalling mid-run, asserting a dead camera never holds other streams'
 // frames past the gather window (no cross-stream head-of-line blocking) and
-// per-stream accounting stays exact.
+// per-stream accounting (served + per-stream shed == submitted) stays
+// exact. Phase D is the seeded chaos soak: the same uneven streams on three
+// replicas while a deterministic replica-fault schedule (crash, hard-hang,
+// slow replica, weight corruption) kills and restores replicas under the
+// watchdog, gated on zero lost frames beyond the shed policy, bounded
+// per-stream staleness, and the quarantine -> probe -> restore cycle; the
+// same chaos shape is then recorded as a format-v4 trace and must replay
+// bit-exactly at 1 and 4 worker threads.
 //
 // Frame count is argv[1] (default 10000, minimum 200); CI smoke passes a
 // small count. Phase C runs a fixed 64 rounds regardless of the frame
-// count. Emits BENCH_serving.json for trend tracking.
+// count; phases D scale with it (~frames chaos frames live, frames/8 per
+// stream traced). Emits BENCH_serving.json for trend tracking.
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -27,10 +36,13 @@
 #include <vector>
 
 #include "common.hpp"
+#include "faults/replica_faults.hpp"
 #include "faults/timing_faults.hpp"
+#include "parallel/parallel_for.hpp"
 #include "serving/cluster.hpp"
 #include "serving/server.hpp"
 #include "serving/supervisor.hpp"
+#include "trace/trace.hpp"
 
 namespace salnov::bench {
 namespace {
@@ -235,16 +247,24 @@ int run(int64_t frames) {
               c_stats.max_batch_seals, c_stats.flush_seals,
               static_cast<double>(c_stats.max_gather_wait_ns) / 1e6);
   failures += check(c_stats.batched_frames == c_total, "phase C processed every frame");
+  int64_t c_shed_sum = 0;
   for (int64_t s = 0; s < kCStreams; ++s) {
     const serving::HealthSnapshot health = cluster.stream_health(s);
-    if (health.frames_total != submitted[static_cast<size_t>(s)]) {
+    const int64_t shed_s = cluster.shed_for_stream(s);
+    c_shed_sum += shed_s;
+    // Per-stream conservation: every submitted frame is either served or
+    // named in that stream's own shed counter (admission control is off
+    // here, so shed must be zero — but the identity is the invariant).
+    if (health.frames_total + shed_s != submitted[static_cast<size_t>(s)]) {
       std::fprintf(stderr,
-                   "SOAK FAILURE: phase C stream %" PRId64 " accounted %" PRId64 "/%" PRId64
-                   " frames\n",
-                   s, health.frames_total, submitted[static_cast<size_t>(s)]);
+                   "SOAK FAILURE: phase C stream %" PRId64 " accounted %" PRId64 " + %" PRId64
+                   " shed of %" PRId64 " frames\n",
+                   s, health.frames_total, shed_s, submitted[static_cast<size_t>(s)]);
       ++failures;
     }
   }
+  failures += check(c_shed_sum == c_stats.shed_frames,
+                    "phase C: per-stream shed counters sum to the aggregate");
   failures += check(c_stats.window_seals >= 1,
                     "phase C: uneven rates produced window-deadline seals");
   // Gather-wait bound: a frame submitted at round x must be processed
@@ -254,6 +274,219 @@ int run(int64_t frames) {
   failures += check(c_stats.max_gather_wait_ns <= kCWindowNs + 2 * kCPeriodNs,
                     "phase C: no frame waited past the gather window bound");
   cluster.stop();
+
+  // --- Phase D: seeded chaos — kill/restore replicas under uneven live load
+  // Eight streams at 1/2/3 frames per round on three replicas, with a
+  // deterministic fault schedule running underneath: replica 0 crashes, then
+  // has its weights bit-flipped; replica 1 hard-hangs; replica 2 runs slow
+  // enough to miss every batch deadline. The watchdog quarantines each
+  // faulted replica, fails streams over to survivors, and restores via
+  // half-open probes once the windows close. Admission credits bound each
+  // stream's pending backlog, shedding oldest-first. Gates: zero lost frames
+  // beyond the per-stream shed counters, bounded per-stream staleness (the
+  // same liveness guard as phase C, with slack for quarantine detection),
+  // and the quarantine/restore cycle actually happening.
+  constexpr int64_t kDStreams = 8;
+  constexpr int64_t kDReplicas = 3;
+  // 15 frames per round (streams at 1/2/3 each); round up so the default
+  // 10k-frame run drives at least 10k chaos frames end to end.
+  const int64_t d_rounds = std::max<int64_t>(64, (frames + 14) / 15);
+  const int64_t d_dur = d_rounds * kCPeriodNs;
+  // Every fault starts at d/4 or later: the staleness guard below only
+  // begins pacing the driver at round 8, and a fault that lands inside the
+  // initial unpaced burst freezes fake time before the watchdog's
+  // quarantine horizon (fault start + missed * deadline) can be reached.
+  faults::ReplicaFaultSchedule d_faults;
+  d_faults.add({0, faults::ReplicaFaultKind::kCrash, d_dur / 4, 3 * d_dur / 8});
+  d_faults.add({2, faults::ReplicaFaultKind::kSlow, 3 * d_dur / 8, 5 * d_dur / 8,
+                /*slow_penalty_ns=*/20 * kMs});
+  d_faults.add({1, faults::ReplicaFaultKind::kHang, d_dur / 2, 3 * d_dur / 4});
+  d_faults.add({0, faults::ReplicaFaultKind::kWeightCorrupt, 5 * d_dur / 8, 2 * d_dur,
+                /*slow_penalty_ns=*/0, /*weight_bits=*/64, /*seed=*/5});
+
+  serving::ClusterConfig d_config;
+  d_config.streams = kDStreams;
+  d_config.replicas = kDReplicas;
+  d_config.max_batch = 16;
+  d_config.gather_window_ns = kCWindowNs;
+  d_config.supervisor.stage_budget_ns.fill(0);
+  d_config.supervisor.frame_budget_ns = 0;
+  d_config.keep_results = false;
+  d_config.watchdog.enabled = true;
+  d_config.watchdog.batch_deadline_ns = 2 * kMs;
+  d_config.watchdog.missed_deadlines_to_quarantine = 2;
+  d_config.watchdog.probe_backoff_ns = 4 * kMs;
+  d_config.watchdog.max_probe_backoff_ns = 32 * kMs;
+  d_config.replica_faults = &d_faults;
+  // Wide enough that a healthy, paced stream never hits the bound (the
+  // staleness guard holds the driver ~16 rounds back at most, i.e. <= 48
+  // pending on the busiest streams), tight enough that an outage pileup on
+  // a 3-frames/round stream sheds visibly before quarantine migration.
+  d_config.admission_credits = 24;
+  d_config.sleep_on_slow = false;  // FakeClock is shared across replicas
+
+  std::printf("\nPhase D: seeded chaos, %" PRId64 " uneven streams on %" PRId64
+              " replicas over %" PRId64 " rounds (crash + hang + slow + weight-corruption)...\n",
+              kDStreams, kDReplicas, d_rounds);
+  const auto d_start = std::chrono::steady_clock::now();
+  serving::FakeClock d_clock;
+  serving::ServingCluster d_cluster(detector, steering, d_config, &d_clock);
+  std::vector<int64_t> d_submitted(static_cast<size_t>(kDStreams), 0);
+  std::vector<std::vector<int64_t>> d_due_by_round;
+  int64_t d_total = 0;
+  bool d_live = true;
+  const auto d_caught_up = [&](const std::vector<int64_t>& due) {
+    for (int64_t s = 0; s < kDStreams; ++s) {
+      // Shed frames never get served; they count as resolved.
+      if (d_cluster.stream_health(s).frames_total + d_cluster.shed_for_stream(s) <
+          due[static_cast<size_t>(s)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int64_t round = 0; round < d_rounds && d_live; ++round) {
+    d_clock.advance_ns(kCPeriodNs);
+    for (int64_t s = 0; s < kDStreams; ++s) {
+      for (int64_t j = 0; j < s % 3 + 1; ++j) {
+        d_cluster.submit(s, pool[static_cast<size_t>((s * 41 + d_total) % pool.size())]);
+        ++d_submitted[static_cast<size_t>(s)];
+        ++d_total;
+      }
+    }
+    d_due_by_round.push_back(d_submitted);
+    if (round < 8) continue;
+    // Bounded staleness: frames from 8 rounds ago must be served (or shed)
+    // by now. Eight rounds of fake time cover the worst recovery chain —
+    // missed-deadline accrual (2 x 2 ms), the quarantine tick, and the
+    // migration of the replica's backlog — all of which fire on submit
+    // ticks that precede this check (seals themselves need future clock
+    // advances, so the lag cannot shrink below the gather window). The
+    // real-time wait covers worker scheduling lag, and the round-by-round
+    // check also paces the driver, so the backlog (and any shedding)
+    // reflects injected outages, not submission speed.
+    const std::vector<int64_t>& due = d_due_by_round[static_cast<size_t>(round - 8)];
+    const auto wait_start = std::chrono::steady_clock::now();
+    int64_t extra_ms = 0;
+    while (!d_caught_up(due) && elapsed_ms(wait_start) < 5000.0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      // A stalled catch-up means frames are stranded behind a fault the
+      // watchdog has not yet charged past its quarantine horizon — and the
+      // watchdog only advances on submits, which this wait is withholding.
+      // The source pausing does not stop wall time: keep fake time flowing
+      // (bounded) and tick the cluster so quarantine -> migration can fire.
+      if (extra_ms < 8 && elapsed_ms(wait_start) > 2.0 * static_cast<double>(extra_ms + 1)) {
+        d_clock.advance_ns(kMs);
+        d_cluster.tick();
+        ++extra_ms;
+      }
+    }
+    if (!d_caught_up(due)) {
+      failures += check(false, "phase D: chaos blocked per-stream progress past the bound");
+      d_live = false;
+    }
+  }
+  d_cluster.drain();
+  const serving::ClusterStats d_stats = d_cluster.stats();
+  const double d_ms = elapsed_ms(d_start);
+
+  std::printf("  %.0f ms, %" PRId64 " frames (%" PRId64 " batched, %" PRId64 " inline, %" PRId64
+              " shed), quarantines %" PRId64 ", probes %" PRId64 " (%" PRId64
+              " failed), restores %" PRId64 ", failovers %" PRId64 ", redispatched %" PRId64 "\n",
+              d_ms, d_total, d_stats.batched_frames, d_stats.fallback_frames, d_stats.shed_frames,
+              d_stats.quarantines, d_stats.probe_attempts, d_stats.probe_failures,
+              d_stats.restores, d_stats.failovers, d_stats.redispatched_frames);
+  int64_t d_shed_sum = 0;
+  for (int64_t s = 0; s < kDStreams; ++s) {
+    const serving::HealthSnapshot health = d_cluster.stream_health(s);
+    const int64_t shed_s = d_cluster.shed_for_stream(s);
+    d_shed_sum += shed_s;
+    if (health.frames_total + shed_s != d_submitted[static_cast<size_t>(s)]) {
+      std::fprintf(stderr,
+                   "SOAK FAILURE: phase D stream %" PRId64 " accounted %" PRId64 " + %" PRId64
+                   " shed of %" PRId64 " frames\n",
+                   s, health.frames_total, shed_s, d_submitted[static_cast<size_t>(s)]);
+      ++failures;
+    }
+    failures += check(health.frames_total > 0, "phase D: every stream made progress");
+  }
+  failures += check(d_shed_sum == d_stats.shed_frames,
+                    "phase D: per-stream shed counters sum to the aggregate");
+  failures += check(d_stats.batched_frames + d_stats.fallback_frames + d_stats.shed_frames ==
+                        d_total,
+                    "phase D: zero frames lost beyond the shed policy");
+  failures += check(d_stats.quarantines >= 3,
+                    "phase D: crash, hang, and slow replicas were all quarantined");
+  failures += check(d_stats.restores >= 2, "phase D: quarantined replicas were restored");
+  failures += check(d_stats.probe_attempts >= d_stats.restores,
+                    "phase D: restores came through half-open probes");
+  d_cluster.stop();
+
+  // --- Phase D trace gate: the same chaos shape, recorded and replayed ----
+  // A staged (paused-submission) run of the chaos schedule is recorded as a
+  // format-v4 trace and must replay bit-exactly at 1 and 4 worker threads —
+  // quarantines, probes, failovers, and every per-frame score included.
+  trace::TraceRunSpec d_spec;
+  d_spec.dataset = "outdoor";
+  d_spec.frame_seed = 2024;
+  d_spec.fault_seed = 7;
+  d_spec.frames = std::max<int64_t>(25, frames / 8);  // per stream
+  d_spec.height = detector.config().height;
+  d_spec.width = detector.config().width;
+  d_spec.supervisor.stage_budget_ns.fill(0);
+  d_spec.supervisor.frame_budget_ns = 0;
+  d_spec.cluster.streams = kDStreams;
+  d_spec.cluster.replicas = kDReplicas;
+  d_spec.cluster.gather_window_ns = kCWindowNs;
+  d_spec.cluster.max_batch = 16;
+  d_spec.cluster.arrival_period_ns = kCPeriodNs;
+  d_spec.cluster.watchdog = d_config.watchdog;
+  d_spec.cluster.admission_credits = 0;  // staged runs never drain mid-round
+  const int64_t t_dur = d_spec.frames * kCPeriodNs;
+  d_spec.cluster.replica_faults.push_back(
+      {0, faults::ReplicaFaultKind::kCrash, t_dur / 8, 3 * t_dur / 8});
+  d_spec.cluster.replica_faults.push_back(
+      {2, faults::ReplicaFaultKind::kSlow, t_dur / 4, 5 * t_dur / 8, 20 * kMs});
+  d_spec.cluster.replica_faults.push_back(
+      {1, faults::ReplicaFaultKind::kHang, t_dur / 2, 3 * t_dur / 4});
+  d_spec.cluster.replica_faults.push_back(
+      {0, faults::ReplicaFaultKind::kWeightCorrupt, 5 * t_dur / 8, 2 * t_dur, 0, 64, 5});
+
+  std::printf("\nPhase D trace gate: recording %" PRId64 " x %" PRId64
+              " chaos frames, replaying at 1 and 4 threads...\n",
+              static_cast<int64_t>(kDStreams), d_spec.frames);
+  const auto t_start = std::chrono::steady_clock::now();
+  const trace::Trace d_trace = trace::TraceRecorder::record(d_spec, detector, steering);
+  failures += check(static_cast<int64_t>(d_trace.frames.size()) == kDStreams * d_spec.frames,
+                    "phase D trace: every frame recorded (none lost or shed)");
+  failures += check(d_trace.cluster_health.quarantines >= 3,
+                    "phase D trace: chaos quarantined all three faulted replicas");
+  failures += check(d_trace.cluster_health.restores >= 2,
+                    "phase D trace: quarantined replicas restored via probe");
+  failures += check(!d_trace.events.empty(), "phase D trace: event log captured");
+  double replay_ms[2] = {0.0, 0.0};
+  {
+    int slot = 0;
+    for (const int threads : {1, 4}) {
+      parallel::set_num_threads(threads);
+      const auto r_start = std::chrono::steady_clock::now();
+      const trace::ReplayReport report =
+          trace::TraceReplayer::replay(d_trace, detector, steering);
+      replay_ms[slot++] = elapsed_ms(r_start);
+      if (!report.ok()) {
+        std::fprintf(stderr, "SOAK FAILURE: phase D trace replay at %d threads: %s\n", threads,
+                     report.format().c_str());
+        ++failures;
+      }
+    }
+    parallel::set_num_threads(0);
+  }
+  const double t_ms = elapsed_ms(t_start);
+  std::printf("  %.0f ms total (replays %.0f / %.0f ms), %zu events, quarantines %" PRId64
+              ", restores %" PRId64 ", failovers %" PRId64 "\n",
+              t_ms, replay_ms[0], replay_ms[1], d_trace.events.size(),
+              d_trace.cluster_health.quarantines, d_trace.cluster_health.restores,
+              d_trace.cluster_health.failovers);
 
   std::ofstream json("BENCH_serving.json");
   json << "{\n  \"phase_a\": {\"frames\": " << frames << ", \"elapsed_ms\": " << a_ms
@@ -273,7 +506,22 @@ int run(int64_t frames) {
        << ", \"max_batch_seals\": " << c_stats.max_batch_seals
        << ", \"flush_seals\": " << c_stats.flush_seals
        << ", \"max_gather_wait_ns\": " << c_stats.max_gather_wait_ns
-       << ", \"elapsed_ms\": " << c_ms << "}\n}\n";
+       << ", \"elapsed_ms\": " << c_ms << "},\n"
+       << "  \"phase_d\": {\"streams\": " << kDStreams << ", \"replicas\": " << kDReplicas
+       << ", \"rounds\": " << d_rounds << ", \"frames\": " << d_total
+       << ", \"batched_frames\": " << d_stats.batched_frames
+       << ", \"fallback_frames\": " << d_stats.fallback_frames
+       << ", \"shed_frames\": " << d_stats.shed_frames
+       << ", \"quarantines\": " << d_stats.quarantines
+       << ", \"probe_attempts\": " << d_stats.probe_attempts
+       << ", \"probe_failures\": " << d_stats.probe_failures
+       << ", \"restores\": " << d_stats.restores << ", \"failovers\": " << d_stats.failovers
+       << ", \"redispatched_frames\": " << d_stats.redispatched_frames
+       << ", \"elapsed_ms\": " << d_ms
+       << ", \"trace_frames\": " << d_trace.frames.size()
+       << ", \"trace_events\": " << d_trace.events.size()
+       << ", \"trace_replay_1t_ms\": " << replay_ms[0]
+       << ", \"trace_replay_4t_ms\": " << replay_ms[1] << "}\n}\n";
   std::printf("\nwrote BENCH_serving.json\n");
 
   if (failures > 0) {

@@ -1,0 +1,68 @@
+#include "faults/replica_faults.hpp"
+
+#include <stdexcept>
+
+namespace salnov::faults {
+
+const char* replica_fault_kind_name(ReplicaFaultKind kind) {
+  switch (kind) {
+    case ReplicaFaultKind::kCrash: return "crash";
+    case ReplicaFaultKind::kHang: return "hang";
+    case ReplicaFaultKind::kSlow: return "slow";
+    case ReplicaFaultKind::kWeightCorrupt: return "weight_corrupt";
+  }
+  return "unknown";
+}
+
+void ReplicaFaultSchedule::add(const ReplicaFault& fault) {
+  if (fault.replica < 0) {
+    throw std::invalid_argument("ReplicaFaultSchedule: negative replica");
+  }
+  if (fault.start_ns < 0 || fault.end_ns <= fault.start_ns) {
+    throw std::invalid_argument("ReplicaFaultSchedule: bad time window");
+  }
+  if (fault.slow_penalty_ns < 0) {
+    throw std::invalid_argument("ReplicaFaultSchedule: negative slow penalty");
+  }
+  if (fault.weight_bits < 0) {
+    throw std::invalid_argument("ReplicaFaultSchedule: negative weight bits");
+  }
+  faults_.push_back(fault);
+}
+
+const ReplicaFault* ReplicaFaultSchedule::active_of_kind(int64_t replica,
+                                                         ReplicaFaultKind kind,
+                                                         int64_t now_ns) const {
+  for (const ReplicaFault& fault : faults_) {
+    if (fault.replica != replica || fault.kind != kind) continue;
+    if (now_ns < fault.start_ns || now_ns >= fault.end_ns) continue;
+    return &fault;
+  }
+  return nullptr;
+}
+
+int64_t ReplicaFaultSchedule::slow_penalty_ns(int64_t replica, int64_t now_ns) const {
+  int64_t total = 0;
+  for (const ReplicaFault& fault : faults_) {
+    if (fault.replica != replica || fault.kind != ReplicaFaultKind::kSlow) continue;
+    if (now_ns < fault.start_ns || now_ns >= fault.end_ns) continue;
+    total += fault.slow_penalty_ns;
+  }
+  return total;
+}
+
+bool ReplicaFaultSchedule::any_active(int64_t replica, int64_t now_ns) const {
+  for (const ReplicaFault& fault : faults_) {
+    if (fault.replica != replica) continue;
+    if (now_ns < fault.start_ns || now_ns >= fault.end_ns) continue;
+    return true;
+  }
+  return false;
+}
+
+bool ReplicaFaultSchedule::outage_active(int64_t replica, int64_t now_ns) const {
+  return active_of_kind(replica, ReplicaFaultKind::kCrash, now_ns) != nullptr ||
+         active_of_kind(replica, ReplicaFaultKind::kHang, now_ns) != nullptr;
+}
+
+}  // namespace salnov::faults

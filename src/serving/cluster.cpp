@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "driving/steering_trainer.hpp"
+#include "faults/fault_injector.hpp"
+#include "nn/model_io.hpp"
+#include "tensor/rng.hpp"
 
 namespace salnov::serving {
 
@@ -27,6 +32,9 @@ ServingCluster::ServingCluster(const core::NoveltyDetector& detector,
   if (config_.max_batch < 1) {
     throw std::invalid_argument("ServingCluster: max_batch must be >= 1");
   }
+  if (config_.admission_credits < 0) {
+    throw std::invalid_argument("ServingCluster: admission_credits must be >= 0");
+  }
   if (config_.gather_window_ns < 0) config_.gather_window_ns = 0;
 
   supervisors_.reserve(static_cast<size_t>(config_.streams));
@@ -34,14 +42,48 @@ ServingCluster::ServingCluster(const core::NoveltyDetector& detector,
     supervisors_.push_back(
         std::make_unique<Supervisor>(detector_, steering_model_, config_.supervisor, clock_));
   }
+  stream_mu_ = std::make_unique<std::mutex[]>(static_cast<size_t>(config_.streams));
+  pending_per_stream_ =
+      std::make_unique<std::atomic<int64_t>[]>(static_cast<size_t>(config_.streams));
+  shed_per_stream_.assign(static_cast<size_t>(config_.streams), 0);
+
   // A replica beyond one-per-stream could never receive a frame.
   const int64_t replica_count = std::min(config_.replicas, config_.streams);
   replicas_.reserve(static_cast<size_t>(replica_count));
   for (int64_t i = 0; i < replica_count; ++i) {
     auto replica = std::make_unique<Replica>();
     replica->index = i;
+    replica->last_heartbeat_ns.store(clock_->now_ns(), std::memory_order_release);
     replicas_.push_back(std::move(replica));
   }
+  routing_.resize(static_cast<size_t>(config_.streams));
+  for (int64_t s = 0; s < config_.streams; ++s) {
+    routing_[static_cast<size_t>(s)] = s % replica_count;
+  }
+
+  if (config_.watchdog.enabled) {
+    watchdog_ = std::make_unique<ReplicaWatchdog>(replica_count, config_.watchdog);
+    if (steering_model_ != nullptr) {
+      // Canary probe material: a pristine serialized copy of the steering
+      // weights (each evaluation rebuilds a throwaway clone from it, so
+      // simulated corruption never touches the shared weights) and a fixed
+      // synthetic frame with its known-good angle.
+      std::ostringstream bytes;
+      nn::save_model(bytes, *steering_model_);
+      pristine_steering_bytes_ = bytes.str();
+      const int64_t h = detector_.config().height;
+      const int64_t w = detector_.config().width;
+      canary_frame_ = Image(h, w);
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          canary_frame_(y, x) = static_cast<float>((y * w + x) % 17) / 16.0f;
+        }
+      }
+      canary_known_good_ = driving::predict_steering(*steering_model_, canary_frame_);
+      has_canary_ = std::isfinite(canary_known_good_);
+    }
+  }
+
   for (auto& replica : replicas_) {
     replica->worker = std::thread([this, r = replica.get()] { worker_loop(*r); });
   }
@@ -54,13 +96,65 @@ void ServingCluster::submit(int64_t stream_id, Image frame) {
     throw std::out_of_range("ServingCluster: bad stream id " + std::to_string(stream_id));
   }
   if (stopped_.load(std::memory_order_acquire)) return;
+  const size_t s = static_cast<size_t>(stream_id);
+
+  std::lock_guard<std::mutex> route_lock(routing_mu_);
+  // Stamp under routing_mu_ so the global sequence, the timestamps, and the
+  // queue push order agree even with concurrent submitters — rebalancing
+  // merges queues by arrival_seq and relies on queues staying sorted.
   PendingFrame pending;
   pending.stream_id = stream_id;
   pending.arrival_seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
   pending.arrival_ns = clock_->now_ns();
   pending.frame = std::move(frame);
-  Replica& replica = *replicas_[static_cast<size_t>(replica_for(stream_id))];
+  const int64_t now = pending.arrival_ns;
+
+  tick_locked(now);
+
+  if (config_.admission_credits > 0 &&
+      pending_per_stream_[s].load(std::memory_order_acquire) >= config_.admission_credits) {
+    // Credits exhausted: shed this stream's OLDEST queued frame so the
+    // freshest data survives. When every pending frame is already inside a
+    // sealed batch there is nothing left to shed but the new arrival.
+    bool shed_queued = false;
+    const int64_t route = routing_[s];
+    if (route >= 0) {
+      Replica& r = *replicas_[static_cast<size_t>(route)];
+      std::lock_guard<std::mutex> lock(r.mu);
+      for (auto it = r.queue.begin(); it != r.queue.end(); ++it) {
+        if (it->stream_id == stream_id) {
+          push_event_locked(ClusterEventKind::kShed, now, route, stream_id, it->arrival_seq);
+          r.queue.erase(it);
+          shed_queued = true;
+          break;
+        }
+      }
+    }
+    ++shed_per_stream_[s];
+    ++chaos_stats_.shed_frames;
+    if (shed_queued) {
+      pending_per_stream_[s].fetch_sub(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lock(idle_mu_);
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      idle_cv_.notify_all();
+      // fall through: the incoming frame is admitted in the shed one's place
+    } else {
+      push_event_locked(ClusterEventKind::kShed, now, -1, stream_id, pending.arrival_seq);
+      return;
+    }
+  }
+
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  const int64_t route = routing_[s];
+  if (route < 0) {
+    // Every replica is quarantined: serve on the stream's own Supervisor.
+    process_inline_locked(std::move(pending), now, /*was_pending=*/false);
+    return;
+  }
+  pending_per_stream_[s].fetch_add(1, std::memory_order_acq_rel);
+  Replica& replica = *replicas_[static_cast<size_t>(route)];
   {
     std::lock_guard<std::mutex> lock(replica.mu);
     replica.queue.push_back(std::move(pending));
@@ -68,11 +162,20 @@ void ServingCluster::submit(int64_t stream_id, Image frame) {
   replica.cv.notify_all();
 }
 
+void ServingCluster::tick() {
+  if (stopped_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> route_lock(routing_mu_);
+  tick_locked(clock_->now_ns());
+}
+
 void ServingCluster::pause() { paused_.store(true, std::memory_order_release); }
 
 void ServingCluster::resume() {
   if (!paused_.exchange(false, std::memory_order_acq_rel)) return;
   for (auto& replica : replicas_) {
+    // A worker that slept through the pause has a stale heartbeat; re-stamp
+    // so the watchdog's silence check starts from the resume point.
+    replica->last_heartbeat_ns.store(clock_->now_ns(), std::memory_order_release);
     // Notify under the replica lock: a worker that read paused_ == true but
     // has not entered wait() yet still holds mu, so it cannot miss this.
     std::lock_guard<std::mutex> lock(replica->mu);
@@ -82,6 +185,32 @@ void ServingCluster::resume() {
 
 void ServingCluster::drain() {
   resume();
+  {
+    // Final watchdog pass before the flush: frames stranded on a replica
+    // with an active outage fault must migrate (or fall back inline), not
+    // be flushed through the "dead" replica — so watchdog-enabled drains
+    // force-quarantine such replicas even below the miss threshold.
+    std::lock_guard<std::mutex> route_lock(routing_mu_);
+    const int64_t now = clock_->now_ns();
+    tick_locked(now);
+    if (watchdog_ && config_.replica_faults != nullptr) {
+      bool changed = false;
+      for (auto& replica : replicas_) {
+        if (!watchdog_->healthy(replica->index)) continue;
+        if (!config_.replica_faults->outage_active(replica->index, now)) continue;
+        bool has_work = false;
+        {
+          std::lock_guard<std::mutex> lock(replica->mu);
+          has_work = !replica->queue.empty();
+        }
+        if (has_work) {
+          quarantine_locked(replica->index, now, /*detail=*/3);
+          changed = true;
+        }
+      }
+      if (changed) rebalance_locked(now);
+    }
+  }
   for (auto& replica : replicas_) {
     {
       std::lock_guard<std::mutex> lock(replica->mu);
@@ -126,13 +255,27 @@ std::vector<ClusterResult> ServingCluster::take_results() {
   return out;
 }
 
+std::vector<ClusterEvent> ServingCluster::take_events() {
+  std::lock_guard<std::mutex> lock(routing_mu_);
+  std::vector<ClusterEvent> out;
+  out.swap(events_);
+  return out;
+}
+
 HealthSnapshot ServingCluster::stream_health(int64_t stream_id) const {
   if (stream_id < 0 || stream_id >= config_.streams) {
     throw std::out_of_range("ServingCluster: bad stream id " + std::to_string(stream_id));
   }
-  const Replica& replica = *replicas_[static_cast<size_t>(replica_for(stream_id))];
-  std::lock_guard<std::mutex> lock(replica.proc_mu);
-  return supervisors_[static_cast<size_t>(stream_id)]->health();
+  HealthSnapshot h;
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_[static_cast<size_t>(stream_id)]);
+    h = supervisors_[static_cast<size_t>(stream_id)]->health();
+  }
+  {
+    std::lock_guard<std::mutex> lock(routing_mu_);
+    h.queue_shed = shed_per_stream_[static_cast<size_t>(stream_id)];
+  }
+  return h;
 }
 
 namespace {
@@ -183,6 +326,7 @@ HealthSnapshot ServingCluster::aggregate_health() const {
     agg.drift_detections += h.drift_detections;
     agg.threshold_swaps += h.threshold_swaps;
     agg.swap_persist_failures += h.swap_persist_failures;
+    agg.queue_shed += h.queue_shed;
     agg.threshold_epoch = std::max(agg.threshold_epoch, h.threshold_epoch);
     if (drift_severity(h.drift_state) > drift_severity(agg.drift_state)) {
       agg.drift_state = h.drift_state;
@@ -196,12 +340,41 @@ HealthSnapshot ServingCluster::aggregate_health() const {
       agg.stages[idx].p99_ns = std::max(agg.stages[idx].p99_ns, h.stages[idx].p99_ns);
     }
   }
+  agg.has_cluster = true;
+  agg.cluster = stats();
   return agg;
 }
 
 ClusterStats ServingCluster::stats() const {
-  std::lock_guard<std::mutex> lock(results_mu_);
-  return stats_;
+  std::scoped_lock lock(routing_mu_, results_mu_);
+  ClusterStats out = stats_;  // worker-side counters
+  out.quarantines = chaos_stats_.quarantines;
+  out.probe_attempts = chaos_stats_.probe_attempts;
+  out.probe_failures = chaos_stats_.probe_failures;
+  out.restores = chaos_stats_.restores;
+  out.failovers = chaos_stats_.failovers;
+  out.redispatched_frames = chaos_stats_.redispatched_frames;
+  out.fallback_frames = chaos_stats_.fallback_frames;
+  out.shed_frames = chaos_stats_.shed_frames;
+  out.canary_checks = chaos_stats_.canary_checks;
+  out.canary_failures = chaos_stats_.canary_failures;
+  return out;
+}
+
+int64_t ServingCluster::shed_for_stream(int64_t stream_id) const {
+  if (stream_id < 0 || stream_id >= config_.streams) {
+    throw std::out_of_range("ServingCluster: bad stream id " + std::to_string(stream_id));
+  }
+  std::lock_guard<std::mutex> lock(routing_mu_);
+  return shed_per_stream_[static_cast<size_t>(stream_id)];
+}
+
+ReplicaState ServingCluster::replica_state(int64_t replica) const {
+  if (replica < 0 || replica >= static_cast<int64_t>(replicas_.size())) {
+    throw std::out_of_range("ServingCluster: bad replica " + std::to_string(replica));
+  }
+  std::lock_guard<std::mutex> lock(routing_mu_);
+  return watchdog_ ? watchdog_->state(replica) : ReplicaState::kHealthy;
 }
 
 Supervisor& ServingCluster::stream_supervisor(int64_t stream_id) {
@@ -211,8 +384,270 @@ Supervisor& ServingCluster::stream_supervisor(int64_t stream_id) {
   return *supervisors_[static_cast<size_t>(stream_id)];
 }
 
+// --- failure domain ---------------------------------------------------------
+
+void ServingCluster::push_event_locked(ClusterEventKind kind, int64_t at_ns, int64_t replica,
+                                       int64_t stream, int64_t detail) {
+  ClusterEvent event;
+  event.kind = kind;
+  event.at_ns = at_ns;
+  event.replica = replica;
+  event.stream = stream;
+  event.detail = detail;
+  events_.push_back(event);
+}
+
+void ServingCluster::quarantine_locked(int64_t replica, int64_t now_ns, int64_t detail) {
+  watchdog_->quarantine(replica, now_ns);
+  ++chaos_stats_.quarantines;
+  push_event_locked(ClusterEventKind::kQuarantine, now_ns, replica, -1, detail);
+}
+
+bool ServingCluster::canary_passes_locked(int64_t replica, int64_t now_ns) {
+  if (!has_canary_) return true;
+  ++chaos_stats_.canary_checks;
+  // A fresh clone per evaluation: corruption is applied to the clone, never
+  // to the shared weights — the serving path's bit-identity is untouchable.
+  std::istringstream in(pristine_steering_bytes_);
+  nn::Sequential clone = nn::load_model(in);
+  if (config_.replica_faults != nullptr) {
+    const faults::ReplicaFault* corrupt = config_.replica_faults->active_of_kind(
+        replica, faults::ReplicaFaultKind::kWeightCorrupt, now_ns);
+    if (corrupt != nullptr) {
+      Rng rng(corrupt->seed);
+      faults::flip_weight_bits(clone, corrupt->weight_bits, rng);
+    }
+  }
+  const double angle = driving::predict_steering(clone, canary_frame_);
+  const bool pass = std::isfinite(angle) &&
+                    std::abs(angle - canary_known_good_) <= config_.watchdog.canary_epsilon;
+  if (!pass) ++chaos_stats_.canary_failures;
+  return pass;
+}
+
+bool ServingCluster::probe_passes_locked(int64_t replica, int64_t now_ns) {
+  if (config_.replica_faults != nullptr) {
+    if (config_.replica_faults->outage_active(replica, now_ns)) return false;
+    if (config_.replica_faults->slow_penalty_ns(replica, now_ns) >
+        config_.watchdog.batch_deadline_ns) {
+      return false;
+    }
+  }
+  return canary_passes_locked(replica, now_ns);
+}
+
+void ServingCluster::tick_locked(int64_t now_ns) {
+  if (!watchdog_) return;
+  const faults::ReplicaFaultSchedule* sched = config_.replica_faults;
+  bool changed = false;
+  for (auto& replica_ptr : replicas_) {
+    Replica& r = *replica_ptr;
+    const int64_t i = r.index;
+    const ReplicaState state = watchdog_->state(i);
+    if (state == ReplicaState::kHealthy) {
+      bool quarantine = false;
+      int64_t detail = 0;
+      if (sched != nullptr) {
+        // Missed batch deadlines: an outage window (crash/hang) or a slow
+        // fault whose penalty alone exceeds the batch deadline accrues one
+        // miss per deadline period. This is the deterministic stand-in for
+        // wall-clock symptom observation — replays see identical misses.
+        const faults::ReplicaFault* out =
+            sched->active_of_kind(i, faults::ReplicaFaultKind::kCrash, now_ns);
+        if (out == nullptr) {
+          out = sched->active_of_kind(i, faults::ReplicaFaultKind::kHang, now_ns);
+        }
+        if (out == nullptr &&
+            sched->slow_penalty_ns(i, now_ns) > config_.watchdog.batch_deadline_ns) {
+          out = sched->active_of_kind(i, faults::ReplicaFaultKind::kSlow, now_ns);
+        }
+        if (out != nullptr && watchdog_->charge_outage(i, out->start_ns, now_ns)) {
+          quarantine = true;
+          detail = 0;
+        }
+      }
+      if (!quarantine && !paused_.load(std::memory_order_acquire)) {
+        // Heartbeat silence (live clock): only meaningful when the replica
+        // has work it should be stamping progress against.
+        bool has_work = false;
+        {
+          std::lock_guard<std::mutex> lock(r.mu);
+          has_work = !r.queue.empty();
+        }
+        if (has_work &&
+            watchdog_->charge_heartbeat_silence(
+                i, r.last_heartbeat_ns.load(std::memory_order_acquire), now_ns)) {
+          quarantine = true;
+          detail = 2;
+        }
+      }
+      if (!quarantine && has_canary_ && watchdog_->canary_due(i, now_ns)) {
+        if (!canary_passes_locked(i, now_ns)) {
+          if (watchdog_->charge_canary_failure(i)) {
+            quarantine = true;
+            detail = 1;
+          }
+        } else {
+          watchdog_->note_canary_ok(i);
+        }
+      }
+      if (quarantine) {
+        quarantine_locked(i, now_ns, detail);
+        changed = true;
+      }
+    } else if (state == ReplicaState::kQuarantined && watchdog_->probe_due(i, now_ns)) {
+      // Half-open probe. Success and failure both resolve within this tick,
+      // so routing only ever sees kHealthy / kQuarantined.
+      watchdog_->begin_probe(i);
+      ++chaos_stats_.probe_attempts;
+      if (probe_passes_locked(i, now_ns)) {
+        watchdog_->restore(i);
+        ++chaos_stats_.restores;
+        push_event_locked(ClusterEventKind::kRestore, now_ns, i, -1, 0);
+        changed = true;
+      } else {
+        watchdog_->probe_failed(i, now_ns);
+        ++chaos_stats_.probe_failures;
+        push_event_locked(ClusterEventKind::kProbeFailure, now_ns, i, -1, 0);
+      }
+    }
+  }
+  if (changed) rebalance_locked(now_ns);
+}
+
+void ServingCluster::rebalance_locked(int64_t now_ns) {
+  const int64_t replica_count = static_cast<int64_t>(replicas_.size());
+  for (int64_t s = 0; s < config_.streams; ++s) {
+    // Deterministic target: first healthy replica scanning from home, so a
+    // restore migrates streams straight back and every run agrees on the
+    // route without any load feedback.
+    int64_t target = -1;
+    for (int64_t k = 0; k < replica_count; ++k) {
+      const int64_t cand = (home_replica(s) + k) % replica_count;
+      if (watchdog_->healthy(cand)) {
+        target = cand;
+        break;
+      }
+    }
+    const int64_t old_route = routing_[static_cast<size_t>(s)];
+    if (target == old_route) continue;
+
+    // Migrate the stream's queued frames wholesale — a stream's pending
+    // frames live on exactly one replica, in arrival order, so per-stream
+    // processing order survives the move.
+    std::deque<PendingFrame> moving;
+    if (old_route >= 0) {
+      Replica& src = *replicas_[static_cast<size_t>(old_route)];
+      std::lock_guard<std::mutex> lock(src.mu);
+      std::deque<PendingFrame> keep;
+      for (PendingFrame& pf : src.queue) {
+        (pf.stream_id == s ? moving : keep).push_back(std::move(pf));
+      }
+      src.queue.swap(keep);
+    }
+    routing_[static_cast<size_t>(s)] = target;
+    push_event_locked(ClusterEventKind::kFailover, now_ns, target, s,
+                      static_cast<int64_t>(moving.size()));
+    ++chaos_stats_.failovers;
+    if (moving.empty()) continue;
+
+    if (target < 0) {
+      // Every replica is down: the whole backlog falls back inline, oldest
+      // first, on the stream's own Supervisor.
+      for (PendingFrame& pf : moving) {
+        process_inline_locked(std::move(pf), now_ns, /*was_pending=*/true);
+      }
+      continue;
+    }
+
+    // Charge the re-dispatch budget. Budget-exhausted frames are always the
+    // oldest prefix (a frame submitted later has survived at most as many
+    // failovers), so the inline fallback preserves arrival order too.
+    std::deque<PendingFrame> requeue;
+    for (PendingFrame& pf : moving) {
+      pf.redispatches += 1;
+      if (pf.redispatches > config_.watchdog.max_redispatches) {
+        process_inline_locked(std::move(pf), now_ns, /*was_pending=*/true);
+      } else {
+        requeue.push_back(std::move(pf));
+      }
+    }
+    if (requeue.empty()) continue;
+    chaos_stats_.redispatched_frames += static_cast<int64_t>(requeue.size());
+    push_event_locked(ClusterEventKind::kRedispatch, now_ns, target, s,
+                      static_cast<int64_t>(requeue.size()));
+    Replica& dst = *replicas_[static_cast<size_t>(target)];
+    {
+      // Merge by arrival_seq: the destination queue stays globally sorted,
+      // which the seal rules (head-window cuts) and future migrations rely
+      // on.
+      std::lock_guard<std::mutex> lock(dst.mu);
+      std::deque<PendingFrame> merged;
+      auto a = dst.queue.begin();
+      auto b = requeue.begin();
+      while (a != dst.queue.end() && b != requeue.end()) {
+        merged.push_back(a->arrival_seq < b->arrival_seq ? std::move(*a++) : std::move(*b++));
+      }
+      while (a != dst.queue.end()) merged.push_back(std::move(*a++));
+      while (b != requeue.end()) merged.push_back(std::move(*b++));
+      dst.queue.swap(merged);
+    }
+    dst.cv.notify_all();
+  }
+}
+
+void ServingCluster::process_inline_locked(PendingFrame frame, int64_t now_ns,
+                                           bool was_pending) {
+  const size_t s = static_cast<size_t>(frame.stream_id);
+  ClusterResult cr;
+  cr.stream_id = frame.stream_id;
+  cr.arrival_seq = frame.arrival_seq;
+  cr.arrival_ns = frame.arrival_ns;
+  cr.sealed_ns = now_ns;
+  cr.replica = -1;
+  cr.batch_seq = -1;
+  cr.batch_size = 1;
+  {
+    // The supervisor's own staged pipeline, no ProvidedCompute: the batch-1
+    // path, bit-identical by construction.
+    std::lock_guard<std::mutex> proc(stream_mu_[s]);
+    cr.result = supervisors_[s]->process(frame.frame);
+    cr.mode_after = supervisors_[s]->mode();
+    cr.breaker_after = supervisors_[s]->breaker_state();
+  }
+  ++chaos_stats_.fallback_frames;
+  push_event_locked(ClusterEventKind::kFallback, now_ns, -1, frame.stream_id,
+                    frame.arrival_seq);
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    if (config_.keep_results) results_.push_back(std::move(cr));
+  }
+  if (was_pending) pending_per_stream_[s].fetch_sub(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  idle_cv_.notify_all();
+}
+
+// --- batching ---------------------------------------------------------------
+
 bool ServingCluster::should_seal(const Replica& r) const {
   if (r.queue.empty()) return false;
+  if (config_.replica_faults != nullptr &&
+      config_.replica_faults->outage_active(r.index, clock_->now_ns())) {
+    // A crashed/hung replica seals nothing. stop() always overrides (the
+    // run is ending; fidelity is moot), and so does a flush when no
+    // watchdog exists to migrate the frames — liveness wins over fault
+    // fidelity. With a watchdog, drain() quarantines + migrates first.
+    if (r.stopping) {
+      // fall through to the normal seal rules
+    } else if (r.flush && watchdog_ == nullptr) {
+      // fall through
+    } else {
+      return false;
+    }
+  }
   if (r.flush || r.stopping) return true;
   if (static_cast<int64_t>(r.queue.size()) >= config_.max_batch) return true;
   const int64_t deadline = r.queue.front().arrival_ns + config_.gather_window_ns;
@@ -259,6 +694,7 @@ void ServingCluster::worker_loop(Replica& r) {
     {
       std::unique_lock<std::mutex> lock(r.mu);
       for (;;) {
+        r.last_heartbeat_ns.store(clock_->now_ns(), std::memory_order_release);
         const bool paused = paused_.load(std::memory_order_acquire);
         if (!paused && should_seal(r)) break;
         if (!paused && r.stopping && r.queue.empty()) return;
@@ -287,6 +723,16 @@ void ServingCluster::worker_loop(Replica& r) {
 void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
                                    SealReason reason, int64_t sealed_ns, int64_t batch_seq) {
   const size_t b = batch.size();
+
+  // A weight-corruption window withholds ALL batched compute for the batch:
+  // the supervisors recompute every stage inline from the true (pristine)
+  // shared weights, so the served bits stay identical — the fault costs
+  // batching efficiency, never correctness. The canary path is what makes
+  // the corruption *observable*.
+  const bool withhold =
+      config_.replica_faults != nullptr &&
+      config_.replica_faults->active_of_kind(r.index, faults::ReplicaFaultKind::kWeightCorrupt,
+                                             sealed_ns) != nullptr;
 
   // Per-frame speculation slot: which supervisor serves the frame and which
   // batched results it will be handed.
@@ -319,6 +765,7 @@ void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
       ++prescreen_rejects;
       continue;
     }
+    if (withhold) continue;
     if (steering_model_ != nullptr) {
       steer_in.push_back(&batch[i].frame);
       steer_at.push_back(i);
@@ -359,16 +806,18 @@ void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
   }
   std::vector<const Image*> recon_in;
   std::vector<size_t> recon_at;
-  for (size_t i = 0; i < b; ++i) {
-    Slot& slot = slots[i];
-    if (!slot.valid) continue;
-    // Predicted autoencoder input: the mask when saliency is expected to
-    // serve the frame, the raw frame otherwise (the supervisor's raw rungs
-    // feed the frame through unchanged).
-    slot.recon_in = slot.provided.saliency_mask.has_value() ? &*slot.provided.saliency_mask
-                                                            : &batch[i].frame;
-    recon_in.push_back(slot.recon_in);
-    recon_at.push_back(i);
+  if (!withhold) {
+    for (size_t i = 0; i < b; ++i) {
+      Slot& slot = slots[i];
+      if (!slot.valid) continue;
+      // Predicted autoencoder input: the mask when saliency is expected to
+      // serve the frame, the raw frame otherwise (the supervisor's raw rungs
+      // feed the frame through unchanged).
+      slot.recon_in = slot.provided.saliency_mask.has_value() ? &*slot.provided.saliency_mask
+                                                              : &batch[i].frame;
+      recon_in.push_back(slot.recon_in);
+      recon_at.push_back(i);
+    }
   }
   if (!recon_in.empty()) {
     try {
@@ -390,23 +839,24 @@ void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
   int64_t max_wait = 0;
   std::vector<ClusterResult> out;
   out.reserve(b);
-  {
-    std::lock_guard<std::mutex> proc(r.proc_mu);
-    for (size_t i = 0; i < b; ++i) {
-      Slot& slot = slots[i];
-      ClusterResult cr;
-      cr.stream_id = batch[i].stream_id;
-      cr.arrival_seq = batch[i].arrival_seq;
-      cr.arrival_ns = batch[i].arrival_ns;
-      cr.sealed_ns = sealed_ns;
-      cr.replica = r.index;
-      cr.batch_seq = batch_seq;
-      cr.batch_size = static_cast<int64_t>(b);
+  for (size_t i = 0; i < b; ++i) {
+    Slot& slot = slots[i];
+    ClusterResult cr;
+    cr.stream_id = batch[i].stream_id;
+    cr.arrival_seq = batch[i].arrival_seq;
+    cr.arrival_ns = batch[i].arrival_ns;
+    cr.sealed_ns = sealed_ns;
+    cr.replica = r.index;
+    cr.batch_seq = batch_seq;
+    cr.batch_size = static_cast<int64_t>(b);
+    {
+      // Per-stream (not per-replica) serialization: a stream's frames may
+      // migrate between replicas, and its supervisor must never run from
+      // two threads at once.
+      std::lock_guard<std::mutex> proc(stream_mu_[static_cast<size_t>(batch[i].stream_id)]);
       cr.result = slot.supervisor->process(batch[i].frame, &slot.provided);
       cr.mode_after = slot.supervisor->mode();
       cr.breaker_after = slot.supervisor->breaker_state();
-      if (slot.provided.steering.has_value()) ++provided_steer;
-      if (slot.provided.saliency_mask.has_value()) ++provided_saliency;
       if (slot.provided.reconstruction.has_value()) {
         if (slot.supervisor->last_recon_mispredicted()) {
           ++mispredicts;
@@ -414,9 +864,26 @@ void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
           ++provided_recon;
         }
       }
-      const int64_t wait = sealed_ns - batch[i].arrival_ns;
-      if (wait > max_wait) max_wait = wait;
-      out.push_back(std::move(cr));
+    }
+    if (slot.provided.steering.has_value()) ++provided_steer;
+    if (slot.provided.saliency_mask.has_value()) ++provided_saliency;
+    pending_per_stream_[static_cast<size_t>(batch[i].stream_id)].fetch_sub(
+        1, std::memory_order_acq_rel);
+    const int64_t wait = sealed_ns - batch[i].arrival_ns;
+    if (wait > max_wait) max_wait = wait;
+    out.push_back(std::move(cr));
+  }
+
+  // A slow-replica fault taxes the whole batch. Under a real clock the
+  // worker genuinely sleeps (later seals are late — the watchdog's symptom);
+  // the trace driver disables the sleep because FakeClock::sleep_ns advances
+  // the shared clock for everyone.
+  int64_t slow_batches = 0;
+  if (config_.replica_faults != nullptr) {
+    const int64_t penalty = config_.replica_faults->slow_penalty_ns(r.index, sealed_ns);
+    if (penalty > 0) {
+      slow_batches = 1;
+      if (config_.sleep_on_slow) clock_->sleep_ns(penalty);
     }
   }
 
@@ -441,6 +908,7 @@ void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
     stats_.provided_recon += provided_recon;
     stats_.recon_mispredicts += mispredicts;
     stats_.prescreen_rejects += prescreen_rejects;
+    stats_.slow_batches += slow_batches;
     if (config_.keep_results) {
       for (auto& cr : out) results_.push_back(std::move(cr));
     }

@@ -28,6 +28,22 @@
 // under a FakeClock the batch composition is a pure function of the arrival
 // sequence — and since scores are batch-invariant anyway, even a different
 // composition could not change them.
+//
+// Failure domain (optional, config.watchdog.enabled): a replica can be
+// scheduled to crash, hang, run slow, or serve off corrupted weights via a
+// faults::ReplicaFaultSchedule. A ReplicaWatchdog — driven from
+// deterministic tick points on the submit/drain thread, never from a free-
+// running thread — quarantines symptomatic replicas, migrates their queued
+// streams wholesale to survivors (a stream's pending frames live on exactly
+// one replica at a time, in arrival order, so per-stream processing order
+// is preserved), retries with a bounded re-dispatch budget, and past the
+// budget (or with every replica down) serves frames inline on the stream's
+// own Supervisor — the batch-1 path, so scores stay bit-identical through
+// every recovery route. Quarantined replicas are probed half-open with
+// exponential backoff using a canary frame whose known-good steering angle
+// is computed from a pristine copy of the weights at construction.
+// Admission credits (config.admission_credits) bound each stream's pending
+// frames; past the bound the stream's oldest queued frame is shed.
 #pragma once
 
 #include <atomic>
@@ -36,10 +52,13 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "faults/replica_faults.hpp"
 #include "serving/supervisor.hpp"
+#include "serving/watchdog.hpp"
 
 namespace salnov::serving {
 
@@ -56,35 +75,36 @@ struct ClusterConfig {
   /// Retain per-frame ClusterResults for take_results(). Disable for soak
   /// runs where only health counters matter.
   bool keep_results = true;
+
+  /// Replica failure detection/recovery; disabled by default (a cluster
+  /// without a watchdog routes statically and never sheds).
+  WatchdogConfig watchdog;
+  /// Max pending (queued, unprocessed) frames per stream; past it the
+  /// stream's oldest queued frame is shed. 0 disables admission control.
+  int64_t admission_credits = 0;
+  /// Scheduled replica faults; may be null. Must outlive the cluster.
+  const faults::ReplicaFaultSchedule* replica_faults = nullptr;
+  /// Whether a slow-replica fault really sleeps the worker. True for live
+  /// clocks; the trace driver sets false because FakeClock::sleep_ns
+  /// advances the shared clock and would perturb every stream's arrivals.
+  bool sleep_on_slow = true;
 };
 
 /// One completed frame, tagged with its routing and batching context.
+/// Frames served inline by their stream's Supervisor (re-dispatch budget
+/// exhausted or no healthy replica) carry replica = -1, batch_seq = -1,
+/// batch_size = 1.
 struct ClusterResult {
   int64_t stream_id = 0;
   int64_t arrival_seq = 0;  ///< global submit order (0-based)
   int64_t arrival_ns = 0;   ///< clock at submit()
   int64_t sealed_ns = 0;    ///< clock when the containing batch sealed
-  int64_t replica = 0;      ///< worker that served the frame
+  int64_t replica = 0;      ///< worker that served the frame (-1 = inline fallback)
   int64_t batch_seq = 0;    ///< per-replica batch counter
   int64_t batch_size = 0;   ///< frames in the containing batch
   ServeResult result;
   ServingMode mode_after = ServingMode::kVbpSsim;        ///< stream mode after the frame
   BreakerState breaker_after = BreakerState::kClosed;    ///< stream breaker after the frame
-};
-
-/// Exact assembler/batching counters (aggregated across replicas).
-struct ClusterStats {
-  int64_t batches = 0;          ///< batched forwards executed
-  int64_t batched_frames = 0;   ///< frames that went through a batch (== frames submitted)
-  int64_t max_batch_seals = 0;  ///< batches sealed by hitting max_batch
-  int64_t window_seals = 0;     ///< batches sealed by the gather-window deadline
-  int64_t flush_seals = 0;      ///< batches sealed by drain()/stop()
-  int64_t max_gather_wait_ns = 0;  ///< worst sealed_ns - arrival_ns over all frames
-  int64_t provided_steer = 0;      ///< frames served a batched steering angle
-  int64_t provided_saliency = 0;   ///< frames served a batched saliency mask
-  int64_t provided_recon = 0;      ///< frames served a batched reconstruction
-  int64_t recon_mispredicts = 0;   ///< provided reconstructions discarded (input mismatch)
-  int64_t prescreen_rejects = 0;   ///< frames excluded from batched compute by the validator
 };
 
 class ServingCluster {
@@ -99,10 +119,20 @@ class ServingCluster {
   /// Drains and joins the workers.
   ~ServingCluster();
 
-  /// Enqueues one frame on `stream_id`'s replica queue; never blocks on
-  /// compute. Throws std::out_of_range on a bad stream id; submissions
-  /// after stop() are dropped.
+  /// Enqueues one frame on `stream_id`'s routed replica queue; never blocks
+  /// on batched compute (it may process the frame inline when no replica is
+  /// healthy). Runs a watchdog tick first, so quarantine/probe/restore
+  /// decisions happen at deterministic points in the arrival sequence.
+  /// Throws std::out_of_range on a bad stream id; submissions after stop()
+  /// are dropped.
   void submit(int64_t stream_id, Image frame);
+
+  /// Runs one watchdog pass at the current clock without submitting a frame.
+  /// Normally the watchdog advances on submit()/drain(); a driver whose
+  /// source has gone quiet (or that is deliberately pacing itself) can call
+  /// this so quarantine, probe, and restore decisions keep up with the clock
+  /// while no frames arrive. No-op after stop() or with the watchdog off.
+  void tick();
 
   /// Holds workers before their next batch seal. Frames submitted while
   /// paused accumulate with their submit-time stamps; resume() processes
@@ -112,8 +142,9 @@ class ServingCluster {
   void resume();
 
   /// Blocks until every submitted frame has been processed (seals partial
-  /// batches rather than waiting out their gather windows). Implies
-  /// resume().
+  /// batches rather than waiting out their gather windows). Runs a final
+  /// watchdog tick first so frames stranded on a faulted replica migrate
+  /// instead of being flushed through it. Implies resume().
   void drain();
 
   /// Drains, then stops and joins the workers. Idempotent.
@@ -123,15 +154,26 @@ class ServingCluster {
   /// (empty when config.keep_results is false).
   std::vector<ClusterResult> take_results();
 
+  /// Moves out the failure-domain event log (quarantines, probes, restores,
+  /// failovers, fallbacks, sheds) in decision order.
+  std::vector<ClusterEvent> take_events();
+
   /// One stream's supervisor snapshot. Safe against concurrent processing.
   HealthSnapshot stream_health(int64_t stream_id) const;
 
   /// Cluster-wide snapshot: counters summed over streams; mode/breaker are
   /// the most-degraded across streams; per-stage percentiles are the
-  /// per-stream maxima (a conservative aggregate tail).
+  /// per-stream maxima (a conservative aggregate tail). Embeds stats() as
+  /// the snapshot's cluster section.
   HealthSnapshot aggregate_health() const;
 
   ClusterStats stats() const;
+
+  /// Frames shed from `stream_id` by admission control.
+  int64_t shed_for_stream(int64_t stream_id) const;
+
+  /// Watchdog view of one replica (kHealthy when the watchdog is off).
+  ReplicaState replica_state(int64_t replica) const;
 
   int64_t streams() const { return config_.streams; }
   int64_t replicas() const { return static_cast<int64_t>(replicas_.size()); }
@@ -146,6 +188,7 @@ class ServingCluster {
     int64_t stream_id = 0;
     int64_t arrival_seq = 0;
     int64_t arrival_ns = 0;
+    int64_t redispatches = 0;  ///< failovers survived; bounded by the watchdog budget
     Image frame;
   };
 
@@ -159,20 +202,22 @@ class ServingCluster {
     bool flush = false;     ///< seal partial batches immediately (drain)
     bool stopping = false;  ///< worker exits once the queue is empty
     int64_t batches_sealed = 0;
-    /// Serializes this replica's supervisor access (worker processing vs
-    /// health snapshots). Streams are partitioned across replicas, so one
-    /// mutex per replica covers all its streams.
-    mutable std::mutex proc_mu;
+    /// Stamped by the worker each loop turn; silence past the watchdog's
+    /// heartbeat timeout (live clock only) is an outage symptom.
+    std::atomic<int64_t> last_heartbeat_ns{0};
     std::thread worker;
   };
 
-  int64_t replica_for(int64_t stream_id) const {
+  int64_t home_replica(int64_t stream_id) const {
     return stream_id % static_cast<int64_t>(replicas_.size());
   }
 
   /// True when the head of the queue must seal now (max_batch reached, a
   /// frame beyond the head's window arrived, the clock passed the head's
-  /// deadline, or a flush/stop is pending). Caller holds r.mu.
+  /// deadline, or a flush/stop is pending). An active crash/hang fault
+  /// suppresses sealing — unless a flush/stop is pending AND the watchdog
+  /// is off (liveness wins when nothing can migrate the frames). Caller
+  /// holds r.mu.
   bool should_seal(const Replica& r) const;
 
   /// Pops the sealed batch (up to max_batch frames within the head's
@@ -183,6 +228,40 @@ class ServingCluster {
   void process_batch(Replica& r, std::vector<PendingFrame> batch, SealReason reason,
                      int64_t sealed_ns, int64_t batch_seq);
 
+  // --- failure domain (all require routing_mu_ unless noted) --------------
+
+  /// Watchdog pass: charge symptoms, quarantine, probe, restore, rebalance.
+  /// No-op when the watchdog is off.
+  void tick_locked(int64_t now_ns);
+
+  /// Recomputes every stream's route (first healthy replica scanning from
+  /// home; -1 when none) and migrates queued frames of re-routed streams
+  /// wholesale, charging the re-dispatch budget. Frames past the budget —
+  /// and every frame when no replica is healthy — are served inline.
+  void rebalance_locked(int64_t now_ns);
+
+  void quarantine_locked(int64_t replica, int64_t now_ns, int64_t detail);
+
+  /// Serves one frame on its stream's Supervisor (batch-1 path, identical
+  /// bits). `was_pending` says whether the frame was counted in the
+  /// pending/outstanding accounting (queued frames yes, direct submissions
+  /// are counted by the caller).
+  void process_inline_locked(PendingFrame frame, int64_t now_ns, bool was_pending);
+
+  /// One canary evaluation of `replica`: rebuild a clone from the pristine
+  /// weight bytes, apply any active weight-corruption fault, compare the
+  /// canary frame's steering angle against the known-good value. True when
+  /// the replica would serve good bits. Schedule-only verdict (true) when
+  /// no steering model is configured.
+  bool canary_passes_locked(int64_t replica, int64_t now_ns);
+
+  /// Half-open probe verdict: no outage/degrading-slow fault active and the
+  /// canary passes.
+  bool probe_passes_locked(int64_t replica, int64_t now_ns);
+
+  void push_event_locked(ClusterEventKind kind, int64_t at_ns, int64_t replica,
+                         int64_t stream, int64_t detail);
+
   const core::NoveltyDetector& detector_;
   nn::Sequential* steering_model_;
   ClusterConfig config_;
@@ -192,6 +271,32 @@ class ServingCluster {
 
   std::vector<std::unique_ptr<Supervisor>> supervisors_;  ///< one per stream
   std::vector<std::unique_ptr<Replica>> replicas_;
+
+  /// Serializes one stream's supervisor access (worker processing, inline
+  /// fallback, health snapshots). Lock order: routing_mu_ -> stream_mu_ ->
+  /// results_mu_; workers take only the latter two.
+  std::unique_ptr<std::mutex[]> stream_mu_;
+
+  /// Failure-domain state: watchdog, per-stream routes, shed accounting,
+  /// event log, chaos counters. All mutated at tick points on the
+  /// submit/drain thread under routing_mu_.
+  mutable std::mutex routing_mu_;
+  std::unique_ptr<ReplicaWatchdog> watchdog_;  ///< null when disabled
+  std::vector<int64_t> routing_;               ///< stream -> replica (-1 = inline)
+  std::vector<int64_t> shed_per_stream_;
+  std::vector<ClusterEvent> events_;
+  ClusterStats chaos_stats_;  ///< only the failure-domain counters are used
+
+  /// Queued-unprocessed frames per stream (admission credits). Atomic so
+  /// workers can decrement without routing_mu_.
+  std::unique_ptr<std::atomic<int64_t>[]> pending_per_stream_;
+
+  /// Canary probe state: pristine steering weights serialized at
+  /// construction, a fixed synthetic frame, and its known-good angle.
+  bool has_canary_ = false;
+  std::string pristine_steering_bytes_;
+  Image canary_frame_;
+  double canary_known_good_ = 0.0;
 
   std::atomic<int64_t> next_seq_{0};
   std::atomic<bool> paused_{false};

@@ -14,6 +14,7 @@ FrameQueue::PushResult FrameQueue::push(QueuedFrame item) {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return result;
     if (items_.size() >= capacity_) {
+      ++shed_by_stream_[items_.front().stream_id];
       items_.pop_front();
       result.shed = 1;
       ++shed_;
@@ -64,6 +65,12 @@ size_t FrameQueue::high_water_mark() const {
 int64_t FrameQueue::shed_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return shed_;
+}
+
+int64_t FrameQueue::shed_for_stream(int64_t stream_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = shed_by_stream_.find(stream_id);
+  return it == shed_by_stream_.end() ? 0 : it->second;
 }
 
 }  // namespace salnov::serving

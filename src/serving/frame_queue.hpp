@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 
 #include "image/image.hpp"
@@ -19,6 +20,7 @@ namespace salnov::serving {
 
 struct QueuedFrame {
   int64_t id = 0;
+  int64_t stream_id = 0;  ///< which camera produced the frame (0 = single-stream)
   Image frame;
 };
 
@@ -51,6 +53,11 @@ class FrameQueue {
   size_t high_water_mark() const;
   int64_t shed_total() const;
 
+  /// Frames of `stream_id` dropped by the drop-oldest policy. Per-stream
+  /// accounting lets a multi-camera boundary prove WHOSE frames paid for
+  /// the backpressure (sum over streams == shed_total()).
+  int64_t shed_for_stream(int64_t stream_id) const;
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -59,6 +66,7 @@ class FrameQueue {
   bool closed_ = false;
   size_t high_water_ = 0;
   int64_t shed_ = 0;
+  std::map<int64_t, int64_t> shed_by_stream_;
 };
 
 }  // namespace salnov::serving

@@ -128,7 +128,33 @@ std::string HealthSnapshot::to_json() const {
     os << "\"served_threshold\":" << json_number(gauge.served_threshold) << ",";
     os << "\"eligible\":" << (gauge.eligible ? "true" : "false") << "}";
   }
-  os << "]}";
+  os << "]";
+  if (has_cluster) {
+    os << ",\"cluster\":{";
+    os << "\"batches\":" << cluster.batches << ",";
+    os << "\"batched_frames\":" << cluster.batched_frames << ",";
+    os << "\"max_batch_seals\":" << cluster.max_batch_seals << ",";
+    os << "\"window_seals\":" << cluster.window_seals << ",";
+    os << "\"flush_seals\":" << cluster.flush_seals << ",";
+    os << "\"max_gather_wait_ns\":" << cluster.max_gather_wait_ns << ",";
+    os << "\"provided_steer\":" << cluster.provided_steer << ",";
+    os << "\"provided_saliency\":" << cluster.provided_saliency << ",";
+    os << "\"provided_recon\":" << cluster.provided_recon << ",";
+    os << "\"recon_mispredicts\":" << cluster.recon_mispredicts << ",";
+    os << "\"prescreen_rejects\":" << cluster.prescreen_rejects << ",";
+    os << "\"quarantines\":" << cluster.quarantines << ",";
+    os << "\"probe_attempts\":" << cluster.probe_attempts << ",";
+    os << "\"probe_failures\":" << cluster.probe_failures << ",";
+    os << "\"restores\":" << cluster.restores << ",";
+    os << "\"failovers\":" << cluster.failovers << ",";
+    os << "\"redispatched_frames\":" << cluster.redispatched_frames << ",";
+    os << "\"fallback_frames\":" << cluster.fallback_frames << ",";
+    os << "\"shed_frames\":" << cluster.shed_frames << ",";
+    os << "\"slow_batches\":" << cluster.slow_batches << ",";
+    os << "\"canary_checks\":" << cluster.canary_checks << ",";
+    os << "\"canary_failures\":" << cluster.canary_failures << "}";
+  }
+  os << "}";
   return os.str();
 }
 

@@ -75,6 +75,36 @@ struct StageHealth {
   int64_t p99_ns = 0;     ///< tail latency over the recent window
 };
 
+/// Exact assembler/batching/failure-domain counters, aggregated across a
+/// ServingCluster's replicas. Lives here (not cluster.hpp) so the snapshot
+/// can embed it without a circular include.
+struct ClusterStats {
+  int64_t batches = 0;          ///< batched forwards executed
+  int64_t batched_frames = 0;   ///< frames that went through a batch
+  int64_t max_batch_seals = 0;  ///< batches sealed by hitting max_batch
+  int64_t window_seals = 0;     ///< batches sealed by the gather-window deadline
+  int64_t flush_seals = 0;      ///< batches sealed by drain()/stop()
+  int64_t max_gather_wait_ns = 0;  ///< worst sealed_ns - arrival_ns over all frames
+  int64_t provided_steer = 0;      ///< frames served a batched steering angle
+  int64_t provided_saliency = 0;   ///< frames served a batched saliency mask
+  int64_t provided_recon = 0;      ///< frames served a batched reconstruction
+  int64_t recon_mispredicts = 0;   ///< provided reconstructions discarded (input mismatch)
+  int64_t prescreen_rejects = 0;   ///< frames excluded from batched compute by the validator
+
+  // Replica failure domain (all zero when the watchdog is disabled).
+  int64_t quarantines = 0;         ///< replicas pulled from rotation
+  int64_t probe_attempts = 0;      ///< half-open canary probes run
+  int64_t probe_failures = 0;      ///< probes that did not pass
+  int64_t restores = 0;            ///< replicas restored to rotation
+  int64_t failovers = 0;           ///< stream migrations between replicas
+  int64_t redispatched_frames = 0; ///< frames re-queued on a surviving replica
+  int64_t fallback_frames = 0;     ///< frames served inline by their Supervisor
+  int64_t shed_frames = 0;         ///< frames shed by admission credits
+  int64_t slow_batches = 0;        ///< batches charged a slow-replica penalty
+  int64_t canary_checks = 0;       ///< canary evaluations (periodic + probes)
+  int64_t canary_failures = 0;     ///< canary evaluations outside epsilon
+};
+
 /// Point-in-time view of the serving runtime, exportable as JSON from the
 /// CLI (`salnov_cli serve`). Queue fields are zero for a bare Supervisor
 /// and filled in by ServingServer.
@@ -123,6 +153,11 @@ struct HealthSnapshot {
     bool eligible = false;          ///< enough samples to compare/rebuild
   };
   std::vector<ShadowGauge> shadow;
+
+  /// Cluster-level batching/failover counters; rendered as a nested
+  /// "cluster" object only when has_cluster (set by aggregate_health()).
+  bool has_cluster = false;
+  ClusterStats cluster;
 
   /// Single-line JSON rendering (stable key order; counters are integers,
   /// shadow gauges are floats rendered as JSON null when non-finite).

@@ -21,10 +21,13 @@ constexpr const char* kTraceMagic = "salnov-trace";
 // v1: original format. v2 appends the online-calibration spec block, the
 // per-frame swap flag + epoch, and the drift/swap health counters. v3
 // appends the multi-stream cluster spec block and the per-frame stream_id.
-// save() always writes the current version; load() accepts every version
-// back to kTraceVersionMin (checked-in goldens span v1..v3) and fills newer
-// fields with their feature-off defaults (calibration off, single stream).
-constexpr uint32_t kTraceVersion = 3;
+// v4 appends the failure-domain spec block (watchdog knobs, admission
+// credits, replica-fault schedule), the cluster event log, and the
+// cluster-health counters. save() always writes the current version; load()
+// accepts every version back to kTraceVersionMin (checked-in goldens span
+// v1..v4) and fills newer fields with their feature-off defaults
+// (calibration off, single stream, no watchdog/faults).
+constexpr uint32_t kTraceVersion = 4;
 constexpr uint32_t kTraceVersionMin = 1;
 
 // Frame-record flag bits (TraceFrame bools packed into one u32).
@@ -122,6 +125,9 @@ const char* fallback_path_tag(int value) {
   }
   return "?";
 }
+const char* cluster_event_tag(int value) {
+  return serving::cluster_event_kind_name(static_cast<serving::ClusterEventKind>(value));
+}
 
 }  // namespace
 
@@ -154,6 +160,34 @@ void TraceRunSpec::validate() const {
       // worker would bleed into another worker's stage timings, making
       // stage_ns a race instead of a function of the spec.
       throw std::invalid_argument("trace: stalls require a single replica");
+    }
+  }
+  if (cluster.admission_credits < 0) {
+    throw std::invalid_argument("trace: negative admission credits");
+  }
+  if (cluster.watchdog.enabled) {
+    const serving::WatchdogConfig& wd = cluster.watchdog;
+    if (wd.batch_deadline_ns <= 0 || wd.heartbeat_timeout_ns <= 0 || wd.probe_backoff_ns <= 0 ||
+        wd.max_probe_backoff_ns < wd.probe_backoff_ns) {
+      throw std::invalid_argument("trace: bad watchdog timeouts");
+    }
+    if (wd.missed_deadlines_to_quarantine < 1 || wd.canary_failures_to_quarantine < 1 ||
+        wd.canary_period_ns < 0 || wd.max_redispatches < 0 || !(wd.canary_epsilon >= 0.0)) {
+      throw std::invalid_argument("trace: bad watchdog thresholds");
+    }
+  }
+  if (!cluster.replica_faults.empty()) {
+    if (cluster.streams <= 0) {
+      throw std::invalid_argument("trace: replica faults require a cluster run");
+    }
+    faults::ReplicaFaultSchedule probe_schedule;
+    for (const auto& fault : cluster.replica_faults) {
+      probe_schedule.add(fault);  // throws on a bad fault window / fields
+      if (fault.replica >= cluster.replicas) {
+        throw std::invalid_argument("trace: replica fault targets replica " +
+                                    std::to_string(fault.replica) + " of " +
+                                    std::to_string(cluster.replicas));
+      }
     }
   }
 }
@@ -201,6 +235,19 @@ TraceHealth TraceHealth::from(const serving::HealthSnapshot& snapshot) {
   health.drift_detections = snapshot.drift_detections;
   health.threshold_swaps = snapshot.threshold_swaps;
   health.threshold_epoch = snapshot.threshold_epoch;
+  return health;
+}
+
+TraceClusterHealth TraceClusterHealth::from(const serving::ClusterStats& stats) {
+  TraceClusterHealth health;
+  health.quarantines = stats.quarantines;
+  health.probe_attempts = stats.probe_attempts;
+  health.probe_failures = stats.probe_failures;
+  health.restores = stats.restores;
+  health.failovers = stats.failovers;
+  health.redispatched_frames = stats.redispatched_frames;
+  health.fallback_frames = stats.fallback_frames;
+  health.shed_frames = stats.shed_frames;
   return health;
 }
 
@@ -270,6 +317,30 @@ void Trace::save(std::ostream& os) const {
   write_i64(os, spec.cluster.max_batch);
   write_i64(os, spec.cluster.arrival_period_ns);
 
+  // v4: failure-domain block (watchdog, admission credits, fault schedule).
+  const serving::WatchdogConfig& wd = spec.cluster.watchdog;
+  write_u32(os, wd.enabled ? 1 : 0);
+  write_i64(os, wd.batch_deadline_ns);
+  write_i64(os, wd.heartbeat_timeout_ns);
+  write_i64(os, wd.missed_deadlines_to_quarantine);
+  write_i64(os, wd.canary_period_ns);
+  write_i64(os, wd.canary_failures_to_quarantine);
+  write_i64(os, wd.probe_backoff_ns);
+  write_i64(os, wd.max_probe_backoff_ns);
+  write_i64(os, wd.max_redispatches);
+  write_f64(os, wd.canary_epsilon);
+  write_i64(os, spec.cluster.admission_credits);
+  write_u32(os, static_cast<uint32_t>(spec.cluster.replica_faults.size()));
+  for (const auto& fault : spec.cluster.replica_faults) {
+    write_i64(os, fault.replica);
+    write_u32(os, static_cast<uint32_t>(fault.kind));
+    write_i64(os, fault.start_ns);
+    write_i64(os, fault.end_ns);
+    write_i64(os, fault.slow_penalty_ns);
+    write_i64(os, fault.weight_bits);
+    write_i64(os, static_cast<int64_t>(fault.seed));
+  }
+
   write_u32(os, spec.pipeline_crc);
   write_i64(os, spec.pipeline_bytes);
 
@@ -313,6 +384,24 @@ void Trace::save(std::ostream& os) const {
   write_i64(os, health.drift_detections);
   write_i64(os, health.threshold_swaps);
   write_i64(os, health.threshold_epoch);
+
+  // v4: failure-domain event log + cluster-health counters.
+  write_i64(os, static_cast<int64_t>(events.size()));
+  for (const auto& event : events) {
+    write_u32(os, static_cast<uint32_t>(event.kind));
+    write_i64(os, event.at_ns);
+    write_i64(os, event.replica);
+    write_i64(os, event.stream);
+    write_i64(os, event.detail);
+  }
+  write_i64(os, cluster_health.quarantines);
+  write_i64(os, cluster_health.probe_attempts);
+  write_i64(os, cluster_health.probe_failures);
+  write_i64(os, cluster_health.restores);
+  write_i64(os, cluster_health.failovers);
+  write_i64(os, cluster_health.redispatched_frames);
+  write_i64(os, cluster_health.fallback_frames);
+  write_i64(os, cluster_health.shed_frames);
 }
 
 Trace Trace::load(std::istream& is) {
@@ -401,6 +490,36 @@ Trace Trace::load(std::istream& is) {
     spec.cluster.arrival_period_ns = read_i64(is);
   }  // v1/v2: single-stream defaults
 
+  if (version >= 4) {
+    serving::WatchdogConfig& wd = spec.cluster.watchdog;
+    wd.enabled = read_u32(is) != 0;
+    wd.batch_deadline_ns = read_i64(is);
+    wd.heartbeat_timeout_ns = read_i64(is);
+    wd.missed_deadlines_to_quarantine = read_i64(is);
+    wd.canary_period_ns = read_i64(is);
+    wd.canary_failures_to_quarantine = read_i64(is);
+    wd.probe_backoff_ns = read_i64(is);
+    wd.max_probe_backoff_ns = read_i64(is);
+    wd.max_redispatches = read_i64(is);
+    wd.canary_epsilon = read_f64(is);
+    spec.cluster.admission_credits = read_i64(is);
+    const uint32_t n_replica_faults = read_u32(is);
+    if (n_replica_faults > (1u << 20)) {
+      throw SerializationError("trace: implausible replica-fault count " +
+                               std::to_string(n_replica_faults));
+    }
+    spec.cluster.replica_faults.resize(n_replica_faults);
+    for (auto& fault : spec.cluster.replica_faults) {
+      fault.replica = read_i64(is);
+      fault.kind = static_cast<faults::ReplicaFaultKind>(checked_enum(is, 4, "replica fault"));
+      fault.start_ns = read_i64(is);
+      fault.end_ns = read_i64(is);
+      fault.slow_penalty_ns = read_i64(is);
+      fault.weight_bits = read_i64(is);
+      fault.seed = static_cast<uint64_t>(read_i64(is));
+    }
+  }  // v1..v3: no watchdog, no faults, no admission control
+
   spec.pipeline_crc = read_u32(is);
   spec.pipeline_bytes = read_i64(is);
 
@@ -451,6 +570,30 @@ Trace Trace::load(std::istream& is) {
     health.threshold_swaps = read_i64(is);
     health.threshold_epoch = read_i64(is);
   }
+
+  if (version >= 4) {
+    const int64_t n_events = read_i64(is);
+    if (n_events < 0 || n_events > (1 << 24)) {
+      throw SerializationError("trace: implausible event count " + std::to_string(n_events));
+    }
+    trace.events.resize(static_cast<size_t>(n_events));
+    for (auto& event : trace.events) {
+      event.kind = static_cast<serving::ClusterEventKind>(checked_enum(is, 7, "cluster event"));
+      event.at_ns = read_i64(is);
+      event.replica = read_i64(is);
+      event.stream = read_i64(is);
+      event.detail = read_i64(is);
+    }
+    TraceClusterHealth& cluster_health = trace.cluster_health;
+    cluster_health.quarantines = read_i64(is);
+    cluster_health.probe_attempts = read_i64(is);
+    cluster_health.probe_failures = read_i64(is);
+    cluster_health.restores = read_i64(is);
+    cluster_health.failovers = read_i64(is);
+    cluster_health.redispatched_frames = read_i64(is);
+    cluster_health.fallback_frames = read_i64(is);
+    cluster_health.shed_frames = read_i64(is);
+  }  // v1..v3: empty event log, zero counters
   return trace;
 }
 
@@ -468,7 +611,9 @@ Trace Trace::load_file(const std::string& path) {
 
 serving::HealthSnapshot drive(const TraceRunSpec& spec, const core::NoveltyDetector& detector,
                               nn::Sequential* steering_model,
-                              const std::function<void(const TraceFrame&)>& on_frame) {
+                              const std::function<void(const TraceFrame&)>& on_frame,
+                              std::vector<serving::ClusterEvent>* events,
+                              serving::ClusterStats* cluster_stats) {
   spec.validate();
   if (spec.height != detector.config().height || spec.width != detector.config().width) {
     throw std::invalid_argument("trace: spec resolution " + std::to_string(spec.height) + "x" +
@@ -524,6 +669,16 @@ serving::HealthSnapshot drive(const TraceRunSpec& spec, const core::NoveltyDetec
   cluster_config.gather_window_ns = spec.cluster.gather_window_ns;
   cluster_config.max_batch = spec.cluster.max_batch;
   cluster_config.supervisor = config;
+  cluster_config.watchdog = spec.cluster.watchdog;
+  cluster_config.admission_credits = spec.cluster.admission_credits;
+  // Declared before the cluster so the schedule outlives the workers.
+  faults::ReplicaFaultSchedule replica_faults;
+  for (const auto& fault : spec.cluster.replica_faults) replica_faults.add(fault);
+  cluster_config.replica_faults = replica_faults.empty() ? nullptr : &replica_faults;
+  // A simulated slow replica must never sleep the shared FakeClock: under
+  // the staged protocol the driver owns time, so the penalty is charged to
+  // the watchdog's deadline accounting only.
+  cluster_config.sleep_on_slow = false;
   serving::ServingCluster cluster(detector, steering_model, cluster_config, &clock);
   cluster.pause();
 
@@ -558,6 +713,8 @@ serving::HealthSnapshot drive(const TraceRunSpec& spec, const core::NoveltyDetec
       on_frame(frame);
     }
   }
+  if (events) *events = cluster.take_events();
+  if (cluster_stats) *cluster_stats = cluster.stats();
   const serving::HealthSnapshot health = cluster.aggregate_health();
   cluster.stop();
   return health;
@@ -568,10 +725,13 @@ Trace TraceRecorder::record(const TraceRunSpec& spec, const core::NoveltyDetecto
   Trace trace;
   trace.spec = spec;
   trace.frames.reserve(static_cast<size_t>(spec.frames));
+  serving::ClusterStats stats;
   const serving::HealthSnapshot health =
       drive(spec, detector, steering_model,
-            [&trace](const TraceFrame& frame) { trace.frames.push_back(frame); });
+            [&trace](const TraceFrame& frame) { trace.frames.push_back(frame); }, &trace.events,
+            &stats);
   trace.health = TraceHealth::from(health);
+  trace.cluster_health = TraceClusterHealth::from(stats);
   return trace;
 }
 
@@ -591,7 +751,9 @@ std::string ReplayReport::format() const {
 }
 
 ReplayReport compare(const Trace& recorded, const std::vector<TraceFrame>& replayed,
-                     const TraceHealth& replayed_health, const ReplayOptions& options) {
+                     const TraceHealth& replayed_health, const ReplayOptions& options,
+                     const std::vector<serving::ClusterEvent>* replayed_events,
+                     const TraceClusterHealth* replayed_cluster) {
   ReplayReport report;
   Differ diff{report.divergence};
 
@@ -656,6 +818,42 @@ ReplayReport compare(const Trace& recorded, const std::vector<TraceFrame>& repla
     diff.check_i64("health", "threshold_swaps", rec.threshold_swaps, rep.threshold_swaps);
     diff.check_i64("health", "threshold_epoch", rec.threshold_epoch, rep.threshold_epoch);
   }
+
+  // v4: the failure-domain event log and cluster-health counters must replay
+  // bit-exactly — a recovery path that fires at a different fake time, moves
+  // a different frame count, or quarantines a different replica is a policy
+  // divergence even when every per-frame decision matches.
+  if (!report.divergence && replayed_events) {
+    diff.frame = -1;
+    diff.check_i64("events", "event_count", static_cast<int64_t>(recorded.events.size()),
+                   static_cast<int64_t>(replayed_events->size()));
+    const size_t n_events = std::min(recorded.events.size(), replayed_events->size());
+    for (size_t i = 0; i < n_events && !report.divergence; ++i) {
+      const serving::ClusterEvent& rec = recorded.events[i];
+      const serving::ClusterEvent& rep = (*replayed_events)[i];
+      diff.frame = static_cast<int64_t>(i);  // event index, not a frame index
+      diff.check_enum("events", "kind", static_cast<int>(rec.kind), static_cast<int>(rep.kind),
+                      cluster_event_tag);
+      diff.check_i64("events", "at_ns", rec.at_ns, rep.at_ns);
+      diff.check_i64("events", "replica", rec.replica, rep.replica);
+      diff.check_i64("events", "stream", rec.stream, rep.stream);
+      diff.check_i64("events", "detail", rec.detail, rep.detail);
+    }
+  }
+  if (!report.divergence && replayed_cluster) {
+    diff.frame = -1;
+    const TraceClusterHealth& rec = recorded.cluster_health;
+    const TraceClusterHealth& rep = *replayed_cluster;
+    diff.check_i64("cluster_health", "quarantines", rec.quarantines, rep.quarantines);
+    diff.check_i64("cluster_health", "probe_attempts", rec.probe_attempts, rep.probe_attempts);
+    diff.check_i64("cluster_health", "probe_failures", rec.probe_failures, rep.probe_failures);
+    diff.check_i64("cluster_health", "restores", rec.restores, rep.restores);
+    diff.check_i64("cluster_health", "failovers", rec.failovers, rep.failovers);
+    diff.check_i64("cluster_health", "redispatched_frames", rec.redispatched_frames,
+                   rep.redispatched_frames);
+    diff.check_i64("cluster_health", "fallback_frames", rec.fallback_frames, rep.fallback_frames);
+    diff.check_i64("cluster_health", "shed_frames", rec.shed_frames, rep.shed_frames);
+  }
   return report;
 }
 
@@ -663,10 +861,15 @@ ReplayReport TraceReplayer::replay(const Trace& trace, const core::NoveltyDetect
                                    nn::Sequential* steering_model, const ReplayOptions& options) {
   std::vector<TraceFrame> replayed;
   replayed.reserve(trace.frames.size());
+  std::vector<serving::ClusterEvent> replayed_events;
+  serving::ClusterStats replayed_stats;
   const serving::HealthSnapshot health =
       drive(trace.spec, detector, steering_model,
-            [&replayed](const TraceFrame& frame) { replayed.push_back(frame); });
-  return compare(trace, replayed, TraceHealth::from(health), options);
+            [&replayed](const TraceFrame& frame) { replayed.push_back(frame); }, &replayed_events,
+            &replayed_stats);
+  const TraceClusterHealth replayed_cluster = TraceClusterHealth::from(replayed_stats);
+  return compare(trace, replayed, TraceHealth::from(health), options, &replayed_events,
+                 &replayed_cluster);
 }
 
 }  // namespace salnov::trace

@@ -40,9 +40,11 @@
 #include "core/monitor.hpp"
 #include "core/novelty_detector.hpp"
 #include "faults/fault_injector.hpp"
+#include "faults/replica_faults.hpp"
 #include "faults/timing_faults.hpp"
 #include "serving/health.hpp"
 #include "serving/supervisor.hpp"
+#include "serving/watchdog.hpp"
 
 namespace salnov::trace {
 
@@ -73,6 +75,13 @@ struct TraceClusterSpec {
   int64_t gather_window_ns = 2'000'000;
   int64_t max_batch = 16;
   int64_t arrival_period_ns = 1'000'000;  ///< fake time between arrival rounds
+
+  // Format v4: the replica failure domain. All feature-off defaults, so a
+  // v3 trace loads as a cluster without watchdog, faults, or admission
+  // control and replays exactly as before.
+  serving::WatchdogConfig watchdog;
+  int64_t admission_credits = 0;  ///< per-stream pending bound (0 = off)
+  std::vector<faults::ReplicaFault> replica_faults;
 };
 
 /// Complete description of a recordable scenario. Everything that can move
@@ -159,11 +168,31 @@ struct TraceHealth {
   static TraceHealth from(const serving::HealthSnapshot& snapshot);
 };
 
-/// A recorded run: spec + per-frame decision stream + final counters.
+/// Exact end-of-run failure-domain counters (format v4; all zero for older
+/// traces and for runs without a watchdog).
+struct TraceClusterHealth {
+  int64_t quarantines = 0;
+  int64_t probe_attempts = 0;
+  int64_t probe_failures = 0;
+  int64_t restores = 0;
+  int64_t failovers = 0;
+  int64_t redispatched_frames = 0;
+  int64_t fallback_frames = 0;
+  int64_t shed_frames = 0;
+
+  static TraceClusterHealth from(const serving::ClusterStats& stats);
+};
+
+/// A recorded run: spec + per-frame decision stream + final counters. v4
+/// traces additionally carry the failure-domain event log (quarantine /
+/// probe / restore / failover / fallback / shed, in decision order) and the
+/// cluster-health counters, both diffed on replay.
 struct Trace {
   TraceRunSpec spec;
   std::vector<TraceFrame> frames;
   TraceHealth health;
+  std::vector<serving::ClusterEvent> events;  // v4
+  TraceClusterHealth cluster_health;          // v4
 
   void save(std::ostream& os) const;
   static Trace load(std::istream& is);
@@ -179,9 +208,14 @@ struct Trace {
 /// global arrival order, each tagged with its stream_id, and return the
 /// aggregate health). This is the ONE scenario driver — recording and
 /// replaying go through the same code path, so they cannot drift apart.
+/// `events` / `cluster_stats`, when non-null, receive the failure-domain
+/// event log and end-of-run ClusterStats of a cluster run (left untouched by
+/// the single-stream driver).
 serving::HealthSnapshot drive(const TraceRunSpec& spec, const core::NoveltyDetector& detector,
                               nn::Sequential* steering_model,
-                              const std::function<void(const TraceFrame&)>& on_frame);
+                              const std::function<void(const TraceFrame&)>& on_frame,
+                              std::vector<serving::ClusterEvent>* events = nullptr,
+                              serving::ClusterStats* cluster_stats = nullptr);
 
 class TraceRecorder {
  public:
@@ -222,8 +256,13 @@ struct ReplayReport {
 
 /// Diffs a recorded trace against a freshly replayed stream (used by the
 /// replayer and by perturbation tests that tamper with a trace in memory).
+/// When `replayed_events` / `replayed_cluster` are provided, the v4
+/// failure-domain event log and cluster-health counters are diffed too —
+/// every quarantine, failover, fallback, and shed must replay bit-exactly.
 ReplayReport compare(const Trace& recorded, const std::vector<TraceFrame>& replayed,
-                     const TraceHealth& replayed_health, const ReplayOptions& options = {});
+                     const TraceHealth& replayed_health, const ReplayOptions& options = {},
+                     const std::vector<serving::ClusterEvent>* replayed_events = nullptr,
+                     const TraceClusterHealth* replayed_cluster = nullptr);
 
 class TraceReplayer {
  public:

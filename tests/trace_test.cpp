@@ -63,6 +63,23 @@ Trace sample_trace() {
   trace.spec.cluster.gather_window_ns = 3'000'000;
   trace.spec.cluster.max_batch = 8;
   trace.spec.cluster.arrival_period_ns = 500'000;
+  trace.spec.cluster.watchdog.enabled = true;
+  trace.spec.cluster.watchdog.batch_deadline_ns = 4'000'000;
+  trace.spec.cluster.watchdog.heartbeat_timeout_ns = 40'000'000;
+  trace.spec.cluster.watchdog.missed_deadlines_to_quarantine = 3;
+  trace.spec.cluster.watchdog.canary_period_ns = 20'000'000;
+  trace.spec.cluster.watchdog.canary_failures_to_quarantine = 2;
+  trace.spec.cluster.watchdog.probe_backoff_ns = 6'000'000;
+  trace.spec.cluster.watchdog.max_probe_backoff_ns = 48'000'000;
+  trace.spec.cluster.watchdog.max_redispatches = 5;
+  trace.spec.cluster.watchdog.canary_epsilon = 2e-3;
+  trace.spec.cluster.admission_credits = 4;
+  trace.spec.cluster.replica_faults.push_back(
+      {/*replica=*/0, faults::ReplicaFaultKind::kSlow, /*start_ns=*/1'000'000,
+       /*end_ns=*/9'000'000, /*slow_penalty_ns=*/5'000'000});
+  trace.spec.cluster.replica_faults.push_back(
+      {/*replica=*/0, faults::ReplicaFaultKind::kWeightCorrupt, /*start_ns=*/2'000'000,
+       /*end_ns=*/3'000'000, /*slow_penalty_ns=*/0, /*weight_bits=*/16, /*seed=*/9});
   trace.spec.pipeline_crc = 0xdeadbeef;
   trace.spec.pipeline_bytes = 12345;
 
@@ -102,6 +119,22 @@ Trace sample_trace() {
   trace.health.drift_detections = 2;
   trace.health.threshold_swaps = 1;
   trace.health.threshold_epoch = 1;
+
+  // Format v4: the failure-domain event log and end-of-run counters.
+  trace.events.push_back({serving::ClusterEventKind::kQuarantine, /*at_ns=*/1'500'000,
+                          /*replica=*/0, /*stream=*/-1, /*detail=*/0});
+  trace.events.push_back({serving::ClusterEventKind::kFailover, /*at_ns=*/1'500'000,
+                          /*replica=*/0, /*stream=*/1, /*detail=*/2});
+  trace.events.push_back({serving::ClusterEventKind::kShed, /*at_ns=*/2'000'000,
+                          /*replica=*/-1, /*stream=*/1, /*detail=*/5});
+  trace.cluster_health.quarantines = 1;
+  trace.cluster_health.probe_attempts = 2;
+  trace.cluster_health.probe_failures = 1;
+  trace.cluster_health.restores = 1;
+  trace.cluster_health.failovers = 1;
+  trace.cluster_health.redispatched_frames = 2;
+  trace.cluster_health.fallback_frames = 1;
+  trace.cluster_health.shed_frames = 1;
   return trace;
 }
 
@@ -168,11 +201,39 @@ void expect_traces_equal(const Trace& a, const Trace& b) {
   EXPECT_EQ(a.spec.cluster.gather_window_ns, b.spec.cluster.gather_window_ns);
   EXPECT_EQ(a.spec.cluster.max_batch, b.spec.cluster.max_batch);
   EXPECT_EQ(a.spec.cluster.arrival_period_ns, b.spec.cluster.arrival_period_ns);
+  EXPECT_EQ(a.spec.cluster.watchdog.enabled, b.spec.cluster.watchdog.enabled);
+  EXPECT_EQ(a.spec.cluster.watchdog.batch_deadline_ns, b.spec.cluster.watchdog.batch_deadline_ns);
+  EXPECT_EQ(a.spec.cluster.watchdog.heartbeat_timeout_ns,
+            b.spec.cluster.watchdog.heartbeat_timeout_ns);
+  EXPECT_EQ(a.spec.cluster.watchdog.missed_deadlines_to_quarantine,
+            b.spec.cluster.watchdog.missed_deadlines_to_quarantine);
+  EXPECT_EQ(a.spec.cluster.watchdog.canary_period_ns, b.spec.cluster.watchdog.canary_period_ns);
+  EXPECT_EQ(a.spec.cluster.watchdog.canary_failures_to_quarantine,
+            b.spec.cluster.watchdog.canary_failures_to_quarantine);
+  EXPECT_EQ(a.spec.cluster.watchdog.probe_backoff_ns, b.spec.cluster.watchdog.probe_backoff_ns);
+  EXPECT_EQ(a.spec.cluster.watchdog.max_probe_backoff_ns,
+            b.spec.cluster.watchdog.max_probe_backoff_ns);
+  EXPECT_EQ(a.spec.cluster.watchdog.max_redispatches, b.spec.cluster.watchdog.max_redispatches);
+  EXPECT_EQ(a.spec.cluster.watchdog.canary_epsilon, b.spec.cluster.watchdog.canary_epsilon);
+  EXPECT_EQ(a.spec.cluster.admission_credits, b.spec.cluster.admission_credits);
+  ASSERT_EQ(a.spec.cluster.replica_faults.size(), b.spec.cluster.replica_faults.size());
+  for (size_t i = 0; i < a.spec.cluster.replica_faults.size(); ++i) {
+    EXPECT_EQ(a.spec.cluster.replica_faults[i].replica, b.spec.cluster.replica_faults[i].replica);
+    EXPECT_EQ(a.spec.cluster.replica_faults[i].kind, b.spec.cluster.replica_faults[i].kind);
+    EXPECT_EQ(a.spec.cluster.replica_faults[i].start_ns, b.spec.cluster.replica_faults[i].start_ns);
+    EXPECT_EQ(a.spec.cluster.replica_faults[i].end_ns, b.spec.cluster.replica_faults[i].end_ns);
+    EXPECT_EQ(a.spec.cluster.replica_faults[i].slow_penalty_ns,
+              b.spec.cluster.replica_faults[i].slow_penalty_ns);
+    EXPECT_EQ(a.spec.cluster.replica_faults[i].weight_bits,
+              b.spec.cluster.replica_faults[i].weight_bits);
+    EXPECT_EQ(a.spec.cluster.replica_faults[i].seed, b.spec.cluster.replica_faults[i].seed);
+  }
   EXPECT_EQ(a.spec.pipeline_crc, b.spec.pipeline_crc);
   EXPECT_EQ(a.spec.pipeline_bytes, b.spec.pipeline_bytes);
 
-  // ...and reuse the conformance diff for frames + health.
-  const ReplayReport report = compare(a, b.frames, b.health);
+  // ...and reuse the conformance diff for frames + health + the v4 event
+  // log and failure-domain counters.
+  const ReplayReport report = compare(a, b.frames, b.health, {}, &b.events, &b.cluster_health);
   EXPECT_TRUE(report.ok()) << report.format();
 }
 

@@ -82,6 +82,45 @@ echo "$MULTI" | grep -q "batched_frames=20"
 BATCHES="$(echo "$MULTI" | sed -n 's/^batches=//p')"
 test "$BATCHES" -ge 1 && test "$BATCHES" -lt 20
 
+# Replica failure domain: a crashed replica is quarantined by the watchdog,
+# its streams fail over to the survivor, and a half-open probe restores it
+# once the fault window closes. Every frame must still be served (no shed:
+# admission control is off) and the failure-domain counters must be
+# grep-able from the summary.
+CHAOS="$("$CLI" serve --pipeline detector.pipeline --frames 10 --dataset outdoor \
+        --seed 7 --fake-clock --streams 2 --replicas 2 \
+        --batch-window-us 5000 --arrival-us 10000 --watchdog \
+        --batch-deadline-us 5000 --missed-deadlines 2 --probe-backoff-us 8000 \
+        --replica-fault 'crash:0:0:20000;slow:1:40000:65000:20000')"
+echo "$CHAOS"
+echo "$CHAOS" | grep -q "stream=0 frames=10 scored=10"
+echo "$CHAOS" | grep -q "stream=1 frames=10 scored=10"
+echo "$CHAOS" | grep -q "frames_total=20"
+echo "$CHAOS" | grep -q "shed_frames=0"
+echo "$CHAOS" | grep -Eq "quarantines=[1-9]"
+echo "$CHAOS" | grep -Eq "restores=[1-9]"
+echo "$CHAOS" | grep -Eq "failovers=[1-9]"
+echo "$CHAOS" | grep -q "cluster_event kind=quarantine"
+echo "$CHAOS" | grep -q "cluster_event kind=restore"
+
+# The same failure domain records as a format-v4 trace and replays with an
+# empty diff (the event log and failure-domain counters are part of it).
+"$CLI" record --pipeline detector.pipeline --out chaos.trace --frames 6 \
+        --dataset outdoor --frame-seed 9 --streams 2 --replicas 2 \
+        --batch-window-us 5000 --arrival-us 10000 --watchdog \
+        --batch-deadline-us 5000 --missed-deadlines 2 --probe-backoff-us 8000 \
+        --replica-fault 'crash:0:0:20000'
+REPLAY_CHAOS="$("$CLI" replay --pipeline detector.pipeline --trace chaos.trace --threads 2)"
+echo "$REPLAY_CHAOS" | grep -q "replay conformant (12 frames)"
+
+# A fault schedule without the fake clock is refused (the windows are
+# offsets into fake time and would never activate on a wall clock).
+if "$CLI" serve --pipeline detector.pipeline --frames 2 --streams 2 --replicas 2 \
+        --watchdog --replica-fault 'crash:0:0:20000' 2>/dev/null; then
+  echo "expected serve to reject --replica-fault without --fake-clock" >&2
+  exit 1
+fi
+
 # A multi-stream recorded trace replays conformant too (stream routing and
 # per-stream decisions are part of the diff).
 "$CLI" record --pipeline detector.pipeline --out multi.trace --frames 6 \

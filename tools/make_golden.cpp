@@ -1,11 +1,14 @@
 // make_golden — records the golden conformance traces under tests/golden/.
 //
 // Fits a small deterministic pipeline (scalar GEMM kernel, fixed seeds, tiny
-// 16x24 autoencoder so the checked-in file stays small), records the four
+// 16x24 autoencoder so the checked-in file stays small), records the five
 // canonical scenarios — nominal, stall-ladder (breaker trip + probe
 // recovery), sensor-fault (frozen camera, then salt-and-pepper novelty
 // re-entry), multi-stream (three micro-batched streams on two replicas with
-// a frozen-camera burst) — and self-verifies every trace before writing it:
+// a frozen-camera burst), replica-failover (format v4: a crashed replica
+// quarantined and restored via half-open probe, a slow replica with a failed
+// probe, and a weight-corruption window that withholds speculated compute) —
+// and self-verifies every trace before writing it:
 //
 //   * replays bit-exactly at 1 and 4 worker threads under the scalar kernel;
 //   * replays within the cross-kernel tolerance under SIMD when available;
@@ -107,6 +110,47 @@ std::vector<Scenario> scenarios() {
   multi.spec.camera_faults.push_back({faults::CameraFault::kFrozenFrame, /*severity=*/1.0,
                                       /*first=*/4, /*last=*/6, /*period=*/1});
   all.push_back(multi);
+
+  // Format v4: the replica failure domain under a deterministic fault
+  // schedule. Three streams on two replicas, arrivals every 10 ms so the
+  // watchdog timeline lands on the round grid:
+  //   * replica 0 crashes over [0 ms, 20 ms): two missed 5 ms batch
+  //     deadlines quarantine it at t=10 ms, its streams fail over to
+  //     replica 1, and the half-open probe at t=20 ms restores it;
+  //   * replica 1 runs 20 ms slow over [40 ms, 65 ms): quarantined at
+  //     t=50 ms, the t=60 ms probe still sees the latency fault and FAILS
+  //     (backoff doubles), and the t=80 ms probe restores it;
+  //   * replica 0's weights are bit-flipped from t=30 ms onward (past the
+  //     drain at t=100 ms, where the staged run's batches seal): every
+  //     batch replica 0 seals has its speculated ProvidedCompute withheld
+  //     and is re-scored from the pristine shared weights, so scores stay
+  //     bit-identical while batching efficiency (provided_* counters)
+  //     visibly drops. Replica 0's half-open probe at t=20 ms predates the
+  //     corruption, so the canary passes and the crash recovery above is
+  //     unaffected.
+  // No admission credits: the golden must stay shed-free so the replay
+  // compares exactly frames-per-stream x streams frames.
+  Scenario failover{"replica_failover", base_spec(10)};
+  failover.spec.cluster.streams = 3;
+  failover.spec.cluster.replicas = 2;
+  failover.spec.cluster.gather_window_ns = 5 * kMs;
+  failover.spec.cluster.max_batch = 8;
+  failover.spec.cluster.arrival_period_ns = 10 * kMs;
+  failover.spec.cluster.watchdog.enabled = true;
+  failover.spec.cluster.watchdog.batch_deadline_ns = 5 * kMs;
+  failover.spec.cluster.watchdog.missed_deadlines_to_quarantine = 2;
+  failover.spec.cluster.watchdog.probe_backoff_ns = 8 * kMs;
+  failover.spec.cluster.watchdog.max_probe_backoff_ns = 64 * kMs;
+  failover.spec.cluster.replica_faults.push_back(
+      {/*replica=*/0, faults::ReplicaFaultKind::kCrash, /*start_ns=*/0,
+       /*end_ns=*/20 * kMs});
+  failover.spec.cluster.replica_faults.push_back(
+      {/*replica=*/1, faults::ReplicaFaultKind::kSlow, /*start_ns=*/40 * kMs,
+       /*end_ns=*/65 * kMs, /*slow_penalty_ns=*/20 * kMs});
+  failover.spec.cluster.replica_faults.push_back(
+      {/*replica=*/0, faults::ReplicaFaultKind::kWeightCorrupt, /*start_ns=*/30 * kMs,
+       /*end_ns=*/200 * kMs, /*slow_penalty_ns=*/0, /*weight_bits=*/64, /*seed=*/5});
+  all.push_back(failover);
 
   return all;
 }
@@ -221,6 +265,17 @@ int run(const std::string& out_dir, const std::string& only) {
         static_cast<long long>(trace.health.step_downs),
         static_cast<long long>(trace.health.breaker_trips),
         static_cast<long long>(trace.health.promotions));
+    if (!trace.events.empty()) {
+      std::printf(
+          "  failure domain: %zu events, %lld quarantines, %lld probe failures, "
+          "%lld restores, %lld failovers, %lld redispatched, %lld shed\n",
+          trace.events.size(), static_cast<long long>(trace.cluster_health.quarantines),
+          static_cast<long long>(trace.cluster_health.probe_failures),
+          static_cast<long long>(trace.cluster_health.restores),
+          static_cast<long long>(trace.cluster_health.failovers),
+          static_cast<long long>(trace.cluster_health.redispatched_frames),
+          static_cast<long long>(trace.cluster_health.shed_frames));
+    }
   }
 
   if (!matched) {

@@ -27,12 +27,21 @@
 //       --streams the multi-stream ServingCluster serves N streams
 //       (--frames each) through cross-frame micro-batching and prints one
 //       grep-able "stream=S ..." summary line per stream plus aggregate
-//       batching counters.
+//       batching counters. --watchdog enables health-checked replica
+//       failover (quarantine, half-open probe restore, bounded re-dispatch),
+//       --admission-credits bounds per-stream pending frames (oldest-first
+//       shed past the bound), and --replica-fault injects a deterministic
+//       packed fault schedule ("kind:replica:start_us:end_us[:arg[:seed]]"
+//       entries joined with ';', kind in crash|hang|slow|corrupt; requires
+//       --fake-clock). Failure-domain counters and the cluster event log
+//       are printed as grep-able lines.
 //   salnov record --pipeline PIPELINE --out TRACE [--frames N] [scenario flags]
 //       Run a scenario under the FakeClock and capture the full per-frame
 //       decision trace into a CRC-guarded golden-trace file. With --streams
 //       the multi-stream cluster scenario is recorded (frames per stream,
-//       round-robin arrivals every --arrival-us).
+//       round-robin arrivals every --arrival-us); serve's failure-domain
+//       flags record a format-v4 trace whose failover/quarantine/shed
+//       events replay bit-exactly.
 //   salnov replay --pipeline PIPELINE --trace TRACE [--tolerance X]
 //       [--threads N] [--kernel scalar|simd] [--report FILE]
 //       Re-drive a recorded trace and diff the decision streams; exits 1 and
@@ -46,6 +55,7 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -114,7 +124,13 @@ int usage() {
                "                  [--calib-warmup N] [--force-swap-at N]\n"
                "                  [--threshold-store FILE] [--health-out FILE]\n"
                "                  [--streams N [--replicas R] [--batch-window-us W]\n"
-               "                   [--max-batch B] [--arrival-us U]]\n"
+               "                   [--max-batch B] [--arrival-us U]\n"
+               "                   [--watchdog] [--batch-deadline-us US]\n"
+               "                   [--heartbeat-timeout-us US] [--missed-deadlines N]\n"
+               "                   [--canary-period-us US] [--canary-failures N]\n"
+               "                   [--probe-backoff-us US] [--max-probe-backoff-us US]\n"
+               "                   [--max-redispatches N] [--admission-credits N]\n"
+               "                   [--replica-fault k:r:s_us:e_us[:arg[:seed]][;...]]]\n"
                "  record          --pipeline PIPELINE --out TRACE [--frames N]\n"
                "                  [--dataset outdoor|indoor] [--frame-seed S] [--fault-seed S]\n"
                "                  [--kernel scalar|simd] [serve's budget/ladder/breaker flags]\n"
@@ -124,7 +140,8 @@ int usage() {
                "                   [--fault-last L] [--fault-period P]]\n"
                "                  [serve's --online-calib/drift/forced-swap flags]\n"
                "                  [--streams N [--replicas R] [--batch-window-us W]\n"
-               "                   [--max-batch B] [--arrival-us U]]\n"
+               "                   [--max-batch B] [--arrival-us U]\n"
+               "                   [serve's --watchdog/--admission-credits/--replica-fault flags]]\n"
                "  replay          --pipeline PIPELINE --trace TRACE [--tolerance X]\n"
                "                  [--threads N] [--kernel scalar|simd] [--report FILE]\n"
                "common: --height H --width W (default 60 160), --seed S\n");
@@ -350,6 +367,101 @@ std::unique_ptr<roadsim::SceneGenerator> make_generator(const std::string& datas
   return nullptr;
 }
 
+std::optional<faults::ReplicaFaultKind> parse_replica_fault_kind(const std::string& name) {
+  if (name == "crash") return faults::ReplicaFaultKind::kCrash;
+  if (name == "hang") return faults::ReplicaFaultKind::kHang;
+  if (name == "slow") return faults::ReplicaFaultKind::kSlow;
+  if (name == "corrupt") return faults::ReplicaFaultKind::kWeightCorrupt;
+  return std::nullopt;
+}
+
+/// Parses a packed --replica-fault schedule. The flag map keeps only the
+/// last occurrence of a repeated flag, so the whole schedule rides in one
+/// value: ';'-separated entries of the form
+///   kind:replica:start_us:end_us[:arg[:seed]]
+/// with kind in crash|hang|slow|corrupt; arg is the slowdown in us for
+/// `slow` and the flipped-bit count for `corrupt` (default 64).
+bool parse_replica_faults(const std::string& packed, std::vector<faults::ReplicaFault>& out,
+                          std::string& error) {
+  std::stringstream entries(packed);
+  std::string entry;
+  while (std::getline(entries, entry, ';')) {
+    if (entry.empty()) continue;
+    std::vector<std::string> fields;
+    std::stringstream fs(entry);
+    std::string field;
+    while (std::getline(fs, field, ':')) fields.push_back(field);
+    if (fields.size() < 4 || fields.size() > 6) {
+      error = "bad --replica-fault entry '" + entry +
+              "' (want kind:replica:start_us:end_us[:arg[:seed]])";
+      return false;
+    }
+    const auto kind = parse_replica_fault_kind(fields[0]);
+    if (!kind) {
+      error = "unknown replica fault kind '" + fields[0] + "' (crash|hang|slow|corrupt)";
+      return false;
+    }
+    faults::ReplicaFault fault;
+    fault.kind = *kind;
+    fault.replica = std::stoll(fields[1]);
+    fault.start_ns = std::stoll(fields[2]) * 1000;
+    fault.end_ns = std::stoll(fields[3]) * 1000;
+    if (fault.kind == faults::ReplicaFaultKind::kSlow) {
+      fault.slow_penalty_ns = (fields.size() > 4 ? std::stoll(fields[4]) : 0) * 1000;
+    } else if (fault.kind == faults::ReplicaFaultKind::kWeightCorrupt) {
+      fault.weight_bits = fields.size() > 4 ? std::stoll(fields[4]) : 64;
+    }
+    if (fields.size() > 5) fault.seed = static_cast<uint64_t>(std::stoull(fields[5]));
+    out.push_back(fault);
+  }
+  return true;
+}
+
+/// Applies the replica failure-domain flags shared by `serve --streams` and
+/// `record --streams`: --watchdog enables health-checked failover, the
+/// -us flags tune its deadlines, --admission-credits bounds per-stream
+/// pending frames, and --replica-fault schedules deterministic faults.
+bool apply_failure_domain_flags(const Args& args, serving::WatchdogConfig& watchdog,
+                                int64_t& admission_credits,
+                                std::vector<faults::ReplicaFault>& schedule, std::string& error) {
+  if (args.has("watchdog")) watchdog.enabled = true;
+  if (args.has("batch-deadline-us")) {
+    watchdog.batch_deadline_ns = args.get_int("batch-deadline-us", 0) * 1000;
+  }
+  if (args.has("heartbeat-timeout-us")) {
+    watchdog.heartbeat_timeout_ns = args.get_int("heartbeat-timeout-us", 0) * 1000;
+  }
+  watchdog.missed_deadlines_to_quarantine = static_cast<int>(
+      args.get_int("missed-deadlines", watchdog.missed_deadlines_to_quarantine));
+  if (args.has("canary-period-us")) {
+    watchdog.canary_period_ns = args.get_int("canary-period-us", 0) * 1000;
+  }
+  watchdog.canary_failures_to_quarantine = static_cast<int>(
+      args.get_int("canary-failures", watchdog.canary_failures_to_quarantine));
+  if (args.has("probe-backoff-us")) {
+    watchdog.probe_backoff_ns = args.get_int("probe-backoff-us", 0) * 1000;
+    if (watchdog.max_probe_backoff_ns < watchdog.probe_backoff_ns) {
+      watchdog.max_probe_backoff_ns = 8 * watchdog.probe_backoff_ns;
+    }
+  }
+  if (args.has("max-probe-backoff-us")) {
+    watchdog.max_probe_backoff_ns = args.get_int("max-probe-backoff-us", 0) * 1000;
+  }
+  watchdog.max_redispatches =
+      static_cast<int>(args.get_int("max-redispatches", watchdog.max_redispatches));
+  admission_credits = args.get_int("admission-credits", admission_credits);
+  if (args.has("replica-fault")) {
+    if (!parse_replica_faults(args.get("replica-fault"), schedule, error)) return false;
+    // A fault schedule without a watchdog is legal (faults hit, nobody
+    // reacts) but almost never what the operator meant on the CLI.
+    if (!watchdog.enabled) {
+      std::fprintf(stderr, "salnov: note: --replica-fault without --watchdog — faults will "
+                           "fire but no failover will occur\n");
+    }
+  }
+  return true;
+}
+
 /// Multi-stream serve: drives a ServingCluster with --frames frames PER
 /// stream, round-robin arrivals. Under --fake-clock the arrival schedule is
 /// staged while paused so the batch composition (and hence the stats lines)
@@ -367,6 +479,28 @@ int cmd_serve_cluster(const Args& args, const core::LoadedPipeline& pipeline,
   if (config.streams < 1) return fail("serve: --streams must be >= 1");
   if (config.replicas < 1) return fail("serve: --replicas must be >= 1");
   const int64_t arrival_ns = args.get_int("arrival-us", 1000) * 1000;
+
+  // Replica failure domain: watchdog knobs, admission credits, and a packed
+  // deterministic fault schedule (which must outlive the cluster).
+  std::vector<faults::ReplicaFault> fault_list;
+  std::string fd_error;
+  if (!apply_failure_domain_flags(args, config.watchdog, config.admission_credits, fault_list,
+                                  fd_error)) {
+    return fail("serve: " + fd_error);
+  }
+  faults::ReplicaFaultSchedule fault_schedule;
+  for (const faults::ReplicaFault& fault : fault_list) {
+    if (fault.replica < 0 || fault.replica >= config.replicas) {
+      return fail("serve: --replica-fault names replica " + std::to_string(fault.replica) +
+                  " but the cluster has " + std::to_string(config.replicas));
+    }
+    fault_schedule.add(fault);
+  }
+  if (!fault_list.empty()) config.replica_faults = &fault_schedule;
+  if (!fake && !fault_list.empty()) {
+    return fail("serve: --replica-fault needs --fake-clock (fault windows are offsets into "
+                "fake time; a wall clock never enters them)");
+  }
 
   serving::ServingCluster cluster(detector, pipeline.steering_model.get(), config, clock);
 
@@ -442,6 +576,24 @@ int cmd_serve_cluster(const Args& args, const core::LoadedPipeline& pipeline,
   std::printf("provided_recon=%lld\n", static_cast<long long>(stats.provided_recon));
   std::printf("recon_mispredicts=%lld\n", static_cast<long long>(stats.recon_mispredicts));
   std::printf("prescreen_rejects=%lld\n", static_cast<long long>(stats.prescreen_rejects));
+  // Failure-domain counters (all zero without a watchdog / fault schedule).
+  std::printf("quarantines=%lld\n", static_cast<long long>(stats.quarantines));
+  std::printf("probe_attempts=%lld\n", static_cast<long long>(stats.probe_attempts));
+  std::printf("probe_failures=%lld\n", static_cast<long long>(stats.probe_failures));
+  std::printf("restores=%lld\n", static_cast<long long>(stats.restores));
+  std::printf("failovers=%lld\n", static_cast<long long>(stats.failovers));
+  std::printf("redispatched_frames=%lld\n", static_cast<long long>(stats.redispatched_frames));
+  std::printf("fallback_frames=%lld\n", static_cast<long long>(stats.fallback_frames));
+  std::printf("shed_frames=%lld\n", static_cast<long long>(stats.shed_frames));
+  std::printf("slow_batches=%lld\n", static_cast<long long>(stats.slow_batches));
+  std::printf("canary_checks=%lld\n", static_cast<long long>(stats.canary_checks));
+  std::printf("canary_failures=%lld\n", static_cast<long long>(stats.canary_failures));
+  for (const serving::ClusterEvent& event : cluster.take_events()) {
+    std::printf("cluster_event kind=%s at_us=%lld replica=%lld stream=%lld detail=%lld\n",
+                serving::cluster_event_kind_name(event.kind),
+                static_cast<long long>(event.at_ns / 1000), static_cast<long long>(event.replica),
+                static_cast<long long>(event.stream), static_cast<long long>(event.detail));
+  }
   return 0;
 }
 
@@ -649,6 +801,11 @@ int cmd_record(const Args& args) {
   spec.cluster.max_batch = args.get_int("max-batch", spec.cluster.max_batch);
   if (args.has("arrival-us")) {
     spec.cluster.arrival_period_ns = args.get_int("arrival-us", 1000) * 1000;
+  }
+  std::string fd_error;
+  if (!apply_failure_domain_flags(args, spec.cluster.watchdog, spec.cluster.admission_credits,
+                                  spec.cluster.replica_faults, fd_error)) {
+    return fail("record: " + fd_error);
   }
 
   // Bind the trace to the exact pipeline bytes it was recorded against.
