@@ -73,8 +73,12 @@ struct CellResult {
 
 /// Streams `images` through the guarded pipeline after per-frame injection
 /// of (fault, severity). `severity < 0` means "no injection" (clean floor).
+/// `variant` selects the scoring rung (float kPrimary or int8 kPrimaryQ8),
+/// each judged against its own fitted threshold; the validator/frozen
+/// screening ahead of scoring is precision-independent.
 CellResult run_cell(const core::NoveltyDetector& detector, const std::vector<Image>& images,
-                    faults::CameraFault fault, double severity) {
+                    faults::CameraFault fault, double severity,
+                    core::DetectorVariant variant = core::DetectorVariant::kPrimary) {
   faults::FaultInjector injector(kInjectorSeed);
   const int64_t n = static_cast<int64_t>(images.size());
 
@@ -101,8 +105,11 @@ CellResult run_cell(const core::NoveltyDetector& detector, const std::vector<Ima
 
   // Scoring pass for the frames that survived screening (fans out across the
   // worker pool).
-  const std::vector<double> scores = detector.scores(scoreable);
-  const core::NoveltyThreshold& threshold = detector.threshold();
+  std::vector<const Image*> scoreable_ptrs;
+  scoreable_ptrs.reserve(scoreable.size());
+  for (const Image& image : scoreable) scoreable_ptrs.push_back(&image);
+  const std::vector<double> scores = detector.score_batch(variant, scoreable_ptrs);
+  const core::NoveltyThreshold& threshold = detector.variant_calibration(variant).threshold;
 
   CellResult cell;
   int64_t detected = 0, by_validator = 0, by_novelty = 0;
@@ -264,9 +271,61 @@ void run_drift_scenario(std::ofstream& csv) {
               adaptive.final_epoch);
 
   csv << "exposure-drift," << kDriftPeakSeverity << "," << frozen.tail_flag_rate << ",0,"
-      << frozen.tail_flag_rate << ",0,frozen,0\n";
+      << frozen.tail_flag_rate << ",0,frozen,0,float\n";
   csv << "exposure-drift," << kDriftPeakSeverity << "," << adaptive.tail_flag_rate << ",0,"
-      << adaptive.tail_flag_rate << ",0,hot-swap,0\n";
+      << adaptive.tail_flag_rate << ",0,hot-swap,0,float\n";
+}
+
+// --- Precision smoke (CI-sized) --------------------------------------------
+
+/// Float-vs-q8 detection rates on a reduced pipeline (the drift detector's
+/// 16x24 raw+MSE config), so the CI `--drift-only` run still produces
+/// precision rows in the CSV artifact without the paper-scale refit. Applies
+/// the same mean-degradation gate as the full matrix; returns false on FAIL.
+bool run_precision_smoke(std::ofstream& csv) {
+  constexpr double kMaxQ8DegradationPp = 2.0;
+  const core::NoveltyDetector detector = fit_drift_detector();
+  if (!detector.has_quant_calibrations()) {
+    std::printf("\n(precision smoke skipped: no quant calibrations)\n");
+    return true;
+  }
+
+  roadsim::OutdoorSceneGenerator generator;
+  Rng frame_rng(kDetectorSeed + 3);
+  std::vector<Image> images;
+  for (int i = 0; i < 200; ++i) {
+    const roadsim::Sample sample = generator.generate(frame_rng);
+    images.push_back(resize_bilinear(sample.rgb.to_grayscale(), kDriftHeight, kDriftWidth));
+  }
+
+  std::printf("\nPrecision smoke (16x24 raw+MSE pipeline, float vs int8 rung):\n");
+  std::printf("%-16s %-10s %-10s %-10s %s\n", "fault", "severity", "float", "q8", "delta");
+  const std::vector<faults::CameraFault> smoke_faults = {faults::CameraFault::kSaltPepper,
+                                                         faults::CameraFault::kOverExposure};
+  double total_degradation_pp = 0.0;
+  int64_t cells = 0;
+  for (faults::CameraFault fault : smoke_faults) {
+    for (double severity : {0.25, 1.0}) {
+      const CellResult f_cell = run_cell(detector, images, fault, severity);
+      const CellResult q_cell =
+          run_cell(detector, images, fault, severity, core::DetectorVariant::kPrimaryQ8);
+      const double degradation_pp = 100.0 * (f_cell.detection_rate - q_cell.detection_rate);
+      total_degradation_pp += degradation_pp;
+      ++cells;
+      std::printf("%-16s %-10.2f %8.1f%%  %8.1f%%  %+5.1fpp\n",
+                  faults::camera_fault_name(fault), severity, 100.0 * f_cell.detection_rate,
+                  100.0 * q_cell.detection_rate, -degradation_pp);
+      csv << faults::camera_fault_name(fault) << "," << severity << "," << f_cell.detection_rate
+          << "," << f_cell.validator_rate << "," << f_cell.novelty_rate << ",0,frozen,0,float\n";
+      csv << faults::camera_fault_name(fault) << "," << severity << "," << q_cell.detection_rate
+          << "," << q_cell.validator_rate << "," << q_cell.novelty_rate << ",0,frozen,0,q8\n";
+    }
+  }
+  const double mean_pp = total_degradation_pp / static_cast<double>(cells);
+  const bool gate_ok = mean_pp <= kMaxQ8DegradationPp;
+  std::printf("Precision smoke gate: mean q8 degradation %.2fpp — limit %.1fpp: %s\n", mean_pp,
+              kMaxQ8DegradationPp, gate_ok ? "PASS" : "FAIL");
+  return gate_ok;
 }
 
 // --- Replica failure domain ------------------------------------------------
@@ -403,7 +462,7 @@ void run_replica_scenario(const core::NoveltyDetector& detector, nn::Sequential*
     // carries the restore latency so the CSV schema stays uniform.
     csv << "replica-" << row.name << ",1,"
         << (static_cast<double>(served) / static_cast<double>(out.submitted)) << ",0,0,"
-        << out.restore_latency_frames << ",frozen," << out.failover_latency_frames << "\n";
+        << out.restore_latency_frames << ",frozen," << out.failover_latency_frames << ",float\n";
   }
 }
 
@@ -418,10 +477,12 @@ int run(bool drift_only) {
   if (drift_only) {
     std::ofstream csv(artifact_dir() + "/fault_matrix.csv");
     csv << "fault,severity,detection_rate,validator_rate,novelty_rate,recovery_latency_frames,"
-           "thresholds,failover_latency_frames\n";
+           "thresholds,failover_latency_frames,precision\n";
     run_drift_scenario(csv);
-    std::printf("\nWrote %s/fault_matrix.csv (drift rows only)\n", artifact_dir().c_str());
-    return 0;
+    const bool precision_ok = run_precision_smoke(csv);
+    std::printf("\nWrote %s/fault_matrix.csv (drift + precision-smoke rows)\n",
+                artifact_dir().c_str());
+    return precision_ok ? 0 : 1;
   }
 
   Env& env = environment();
@@ -439,28 +500,79 @@ int run(bool drift_only) {
 
   std::ofstream csv(artifact_dir() + "/fault_matrix.csv");
   csv << "fault,severity,detection_rate,validator_rate,novelty_rate,recovery_latency_frames,"
-         "thresholds,failover_latency_frames\n";
+         "thresholds,failover_latency_frames,precision\n";
   csv << "none,0," << clean.detection_rate << "," << clean.validator_rate << ","
-      << clean.novelty_rate << ",0,frozen,0\n";
+      << clean.novelty_rate << ",0,frozen,0,float\n";
+
+  // Precision comparison: every camera-fault cell is scored twice, once by
+  // the float rung and once by the int8 rung (each against its own fitted
+  // threshold). The gate fails the bench if quantization costs more than
+  // kMaxQ8DegradationPp detection averaged over the matrix. The mean, not
+  // the worst cell, is the gated statistic: a single 200-frame cell has a
+  // sampling standard error of ~2pp near p=0.9, so any individual cell can
+  // legitimately wobble past 2pp while the matrix-wide cost stays near zero
+  // (the worst cell is still reported for eyeballing).
+  constexpr double kMaxQ8DegradationPp = 2.0;
+  const bool quant = detector.has_quant_calibrations();
+  if (!quant) {
+    std::printf("\n(pipeline has no quant calibrations; q8 precision rows skipped)\n");
+  }
+  double worst_q8_degradation_pp = 0.0;
+  double total_q8_degradation_pp = 0.0;
+  int64_t q8_cells = 0;
+  const char* worst_q8_cell = "none";
 
   std::printf(
       "\nDetection rate per cell (v = screened by validator/frozen guard share,\n"
-      "r = frames from fault-clear to monitor release):\n");
-  std::printf("%-16s", "fault \\ sev");
+      "r = frames from fault-clear to monitor release; q8 rows score the same\n"
+      "frames through the int8 rung against its own threshold):\n");
+  std::printf("%-22s", "fault \\ sev");
   for (double s : severities) std::printf("      %10.2f", s);
   std::printf("\n");
   for (faults::CameraFault fault : faults::all_camera_faults()) {
-    std::printf("%-16s", faults::camera_fault_name(fault));
+    std::printf("%-22s", faults::camera_fault_name(fault));
+    std::vector<CellResult> float_cells;
     for (double severity : severities) {
       const CellResult cell = run_cell(detector, images, fault, severity);
+      float_cells.push_back(cell);
       const int64_t recovery = recovery_latency(detector, images, fault, severity);
       std::printf("  %5.1f%% v%3.0f%% r%-2" PRId64, 100.0 * cell.detection_rate,
                   100.0 * cell.validator_rate, recovery);
       csv << faults::camera_fault_name(fault) << "," << severity << "," << cell.detection_rate
           << "," << cell.validator_rate << "," << cell.novelty_rate << "," << recovery
-          << ",frozen,0\n";
+          << ",frozen,0,float\n";
     }
     std::printf("\n");
+    if (!quant) continue;
+    std::printf("%-19s q8", faults::camera_fault_name(fault));
+    for (size_t i = 0; i < severities.size(); ++i) {
+      const CellResult cell = run_cell(detector, images, fault, severities[i],
+                                       core::DetectorVariant::kPrimaryQ8);
+      const double degradation_pp =
+          100.0 * (float_cells[i].detection_rate - cell.detection_rate);
+      if (degradation_pp > worst_q8_degradation_pp) {
+        worst_q8_degradation_pp = degradation_pp;
+        worst_q8_cell = faults::camera_fault_name(fault);
+      }
+      total_q8_degradation_pp += degradation_pp;
+      ++q8_cells;
+      std::printf("  %5.1f%% %+5.1fpp    ", 100.0 * cell.detection_rate, -degradation_pp);
+      csv << faults::camera_fault_name(fault) << "," << severities[i] << ","
+          << cell.detection_rate << "," << cell.validator_rate << "," << cell.novelty_rate
+          << ",0,frozen,0,q8\n";
+    }
+    std::printf("\n");
+  }
+  if (quant) {
+    const double mean_q8_degradation_pp =
+        q8_cells > 0 ? total_q8_degradation_pp / static_cast<double>(q8_cells) : 0.0;
+    const bool gate_ok = mean_q8_degradation_pp <= kMaxQ8DegradationPp;
+    std::printf(
+        "\nPrecision gate: mean q8 detection-rate degradation %.2fpp over %" PRId64
+        " cells (worst %.2fpp at %s) — limit %.1fpp mean: %s\n",
+        mean_q8_degradation_pp, q8_cells, worst_q8_degradation_pp, worst_q8_cell,
+        kMaxQ8DegradationPp, gate_ok ? "PASS" : "FAIL");
+    if (!gate_ok) return 1;
   }
 
   std::printf("\nWeight corruption (random bit-flips in the autoencoder, clean input stream):\n");
@@ -485,7 +597,7 @@ int run(bool drift_only) {
     }
     const double rate = static_cast<double>(novel) / static_cast<double>(scores.size());
     std::printf("%-12" PRId64 " %6.1f%%            %" PRId64 "\n", flips, 100.0 * rate, non_finite);
-    csv << "weight-bit-flip," << flips << "," << rate << ",0," << rate << ",0,frozen,0\n";
+    csv << "weight-bit-flip," << flips << "," << rate << ",0," << rate << ",0,frozen,0,float\n";
   }
 
   run_replica_scenario(detector, handle.steering ? handle.steering.get() : &env.steering, images, csv);

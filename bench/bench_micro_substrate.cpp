@@ -25,6 +25,7 @@
 #include "saliency/lrp.hpp"
 #include "saliency/visual_backprop.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_int8.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/workspace.hpp"
 
@@ -45,6 +46,31 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmInt8(benchmark::State& state) {
+  // The quantized-rung GEMM: u8 activations x s8 weights with exact int32
+  // accumulation and the fused fmaf dequant epilogue, pre-packed B (the
+  // production layout in nn::QuantizedForward).
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<uint8_t> a(static_cast<size_t>(n * n));
+  std::vector<int8_t> b(static_cast<size_t>(n * n));
+  std::vector<float> bias(static_cast<size_t>(n));
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<uint8_t>(rng.uniform_int(0, 127));
+  for (auto& v : b) v = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (auto& v : bias) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const PackedQuantMatrix packed = pack_quant_b(b.data(), n, n);
+  QuantEpilogue epilogue;
+  epilogue.scale = 1e-3f;
+  epilogue.bias_col = bias.data();
+  for (auto _ : state) {
+    gemm_u8s8_dequant(a.data(), b.data(), c.data(), n, n, n, epilogue, &packed);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmInt8)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(2);
@@ -191,8 +217,32 @@ double gemm_gflops_256(GemmKernel kernel, bool packed) {
   return 2.0 * static_cast<double>(n) * n * n / sec / 1e9;
 }
 
+/// int8 GEMM throughput at 256^3 through the production dequant entry point
+/// (pre-packed B). Reported in GOP/s with the same 2n^3 op count as the
+/// float rows, so the columns compare directly.
+double gemm_int8_gops_256(GemmInt8Kernel kernel) {
+  set_gemm_int8_kernel(kernel);
+  const int64_t n = 256;
+  Rng rng(22);
+  std::vector<uint8_t> a(static_cast<size_t>(n * n));
+  std::vector<int8_t> b(static_cast<size_t>(n * n));
+  std::vector<float> bias(static_cast<size_t>(n));
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<uint8_t>(rng.uniform_int(0, 127));
+  for (auto& v : b) v = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  for (auto& v : bias) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const PackedQuantMatrix packed = pack_quant_b(b.data(), n, n);
+  QuantEpilogue epilogue;
+  epilogue.scale = 1e-3f;
+  epilogue.bias_col = bias.data();
+  const double sec = time_per_call(
+      [&] { gemm_u8s8_dequant(a.data(), b.data(), c.data(), n, n, n, epilogue, &packed); });
+  return 2.0 * static_cast<double>(n) * n * n / sec / 1e9;
+}
+
 void emit_substrate_json() {
   const GemmKernel default_kernel = active_gemm_kernel();
+  const GemmInt8Kernel default_int8_kernel = active_gemm_int8_kernel();
 
   // Single-thread per-kernel GEMM throughput at 256^3 — the acceptance
   // criterion records scalar and SIMD side by side.
@@ -205,6 +255,11 @@ void emit_substrate_json() {
     simd_packed_gflops = gemm_gflops_256(GemmKernel::kSimd, true);
   }
   set_gemm_kernel(default_kernel);
+
+  const double int8_scalar_gops = gemm_int8_gops_256(GemmInt8Kernel::kScalar);
+  double int8_simd_gops = 0.0;
+  if (gemm_int8_simd_available()) int8_simd_gops = gemm_int8_gops_256(GemmInt8Kernel::kSimd);
+  set_gemm_int8_kernel(default_int8_kernel);
 
   // Detector frames/sec at paper resolution (tiny autoencoder so the fit
   // stays in bench budget), plus workspace allocation counters proving the
@@ -266,6 +321,15 @@ void emit_substrate_json() {
        << "    \"speedup_simd_over_scalar\": "
        << (scalar_gflops > 0.0 ? simd_gflops / scalar_gflops : 0.0) << "\n"
        << "  },\n"
+       << "  \"gemm_int8_256\": {\n"
+       << "    \"scalar_gops\": " << int8_scalar_gops << ",\n"
+       << "    \"simd_gops\": " << int8_simd_gops << ",\n"
+       << "    \"simd_kernel\": \""
+       << (gemm_int8_simd_available() ? gemm_int8_kernel_name(GemmInt8Kernel::kSimd) : "none")
+       << "\",\n"
+       << "    \"speedup_int8_over_float_simd\": "
+       << (simd_packed_gflops > 0.0 ? int8_simd_gops / simd_packed_gflops : 0.0) << "\n"
+       << "  },\n"
        << "  \"detector\": {\n"
        << "    \"frames_per_sec_1_thread\": " << fps_1t << ",\n"
        << "    \"frames_per_sec_4_threads\": " << fps_4t << "\n"
@@ -277,9 +341,11 @@ void emit_substrate_json() {
        << "}\n";
   std::printf(
       "BENCH_substrate.json: gemm256 scalar %.2f GF/s, simd %.2f GF/s, simd+packed %.2f GF/s "
-      "(x%.2f); detector %.1f fps (1t) / %.1f fps (4t); steady-state workspace allocs %lld\n",
+      "(x%.2f); int8 gemm256 scalar %.2f GOP/s, simd %.2f GOP/s (x%.2f over float simd+packed); "
+      "detector %.1f fps (1t) / %.1f fps (4t); steady-state workspace allocs %lld\n",
       scalar_gflops, simd_gflops, simd_packed_gflops,
-      scalar_gflops > 0.0 ? simd_gflops / scalar_gflops : 0.0, fps_1t, fps_4t,
+      scalar_gflops > 0.0 ? simd_gflops / scalar_gflops : 0.0, int8_scalar_gops, int8_simd_gops,
+      simd_packed_gflops > 0.0 ? int8_simd_gops / simd_packed_gflops : 0.0, fps_1t, fps_4t,
       (long long)steady_allocs);
 }
 

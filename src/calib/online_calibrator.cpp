@@ -46,6 +46,18 @@ double shadow_threshold_quantile(const P2Sketch& sketch, core::ScoreOrientation 
 
 }  // namespace
 
+const core::VariantCalibration& OnlineCalibrator::fit_calibration(
+    core::DetectorVariant variant) const {
+  const core::VariantCalibration* cal = detector_.variant_calibration_if(variant);
+  if (cal == nullptr) {
+    cal = detector_.variant_calibration_if(core::detector_variant_float_peer(variant));
+  }
+  if (cal == nullptr) {
+    throw std::logic_error("OnlineCalibrator: variant has no fitted calibration");
+  }
+  return *cal;
+}
+
 OnlineCalibrator::OnlineCalibrator(const core::NoveltyDetector& detector,
                                    OnlineCalibrationConfig config)
     : detector_(detector),
@@ -61,7 +73,7 @@ OnlineCalibrator::OnlineCalibrator(const core::NoveltyDetector& detector,
   sketches_.reserve(core::kDetectorVariantCount);
   for (int v = 0; v < core::kDetectorVariantCount; ++v) {
     sketches_.emplace_back(tracked, config_.warmup);
-    const auto& calibration = detector_.variant_calibration(static_cast<core::DetectorVariant>(v));
+    const auto& calibration = fit_calibration(static_cast<core::DetectorVariant>(v));
     const double median = calibration.cdf.quantile(0.5);
     const double threshold = calibration.threshold.threshold();
     scale_[static_cast<size_t>(v)] = std::max(std::abs(threshold - median), 1e-12);
@@ -79,7 +91,7 @@ bool OnlineCalibrator::check_due(int64_t scored_frames) const {
 double OnlineCalibrator::served_threshold_for(core::DetectorVariant variant,
                                               const ThresholdSet* live) const {
   if (live != nullptr) return live->thresholds[static_cast<size_t>(variant)].threshold();
-  return detector_.variant_calibration(variant).threshold.threshold();
+  return fit_calibration(variant).threshold.threshold();
 }
 
 RungDrift OnlineCalibrator::evaluate(core::DetectorVariant variant,
@@ -90,8 +102,7 @@ RungDrift OnlineCalibrator::evaluate(core::DetectorVariant variant,
   rung.served_threshold = served_threshold_for(variant, live);
   rung.eligible = sketch.count() >= config_.min_samples;
   if (!rung.eligible) return rung;
-  const core::ScoreOrientation orientation =
-      detector_.variant_calibration(variant).threshold.orientation();
+  const core::ScoreOrientation orientation = fit_calibration(variant).threshold.orientation();
   rung.shadow_quantile = shadow_threshold_quantile(sketch, orientation, config_.percentile);
   rung.ratio = std::abs(rung.shadow_quantile - rung.served_threshold) /
                scale_[static_cast<size_t>(variant)];
@@ -118,8 +129,7 @@ std::shared_ptr<const ThresholdSet> OnlineCalibrator::build(const ThresholdSet* 
   for (int v = 0; v < core::kDetectorVariantCount; ++v) {
     const auto variant = static_cast<core::DetectorVariant>(v);
     const auto& sketch = sketches_[static_cast<size_t>(v)];
-    const core::ScoreOrientation orientation =
-        detector_.variant_calibration(variant).threshold.orientation();
+    const core::ScoreOrientation orientation = fit_calibration(variant).threshold.orientation();
     if (sketch.count() >= config_.min_samples) {
       set->thresholds[static_cast<size_t>(v)] = core::NoveltyThreshold(
           shadow_threshold_quantile(sketch, orientation, config_.percentile), orientation);
@@ -131,7 +141,7 @@ std::shared_ptr<const ThresholdSet> OnlineCalibrator::build(const ThresholdSet* 
       // it knows nothing about.
       set->thresholds[static_cast<size_t>(v)] =
           live != nullptr ? live->thresholds[static_cast<size_t>(v)]
-                          : detector_.variant_calibration(variant).threshold;
+                          : fit_calibration(variant).threshold;
       set->shadow_samples[static_cast<size_t>(v)] = 0;
       set->rebuilt[static_cast<size_t>(v)] = 0;
     }
@@ -147,9 +157,8 @@ RungDrift OnlineCalibrator::gauge(core::DetectorVariant variant, const Threshold
     const auto& sketch = sketches_[static_cast<size_t>(variant)];
     rung.shadow_quantile =
         sketch.count() > 0
-            ? shadow_threshold_quantile(
-                  sketch, detector_.variant_calibration(variant).threshold.orientation(),
-                  config_.percentile)
+            ? shadow_threshold_quantile(sketch, fit_calibration(variant).threshold.orientation(),
+                                        config_.percentile)
             : std::numeric_limits<double>::quiet_NaN();
   }
   return rung;

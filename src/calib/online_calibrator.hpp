@@ -110,6 +110,11 @@ class OnlineCalibrator {
   RungDrift evaluate(core::DetectorVariant variant, const ThresholdSet* live) const;
   double served_threshold_for(core::DetectorVariant variant, const ThresholdSet* live) const;
 
+  /// The fitted calibration backing a rung's drift scale/orientation. For a
+  /// q8 rung of a pipeline fitted without quantization this is the float
+  /// peer's calibration — the same stand-in the serving path uses.
+  const core::VariantCalibration& fit_calibration(core::DetectorVariant variant) const;
+
   const core::NoveltyDetector& detector_;
   OnlineCalibrationConfig config_;
   std::vector<P2Sketch> sketches_;  ///< one per DetectorVariant, same index

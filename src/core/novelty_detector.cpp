@@ -52,6 +52,10 @@ const char* detector_variant_name(DetectorVariant variant) {
       return "preproc+mse";
     case DetectorVariant::kRawMse:
       return "raw+mse";
+    case DetectorVariant::kPrimaryQ8:
+      return "primary-q8";
+    case DetectorVariant::kPreprocessedMseQ8:
+      return "preproc+mse-q8";
   }
   return "unknown";
 }
@@ -84,11 +88,37 @@ NoveltyDetector::NoveltyDetector(NoveltyDetectorConfig config)
       validator_(config_.height, config_.width, config_.frame_validator) {
   config_.autoencoder.input_height = config_.height;
   config_.autoencoder.input_width = config_.width;
+  vbp_ = dynamic_cast<saliency::VisualBackProp*>(saliency_.get());
 }
 
 void NoveltyDetector::attach_steering_model(nn::Sequential* model) {
   if (model == nullptr) throw std::invalid_argument("attach_steering_model: null model");
   steering_model_ = model;
+  // A loaded pipeline may carry steering scales from before the model was
+  // attached; the quantized view can only be built now.
+  rebuild_quant_path();
+}
+
+bool NoveltyDetector::quant_supported() const {
+  return config_.preprocessing == Preprocessing::kRaw ||
+         (config_.preprocessing == Preprocessing::kVbp && vbp_ != nullptr);
+}
+
+void NoveltyDetector::rebuild_quant_path() {
+  quant_ae_.reset();
+  quant_steering_.reset();
+  if (!quant_supported()) return;
+  if (fitted_ && !ae_quant_scales_.empty()) {
+    quant_ae_ = std::make_unique<nn::QuantizedForward>(autoencoder_, ae_quant_scales_);
+  }
+  if (steering_model_ != nullptr && !steering_quant_scales_.empty()) {
+    quant_steering_ = std::make_unique<nn::QuantizedForward>(*steering_model_, steering_quant_scales_);
+  }
+}
+
+bool NoveltyDetector::has_quant_path() const {
+  if (quant_ae_ == nullptr) return false;
+  return !uses_saliency(config_.preprocessing) || quant_steering_ != nullptr;
 }
 
 void NoveltyDetector::validate_input(const Image& input, bool needs_saliency) const {
@@ -116,13 +146,21 @@ Preprocessing NoveltyDetector::variant_preprocessing(DetectorVariant variant) co
 }
 
 ReconstructionScore NoveltyDetector::variant_score_metric(DetectorVariant variant) const {
-  return variant == DetectorVariant::kPrimary ? config_.score : ReconstructionScore::kMse;
+  return detector_variant_float_peer(variant) == DetectorVariant::kPrimary
+             ? config_.score
+             : ReconstructionScore::kMse;
 }
 
 Image NoveltyDetector::variant_preprocess(DetectorVariant variant, const Image& input) const {
   const bool saliency = uses_saliency(variant_preprocessing(variant));
   validate_input(input, saliency);
   if (!saliency) return input;
+  if (detector_variant_quantized(variant)) {
+    if (quant_steering_ == nullptr || vbp_ == nullptr) {
+      throw std::logic_error("NoveltyDetector: quantized saliency path is not available");
+    }
+    return vbp_->compute_quantized(*quant_steering_, input);
+  }
   // saliency_ exists since construction, so this const path mutates nothing
   // of the detector's and is safe under the concurrent batch fan-out.
   return saliency_->compute(*steering_model_, input);
@@ -134,6 +172,15 @@ bool NoveltyDetector::batch_parallel_safe() const {
 
 nn::TrainHistory NoveltyDetector::fit(const std::vector<Image>& training_images, Rng& rng) {
   if (training_images.empty()) throw std::invalid_argument("NoveltyDetector::fit: no training images");
+
+  // Refit invalidates any previous quantized state up front: stage 2
+  // replaces the autoencoder's layers, which the quantized views point at.
+  quant_ae_.reset();
+  quant_steering_.reset();
+  ae_quant_scales_ = {};
+  steering_quant_scales_ = {};
+  variant_calibrations_[static_cast<size_t>(DetectorVariant::kPrimaryQ8)].reset();
+  variant_calibrations_[static_cast<size_t>(DetectorVariant::kPreprocessedMseQ8)].reset();
 
   // Stage 1: preprocess every training image (VBP mask or pass-through),
   // one image per pool chunk.
@@ -202,6 +249,44 @@ nn::TrainHistory NoveltyDetector::fit(const std::vector<Image>& training_images,
   variant_calibrations_[2] = VariantCalibration::calibrate(
       raw_mse_scores, ScoreOrientation::kHighIsNovel, config_.threshold_percentile);
   threshold_ = variant_calibrations_[0]->threshold;
+
+  // Stage 4 (optional): int8 quantization. Fits per-layer activation scales
+  // over the training set, builds the quantized model views, and calibrates
+  // the q8 variants against their own training-score ECDFs. Draws nothing
+  // from `rng`, so enabling or disabling quantization leaves every float
+  // artifact (weights, thresholds) bit-identical.
+  if (config_.fit_quantization && quant_supported()) {
+    // Activation maxima are computed over the stacked batch tensors — the
+    // per-layer max of a batch forward equals the max over batch-1 calls.
+    ae_quant_scales_ = nn::QuantizedForward::calibrate(autoencoder_, {&data});
+    if (saliency_configured && steering_model_ != nullptr) {
+      Tensor steer_data({n, 1, config_.height, config_.width});
+      for (int64_t i = 0; i < n; ++i) {
+        std::memcpy(steer_data.data() + i * dim, training_images[static_cast<size_t>(i)].tensor().data(),
+                    static_cast<size_t>(dim) * sizeof(float));
+      }
+      steering_quant_scales_ = nn::QuantizedForward::calibrate(*steering_model_, {&steer_data});
+    }
+    rebuild_quant_path();
+    if (has_quant_path()) {
+      std::vector<double> primary_q8_scores(preprocessed.size());
+      std::vector<double> preproc_mse_q8_scores(preprocessed.size());
+      fan_out(n, true, [&](int64_t i) {
+        const size_t s = static_cast<size_t>(i);
+        const Image pq = variant_preprocess(DetectorVariant::kPrimaryQ8, training_images[s]);
+        const Image rq = variant_reconstruct(DetectorVariant::kPrimaryQ8, pq);
+        primary_q8_scores[s] = variant_score_pair(DetectorVariant::kPrimaryQ8, pq, rq);
+        preproc_mse_q8_scores[s] =
+            variant_score_pair(DetectorVariant::kPreprocessedMseQ8, pq, rq);
+      });
+      variant_calibrations_[static_cast<size_t>(DetectorVariant::kPrimaryQ8)] =
+          VariantCalibration::calibrate(primary_q8_scores, orientation,
+                                        config_.threshold_percentile);
+      variant_calibrations_[static_cast<size_t>(DetectorVariant::kPreprocessedMseQ8)] =
+          VariantCalibration::calibrate(preproc_mse_q8_scores, ScoreOrientation::kHighIsNovel,
+                                        config_.threshold_percentile);
+    }
+  }
   return history;
 }
 
@@ -241,6 +326,12 @@ std::vector<Image> NoveltyDetector::variant_preprocess_batch(
     for (const Image* input : inputs) out.push_back(*input);
     return out;
   }
+  if (detector_variant_quantized(variant)) {
+    if (quant_steering_ == nullptr || vbp_ == nullptr) {
+      throw std::logic_error("NoveltyDetector: quantized saliency path is not available");
+    }
+    return vbp_->compute_batch_quantized(*quant_steering_, inputs);
+  }
   return saliency_->compute_batch(*steering_model_, inputs);
 }
 
@@ -276,12 +367,54 @@ std::vector<double> NoveltyDetector::score_batch(DetectorVariant variant,
   std::vector<const Image*> views;
   views.reserve(preprocessed.size());
   for (const Image& image : preprocessed) views.push_back(&image);
-  const std::vector<Image> reconstructions = reconstruct_batch(views);
+  const std::vector<Image> reconstructions = variant_reconstruct_batch(variant, views);
   std::vector<double> scores(inputs.size());
   for (size_t i = 0; i < inputs.size(); ++i) {
     scores[i] = variant_score_pair(variant, preprocessed[i], reconstructions[i]);
   }
   return scores;
+}
+
+Image NoveltyDetector::variant_reconstruct(DetectorVariant variant,
+                                           const Image& preprocessed) const {
+  if (!detector_variant_quantized(variant)) return reconstruct(preprocessed);
+  if (!fitted_) throw std::logic_error("NoveltyDetector: not fitted");
+  if (quant_ae_ == nullptr) {
+    throw std::logic_error("NoveltyDetector: quantized autoencoder path is not available");
+  }
+  const Tensor input = preprocessed.flattened().reshape({1, config_.height * config_.width});
+  const Tensor output = quant_ae_->forward(input);
+  return Image(config_.height, config_.width, output.reshape({config_.height, config_.width}));
+}
+
+std::vector<Image> NoveltyDetector::variant_reconstruct_batch(
+    DetectorVariant variant, const std::vector<const Image*>& preprocessed) const {
+  if (!detector_variant_quantized(variant)) return reconstruct_batch(preprocessed);
+  if (!fitted_) throw std::logic_error("NoveltyDetector: not fitted");
+  if (quant_ae_ == nullptr) {
+    throw std::logic_error("NoveltyDetector: quantized autoencoder path is not available");
+  }
+  if (preprocessed.empty()) return {};
+  const int64_t batch = static_cast<int64_t>(preprocessed.size());
+  const int64_t dim = config_.height * config_.width;
+  Tensor input({batch, dim});
+  for (int64_t n = 0; n < batch; ++n) {
+    const Image* image = preprocessed[static_cast<size_t>(n)];
+    if (image == nullptr) throw std::invalid_argument("variant_reconstruct_batch: null image");
+    if (image->numel() != dim) {
+      throw std::invalid_argument("variant_reconstruct_batch: image size does not match the pipeline");
+    }
+    input.set_slice0(n, image->flattened());
+  }
+  const Tensor output = quant_ae_->forward(input);
+  std::vector<Image> result(preprocessed.size());
+  for (int64_t n = 0; n < batch; ++n) {
+    Tensor row({dim});
+    std::memcpy(row.data(), output.data() + n * dim, static_cast<size_t>(dim) * sizeof(float));
+    result[static_cast<size_t>(n)] =
+        Image(config_.height, config_.width, row.reshape({config_.height, config_.width}));
+  }
+  return result;
 }
 
 double NoveltyDetector::score(const Image& input) const {
@@ -290,7 +423,7 @@ double NoveltyDetector::score(const Image& input) const {
 
 double NoveltyDetector::score_variant(DetectorVariant variant, const Image& input) const {
   const Image p = variant_preprocess(variant, input);
-  return variant_score_pair(variant, p, reconstruct(p));
+  return variant_score_pair(variant, p, variant_reconstruct(variant, p));
 }
 
 const VariantCalibration& NoveltyDetector::variant_calibration(DetectorVariant variant) const {
@@ -303,11 +436,22 @@ const VariantCalibration& NoveltyDetector::variant_calibration(DetectorVariant v
   return *slot;
 }
 
+const VariantCalibration* NoveltyDetector::variant_calibration_if(DetectorVariant variant) const {
+  const auto& slot = variant_calibrations_[static_cast<size_t>(variant)];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
 bool NoveltyDetector::has_variant_calibrations() const {
-  for (const auto& slot : variant_calibrations_) {
-    if (!slot.has_value()) return false;
+  for (int v = 0; v < kDetectorFloatVariantCount; ++v) {
+    if (!variant_calibrations_[static_cast<size_t>(v)].has_value()) return false;
   }
   return true;
+}
+
+bool NoveltyDetector::has_quant_calibrations() const {
+  return variant_calibrations_[static_cast<size_t>(DetectorVariant::kPrimaryQ8)].has_value() &&
+         variant_calibrations_[static_cast<size_t>(DetectorVariant::kPreprocessedMseQ8)]
+             .has_value();
 }
 
 std::vector<double> NoveltyDetector::scores(const std::vector<Image>& inputs) const {

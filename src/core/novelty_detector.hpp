@@ -21,11 +21,16 @@
 #include "core/frame_validator.hpp"
 #include "core/threshold.hpp"
 #include "image/image.hpp"
+#include "nn/quantized.hpp"
 #include "nn/sequential.hpp"
 #include "nn/ssim_loss.hpp"
 #include "nn/trainer.hpp"
 #include "saliency/saliency.hpp"
 #include "tensor/rng.hpp"
+
+namespace salnov::saliency {
+class VisualBackProp;
+}
 
 namespace salnov::core {
 
@@ -57,10 +62,32 @@ enum class DetectorVariant : int {
   kPrimary = 0,        ///< configured preprocessing + configured score (VBP+SSIM as proposed)
   kPreprocessedMse,    ///< configured preprocessing + MSE score (skips the SSIM pass)
   kRawMse,             ///< raw pass-through + MSE (skips saliency entirely; Richter & Roy floor)
+  kPrimaryQ8,          ///< kPrimary with int8-quantized forwards (bounded score drift)
+  kPreprocessedMseQ8,  ///< kPreprocessedMse with int8-quantized forwards
 };
-inline constexpr int kDetectorVariantCount = 3;
+/// The quantized variants are APPENDED (serialized ordinals are
+/// load-bearing); ladder order lives in serving/health.hpp's rank table.
+inline constexpr int kDetectorVariantCount = 5;
+/// The float variants form a prefix: slots [0, kDetectorFloatVariantCount).
+inline constexpr int kDetectorFloatVariantCount = 3;
 
-/// Stable tag for logs and artifacts ("primary", "preproc+mse", "raw+mse").
+/// True for the int8-quantized scoring variants.
+constexpr bool detector_variant_quantized(DetectorVariant variant) {
+  return variant == DetectorVariant::kPrimaryQ8 ||
+         variant == DetectorVariant::kPreprocessedMseQ8;
+}
+
+/// The float variant a quantized variant mirrors (identity for float ones).
+/// A q8 variant shares its peer's preprocessing and score metric; only the
+/// forward passes (and therefore the calibrated ECDF) differ.
+constexpr DetectorVariant detector_variant_float_peer(DetectorVariant variant) {
+  return variant == DetectorVariant::kPrimaryQ8            ? DetectorVariant::kPrimary
+         : variant == DetectorVariant::kPreprocessedMseQ8 ? DetectorVariant::kPreprocessedMse
+                                                           : variant;
+}
+
+/// Stable tag for logs and artifacts ("primary", "preproc+mse", "raw+mse",
+/// "primary-q8", "preproc+mse-q8").
 const char* detector_variant_name(DetectorVariant variant);
 
 struct NoveltyDetectorConfig {
@@ -82,6 +109,12 @@ struct NoveltyDetectorConfig {
   /// scored as if the world were novel. Runtime policy — not serialized.
   bool validate_frames = true;
   FrameValidatorConfig frame_validator;
+
+  /// When true (default), fit() also calibrates the int8 quantization scales
+  /// and the q8 variants' ECDF thresholds, enabling the vbp+ssim-q8 /
+  /// vbp+mse-q8 serving rungs. Skipped silently for gradient/LRP
+  /// preprocessing (no quantized saliency path exists for the ablations).
+  bool fit_quantization = true;
 
   /// The paper's proposed configuration (VBP + SSIM).
   static NoveltyDetectorConfig proposed();
@@ -155,6 +188,16 @@ class NoveltyDetector {
   double variant_score_pair(DetectorVariant variant, const Image& preprocessed,
                             const Image& reconstruction) const;
 
+  /// Variant-aware autoencoder reconstruction: the q8 variants run the
+  /// int8-quantized forward (bit-identical across kernels/threads/batch
+  /// sizes), the float variants are identical to reconstruct().
+  Image variant_reconstruct(DetectorVariant variant, const Image& preprocessed) const;
+
+  /// Batched counterpart; element i is bit-identical to
+  /// variant_reconstruct(variant, *preprocessed[i]).
+  std::vector<Image> variant_reconstruct_batch(DetectorVariant variant,
+                                               const std::vector<const Image*>& preprocessed) const;
+
   /// Full pipeline score under one variant. score_variant(kPrimary, x) is
   /// identical to score(x).
   double score_variant(DetectorVariant variant, const Image& input) const;
@@ -187,7 +230,27 @@ class NoveltyDetector {
   /// all variants by fit() and persisted through PipelineIo. Throws
   /// std::logic_error when the detector was not fitted/loaded.
   const VariantCalibration& variant_calibration(DetectorVariant variant) const;
+
+  /// Non-throwing lookup: nullptr when the variant is not calibrated (e.g.
+  /// the q8 slots of a pipeline fitted or loaded without quantization).
+  const VariantCalibration* variant_calibration_if(DetectorVariant variant) const;
+
+  /// True when every FLOAT variant is calibrated — the contract older
+  /// pipelines already satisfy; the q8 slots are optional extras.
   bool has_variant_calibrations() const;
+
+  /// True when both q8 variants are calibrated.
+  bool has_quant_calibrations() const;
+
+  /// True when the quantized forwards are ready to run: quantization scales
+  /// are fitted/loaded for the autoencoder and — for saliency
+  /// configurations — the attached steering model.
+  bool has_quant_path() const;
+
+  /// The quantized model views, or nullptr when has_quant_path() is false
+  /// (steering also requires attach_steering_model()).
+  const nn::QuantizedForward* quant_autoencoder() const { return quant_ae_.get(); }
+  const nn::QuantizedForward* quant_steering() const { return quant_steering_.get(); }
 
   bool is_fitted() const { return fitted_; }
   const NoveltyDetectorConfig& config() const { return config_; }
@@ -207,6 +270,16 @@ class NoveltyDetector {
   /// either no saliency stage, or one whose compute() is reentrant.
   bool batch_parallel_safe() const;
 
+  /// True when the configuration admits a quantized path at all (raw or VBP
+  /// preprocessing; the gradient/LRP ablations have no quantized saliency).
+  bool quant_supported() const;
+
+  /// (Re)builds quant_ae_ / quant_steering_ from the current models and
+  /// scales. Called after fit, after attach_steering_model, and by
+  /// PipelineIo::load — the wrappers cache layer pointers, so any model
+  /// rebuild must run through here.
+  void rebuild_quant_path();
+
   NoveltyDetectorConfig config_;
   nn::Sequential autoencoder_;
   nn::Sequential* steering_model_ = nullptr;
@@ -219,7 +292,21 @@ class NoveltyDetector {
   std::optional<NoveltyThreshold> threshold_;
   /// One calibration per DetectorVariant (same index), fitted by fit() and
   /// restored by PipelineIo::load. threshold_ mirrors the kPrimary entry.
+  /// The q8 slots stay empty for pipelines fitted/loaded without
+  /// quantization.
   std::array<std::optional<VariantCalibration>, kDetectorVariantCount> variant_calibrations_;
+
+  /// Int8 per-layer activation scales (empty = no quantized path) and the
+  /// quantized model views built from them. Weight scales are derived from
+  /// the live weights, so only activation scales persist (PipelineIo v3).
+  nn::QuantScales ae_quant_scales_;
+  nn::QuantScales steering_quant_scales_;
+  std::unique_ptr<nn::QuantizedForward> quant_ae_;
+  std::unique_ptr<nn::QuantizedForward> quant_steering_;
+  /// Non-owning view of saliency_ when it is VisualBackProp (the only
+  /// method with a quantized entry); null otherwise.
+  saliency::VisualBackProp* vbp_ = nullptr;
+
   bool fitted_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "core/pipeline_io.hpp"
 
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,7 +15,30 @@ constexpr const char* kMagic = "salnov-pipeline";
 // for primary, preproc+MSE, raw+MSE) after the primary threshold. Older v1
 // files are rejected on load (callers refit; the bench cache does so
 // automatically), so every loadable pipeline can serve the full ladder.
-constexpr uint32_t kVersion = 2;
+// v3: per-variant presence flags (the q8 calibrations are optional), the two
+// q8 rung calibrations, and the int8 activation-scale blocks for the
+// autoencoder and steering forwards. v2 files load with empty q8 state —
+// the serving layer falls back to the float ladder/thresholds.
+
+void write_quant_scales(std::ostream& os, const nn::QuantScales& scales) {
+  write_u32(os, static_cast<uint32_t>(scales.act_scales.size()));
+  for (float s : scales.act_scales) write_f32(os, s);
+}
+
+nn::QuantScales read_quant_scales(std::istream& is) {
+  const uint32_t count = read_u32(is);
+  if (count > 4096) throw SerializationError("pipeline: implausible quant scale count");
+  nn::QuantScales scales;
+  scales.act_scales.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const float s = read_f32(is);
+    if (!std::isfinite(s) || s <= 0.0f) {
+      throw SerializationError("pipeline: quant scale must be finite and positive");
+    }
+    scales.act_scales.push_back(s);
+  }
+  return scales;
+}
 
 uint32_t preprocessing_tag(Preprocessing preprocessing) {
   switch (preprocessing) {
@@ -87,7 +111,11 @@ NoveltyDetectorConfig read_config(std::istream& is) {
 
 }  // namespace
 
-void PipelineIo::save(std::ostream& os, const NoveltyDetector& detector, nn::Sequential* steering_model) {
+void PipelineIo::save(std::ostream& os, const NoveltyDetector& detector,
+                      nn::Sequential* steering_model, uint32_t version) {
+  if (version != kCurrentVersion && version != kLegacyVersion) {
+    throw std::invalid_argument("PipelineIo::save: unsupported version " + std::to_string(version));
+  }
   if (!detector.is_fitted()) {
     throw std::logic_error("PipelineIo::save: detector is not fitted");
   }
@@ -97,17 +125,32 @@ void PipelineIo::save(std::ostream& os, const NoveltyDetector& detector, nn::Seq
   if (!detector.has_variant_calibrations()) {
     throw std::logic_error("PipelineIo::save: detector lacks variant calibrations (refit required)");
   }
-  write_header(os, kMagic, kVersion);
+  write_header(os, kMagic, version);
   write_config(os, detector.config());
   detector.threshold().save(os);
-  write_u32(os, static_cast<uint32_t>(kDetectorVariantCount));
-  for (int v = 0; v < kDetectorVariantCount; ++v) {
-    detector.variant_calibration(static_cast<DetectorVariant>(v)).save(os);
+  const int variant_count =
+      version == kLegacyVersion ? kDetectorFloatVariantCount : kDetectorVariantCount;
+  write_u32(os, static_cast<uint32_t>(variant_count));
+  for (int v = 0; v < variant_count; ++v) {
+    const VariantCalibration* calibration =
+        detector.variant_calibration_if(static_cast<DetectorVariant>(v));
+    if (version == kLegacyVersion) {
+      // The float calibrations are guaranteed by the precondition; v2 has no
+      // presence flags.
+      calibration->save(os);
+      continue;
+    }
+    write_u32(os, calibration != nullptr ? 1u : 0u);
+    if (calibration != nullptr) calibration->save(os);
   }
   // The autoencoder is logically const here; save_model only reads weights.
   nn::save_model(os, const_cast<NoveltyDetector&>(detector).autoencoder());
   write_u32(os, steering_model != nullptr ? 1u : 0u);
   if (steering_model != nullptr) nn::save_model(os, *steering_model);
+  if (version >= kCurrentVersion) {
+    write_quant_scales(os, detector.ae_quant_scales_);
+    write_quant_scales(os, detector.steering_quant_scales_);
+  }
 }
 
 void PipelineIo::save_file(const std::string& path, const NoveltyDetector& detector,
@@ -116,18 +159,40 @@ void PipelineIo::save_file(const std::string& path, const NoveltyDetector& detec
 }
 
 LoadedPipeline PipelineIo::load(std::istream& is) {
-  read_header(is, kMagic, kVersion);
+  const std::string magic = read_string(is);
+  if (magic != kMagic) {
+    throw SerializationError("pipeline: expected magic '" + std::string(kMagic) + "', got '" +
+                             magic + "'");
+  }
+  const uint32_t version = read_u32(is);
+  if (version != kLegacyVersion && version != kCurrentVersion) {
+    throw SerializationError("pipeline: version " + std::to_string(version) +
+                             " unsupported (want " + std::to_string(kLegacyVersion) + " or " +
+                             std::to_string(kCurrentVersion) + ")");
+  }
   const NoveltyDetectorConfig config = read_config(is);
   const NoveltyThreshold threshold = NoveltyThreshold::load(is);
 
   LoadedPipeline pipeline;
   pipeline.detector = std::make_unique<NoveltyDetector>(config);
+  const uint32_t expected_variants = static_cast<uint32_t>(
+      version == kLegacyVersion ? kDetectorFloatVariantCount : kDetectorVariantCount);
   const uint32_t variant_count = read_u32(is);
-  if (variant_count != static_cast<uint32_t>(kDetectorVariantCount)) {
-    throw SerializationError("pipeline: expected " + std::to_string(kDetectorVariantCount) +
+  if (variant_count != expected_variants) {
+    throw SerializationError("pipeline: expected " + std::to_string(expected_variants) +
                              " variant calibrations, file has " + std::to_string(variant_count));
   }
   for (uint32_t v = 0; v < variant_count; ++v) {
+    if (version >= kCurrentVersion) {
+      const uint32_t present = read_u32(is);
+      if (present > 1) throw SerializationError("pipeline: calibration presence flag out of range");
+      if (present == 0) {
+        if (v < static_cast<uint32_t>(kDetectorFloatVariantCount)) {
+          throw SerializationError("pipeline: float variant calibration missing");
+        }
+        continue;  // absent q8 calibration: the float peer serves the rung
+      }
+    }
     pipeline.detector->variant_calibrations_[v] = VariantCalibration::load(is);
   }
   pipeline.detector->autoencoder_ = nn::load_model(is);
@@ -141,6 +206,26 @@ LoadedPipeline PipelineIo::load(std::istream& is) {
   } else if (uses_saliency(config.preprocessing)) {
     throw SerializationError("pipeline: saliency configuration but no steering model in file");
   }
+  if (version >= kCurrentVersion) {
+    pipeline.detector->ae_quant_scales_ = read_quant_scales(is);
+    pipeline.detector->steering_quant_scales_ = read_quant_scales(is);
+    if (!pipeline.detector->ae_quant_scales_.empty() &&
+        pipeline.detector->ae_quant_scales_.act_scales.size() !=
+            static_cast<size_t>(
+                nn::QuantizedForward::count_quantizable(pipeline.detector->autoencoder_))) {
+      throw SerializationError("pipeline: autoencoder quant scale count mismatch");
+    }
+    if (!pipeline.detector->steering_quant_scales_.empty() &&
+        (pipeline.steering_model == nullptr ||
+         pipeline.detector->steering_quant_scales_.act_scales.size() !=
+             static_cast<size_t>(
+                 nn::QuantizedForward::count_quantizable(*pipeline.steering_model)))) {
+      throw SerializationError("pipeline: steering quant scale count mismatch");
+    }
+  }
+  // Builds the quantized wrappers from the freshly loaded weights + scales
+  // (attach_steering_model above ran too early — before the scales existed).
+  pipeline.detector->rebuild_quant_path();
   return pipeline;
 }
 

@@ -76,4 +76,34 @@ std::vector<double> predict_steering_batch(nn::Sequential& model,
   return angles;
 }
 
+double predict_steering_q8(const nn::QuantizedForward& model, const Image& image) {
+  const Tensor out = model.forward(image.as_nchw());
+  if (out.numel() != 1) throw std::logic_error("predict_steering_q8: model output is not scalar");
+  return out[0];
+}
+
+std::vector<double> predict_steering_q8_batch(const nn::QuantizedForward& model,
+                                              const std::vector<const Image*>& images) {
+  if (images.empty()) return {};
+  const int64_t batch = static_cast<int64_t>(images.size());
+  const int64_t h = images[0]->height();
+  const int64_t w = images[0]->width();
+  Tensor input({batch, 1, h, w});
+  for (int64_t n = 0; n < batch; ++n) {
+    const Image& image = *images[static_cast<size_t>(n)];
+    if (image.height() != h || image.width() != w) {
+      throw std::invalid_argument("predict_steering_q8_batch: mixed image sizes in one batch");
+    }
+    std::memcpy(input.data() + n * h * w, image.tensor().data(),
+                static_cast<size_t>(h * w) * sizeof(float));
+  }
+  const Tensor out = model.forward(input);
+  if (out.numel() != batch) {
+    throw std::logic_error("predict_steering_q8_batch: model output is not one scalar per image");
+  }
+  std::vector<double> angles(static_cast<size_t>(batch));
+  for (int64_t n = 0; n < batch; ++n) angles[static_cast<size_t>(n)] = out[n];
+  return angles;
+}
+
 }  // namespace salnov::driving

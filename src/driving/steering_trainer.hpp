@@ -6,6 +6,7 @@
 // structure), and reports steering MAE.
 #pragma once
 
+#include "nn/quantized.hpp"
 #include "nn/trainer.hpp"
 #include "roadsim/dataset.hpp"
 
@@ -45,5 +46,16 @@ double predict_steering(nn::Sequential& model, const Image& image);
 /// cluster's cross-frame micro-batching relies on this.
 std::vector<double> predict_steering_batch(nn::Sequential& model,
                                            const std::vector<const Image*>& images);
+
+/// Predicts the steering angle through the int8-quantized view of the model
+/// (the q8 ladder rungs). Unlike the float entries, the result is
+/// bit-identical across GEMM kernels and thread counts, not just batch
+/// sizes — the quantized path accumulates in exact int32.
+double predict_steering_q8(const nn::QuantizedForward& model, const Image& image);
+
+/// Batched counterpart; element i is bit-identical to
+/// predict_steering_q8(model, *images[i]).
+std::vector<double> predict_steering_q8_batch(const nn::QuantizedForward& model,
+                                              const std::vector<const Image*>& images);
 
 }  // namespace salnov::driving

@@ -56,6 +56,7 @@ class Conv2d : public Layer {
 
   const Conv2dConfig& config() const { return config_; }
   const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
 
   /// Output spatial size for a given input spatial size.
   int64_t out_size(int64_t in_size, int64_t kernel) const;

@@ -163,6 +163,55 @@ Image VisualBackProp::compute_with_maps(nn::Sequential& model, const Image& inpu
   return relevance_chain(stages, averaged_maps, input.height(), input.width());
 }
 
+Image VisualBackProp::compute_quantized(const nn::QuantizedForward& model,
+                                        const Image& input) const {
+  const auto stages = find_conv_stages(model.model());
+  if (stages.empty()) {
+    throw std::invalid_argument("VisualBackProp: model has no convolutional stages");
+  }
+  const auto activations = model.forward_collect(input.as_nchw());
+  std::vector<Tensor> averaged_maps;
+  averaged_maps.reserve(stages.size());
+  for (const auto& stage : stages) {
+    averaged_maps.push_back(channel_average_sample(activations[stage.output_index], 0));
+  }
+  return relevance_chain(stages, averaged_maps, input.height(), input.width());
+}
+
+std::vector<Image> VisualBackProp::compute_batch_quantized(
+    const nn::QuantizedForward& model, const std::vector<const Image*>& inputs) const {
+  if (inputs.empty()) return {};
+  const auto stages = find_conv_stages(model.model());
+  if (stages.empty()) {
+    throw std::invalid_argument("VisualBackProp: model has no convolutional stages");
+  }
+  const int64_t batch = static_cast<int64_t>(inputs.size());
+  const int64_t h = inputs[0]->height();
+  const int64_t w = inputs[0]->width();
+  Tensor stacked({batch, 1, h, w});
+  for (int64_t n = 0; n < batch; ++n) {
+    const Image& input = *inputs[static_cast<size_t>(n)];
+    if (input.height() != h || input.width() != w) {
+      throw std::invalid_argument("VisualBackProp: mixed image sizes in one batch");
+    }
+    std::memcpy(stacked.data() + n * h * w, input.tensor().data(),
+                static_cast<size_t>(h * w) * sizeof(float));
+  }
+  const auto activations = model.forward_collect(stacked);
+  std::vector<Image> masks(inputs.size());
+  parallel::parallel_for(0, batch, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t n = begin; n < end; ++n) {
+      std::vector<Tensor> averaged_maps;
+      averaged_maps.reserve(stages.size());
+      for (const auto& stage : stages) {
+        averaged_maps.push_back(channel_average_sample(activations[stage.output_index], n));
+      }
+      masks[static_cast<size_t>(n)] = relevance_chain(stages, averaged_maps, h, w);
+    }
+  });
+  return masks;
+}
+
 std::vector<Image> VisualBackProp::compute_batch(nn::Sequential& model,
                                                  const std::vector<const Image*>& inputs) {
   if (inputs.empty()) return {};

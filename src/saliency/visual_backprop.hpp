@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "nn/quantized.hpp"
 #include "saliency/saliency.hpp"
 
 namespace salnov::saliency {
@@ -48,6 +49,17 @@ class VisualBackProp : public SaliencyMethod {
   /// map of each conv stage, shallow to deep (for inspection and tests).
   Image compute_with_maps(nn::Sequential& model, const Image& input,
                           std::vector<Tensor>& averaged_maps) const;
+
+  /// Int8-quantized VBP: the forward pass runs through the quantized view of
+  /// the steering model (exact-int32 GEMMs, bit-identical at any kernel /
+  /// thread count / batch size); the channel averages and relevance chain
+  /// are the same float code as the float path. Used by the q8 ladder rungs.
+  Image compute_quantized(const nn::QuantizedForward& model, const Image& input) const;
+
+  /// Batched counterpart; element i is bit-identical to
+  /// compute_quantized(model, *inputs[i]) for any batch composition.
+  std::vector<Image> compute_batch_quantized(const nn::QuantizedForward& model,
+                                             const std::vector<const Image*>& inputs) const;
 };
 
 /// Transposed convolution with all-ones weights: scatters each input value

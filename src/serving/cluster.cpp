@@ -305,7 +305,11 @@ HealthSnapshot ServingCluster::aggregate_health() const {
   HealthSnapshot agg;
   for (int64_t s = 0; s < config_.streams; ++s) {
     const HealthSnapshot h = stream_health(s);
-    if (static_cast<int>(h.mode) > static_cast<int>(agg.mode)) agg.mode = h.mode;
+    // Ladder rank, not enum ordinal: the q8 rungs are appended to the enum
+    // (serialized ordinals are load-bearing) but sit mid-ladder.
+    if (serving_mode_ladder_rank(h.mode) > serving_mode_ladder_rank(agg.mode)) {
+      agg.mode = h.mode;
+    }
     if (breaker_severity(h.breaker_state) > breaker_severity(agg.breaker_state)) {
       agg.breaker_state = h.breaker_state;
     }
@@ -752,11 +756,20 @@ void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
   // prediction applies the supervisor's own rule to the stream's current
   // mode/breaker; a frame whose stream changes mid-batch simply falls back
   // to in-stage compute of the same bits.
-  std::vector<const Image*> steer_in;
-  std::vector<size_t> steer_at;
-  std::vector<const Image*> sal_in;
-  std::vector<size_t> sal_at;
+  //
+  // Batched compute is partitioned by PRECISION: a mixed batch (some streams
+  // on float rungs, some demoted to q8) runs one float sub-batch and one q8
+  // sub-batch per stage — never a mixed forward, because the supervisor only
+  // trusts provided results whose precision matches the serving rung
+  // (ProvidedCompute::quantized).
+  struct StageFan {
+    std::vector<const Image*> in;
+    std::vector<size_t> at;
+  };
+  std::array<StageFan, 2> steer_fan;  // [0]=float, [1]=q8
+  std::array<StageFan, 2> sal_fan;
   int64_t prescreen_rejects = 0;
+  const bool steer_q8_available = detector_.quant_steering() != nullptr;
   for (size_t i = 0; i < b; ++i) {
     Slot& slot = slots[i];
     slot.supervisor = supervisors_[static_cast<size_t>(batch[i].stream_id)].get();
@@ -765,10 +778,15 @@ void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
       ++prescreen_rejects;
       continue;
     }
+    const bool q8 = serving_mode_quantized(slot.supervisor->mode());
+    slot.provided.quantized = q8;
     if (withhold) continue;
     if (steering_model_ != nullptr) {
-      steer_in.push_back(&batch[i].frame);
-      steer_at.push_back(i);
+      // Mirror the supervisor's rule: a q8 rung steers quantized only when
+      // the quantized steering forward exists.
+      StageFan& fan = steer_fan[q8 && steer_q8_available ? 1 : 0];
+      fan.in.push_back(&batch[i].frame);
+      fan.at.push_back(i);
     }
     const BreakerState breaker = slot.supervisor->breaker_state();
     const bool want_saliency =
@@ -776,36 +794,44 @@ void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
         (Supervisor::mode_uses_saliency(slot.supervisor->mode()) ||
          breaker == BreakerState::kHalfOpen);
     if (want_saliency) {
-      sal_in.push_back(&batch[i].frame);
-      sal_at.push_back(i);
+      // A half-open probe serves float on success, and a probing stream's
+      // mode is below the saliency rungs, so q8 is false there — the mask
+      // precision always matches what the supervisor will consume.
+      StageFan& fan = sal_fan[q8 ? 1 : 0];
+      fan.in.push_back(&batch[i].frame);
+      fan.at.push_back(i);
     }
   }
 
   // --- Batched compute: steer, saliency, reconstruct ----------------------
   // Any batched entry that throws simply provides nothing: each supervisor's
   // own stage recomputes (or registers the identical failure) in-line.
-  if (!steer_in.empty()) {
+  for (int p = 0; p < 2; ++p) {
+    const StageFan& fan = steer_fan[static_cast<size_t>(p)];
+    if (fan.in.empty()) continue;
     try {
       const std::vector<double> angles =
-          driving::predict_steering_batch(*steering_model_, steer_in);
-      for (size_t k = 0; k < steer_at.size(); ++k) {
-        slots[steer_at[k]].provided.steering = angles[k];
+          p == 1 ? driving::predict_steering_q8_batch(*detector_.quant_steering(), fan.in)
+                 : driving::predict_steering_batch(*steering_model_, fan.in);
+      for (size_t k = 0; k < fan.at.size(); ++k) {
+        slots[fan.at[k]].provided.steering = angles[k];
       }
     } catch (const std::exception&) {
     }
   }
-  if (!sal_in.empty()) {
+  for (int p = 0; p < 2; ++p) {
+    const StageFan& fan = sal_fan[static_cast<size_t>(p)];
+    if (fan.in.empty()) continue;
     try {
-      std::vector<Image> masks =
-          detector_.variant_preprocess_batch(core::DetectorVariant::kPrimary, sal_in);
-      for (size_t k = 0; k < sal_at.size(); ++k) {
-        slots[sal_at[k]].provided.saliency_mask = std::move(masks[k]);
+      std::vector<Image> masks = detector_.variant_preprocess_batch(
+          p == 1 ? core::DetectorVariant::kPrimaryQ8 : core::DetectorVariant::kPrimary, fan.in);
+      for (size_t k = 0; k < fan.at.size(); ++k) {
+        slots[fan.at[k]].provided.saliency_mask = std::move(masks[k]);
       }
     } catch (const std::exception&) {
     }
   }
-  std::vector<const Image*> recon_in;
-  std::vector<size_t> recon_at;
+  std::array<StageFan, 2> recon_fan;
   if (!withhold) {
     for (size_t i = 0; i < b; ++i) {
       Slot& slot = slots[i];
@@ -815,15 +841,20 @@ void ServingCluster::process_batch(Replica& r, std::vector<PendingFrame> batch,
       // feed the frame through unchanged).
       slot.recon_in = slot.provided.saliency_mask.has_value() ? &*slot.provided.saliency_mask
                                                               : &batch[i].frame;
-      recon_in.push_back(slot.recon_in);
-      recon_at.push_back(i);
+      StageFan& fan = recon_fan[slot.provided.quantized ? 1 : 0];
+      fan.in.push_back(slot.recon_in);
+      fan.at.push_back(i);
     }
   }
-  if (!recon_in.empty()) {
+  for (int p = 0; p < 2; ++p) {
+    const StageFan& fan = recon_fan[static_cast<size_t>(p)];
+    if (fan.in.empty()) continue;
     try {
-      std::vector<Image> recons = detector_.reconstruct_batch(recon_in);
-      for (size_t k = 0; k < recon_at.size(); ++k) {
-        Slot& slot = slots[recon_at[k]];
+      std::vector<Image> recons =
+          p == 1 ? detector_.variant_reconstruct_batch(core::DetectorVariant::kPrimaryQ8, fan.in)
+                 : detector_.reconstruct_batch(fan.in);
+      for (size_t k = 0; k < fan.at.size(); ++k) {
+        Slot& slot = slots[fan.at[k]];
         slot.provided.recon_input = *slot.recon_in;
         slot.provided.reconstruction = std::move(recons[k]);
       }

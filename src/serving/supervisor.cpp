@@ -13,6 +13,10 @@ core::DetectorVariant Supervisor::variant_for(ServingMode mode) {
       return core::DetectorVariant::kPrimary;
     case ServingMode::kVbpMse:
       return core::DetectorVariant::kPreprocessedMse;
+    case ServingMode::kVbpSsimQ8:
+      return core::DetectorVariant::kPrimaryQ8;
+    case ServingMode::kVbpMseQ8:
+      return core::DetectorVariant::kPreprocessedMseQ8;
     case ServingMode::kRawMse:
     case ServingMode::kSensorHold:
       return core::DetectorVariant::kRawMse;
@@ -29,7 +33,11 @@ Supervisor::Supervisor(const core::NoveltyDetector& detector, nn::Sequential* st
       clock_(clock == nullptr ? owned_clock_.get() : clock),
       monitor_(detector, config_.monitor),
       breaker_(config_.breaker),
-      saliency_configured_(core::uses_saliency(detector.config().preprocessing)) {
+      saliency_configured_(core::uses_saliency(detector.config().preprocessing)),
+      // Silent degrade, not an error: a pipeline fitted without quantization
+      // (or loaded from a pre-quant file) simply serves the float ladder.
+      quant_rungs_active_(config_.enable_quant_rungs && detector.has_quant_calibrations() &&
+                          detector.has_quant_path()) {
   if (!detector.has_variant_calibrations()) {
     throw std::logic_error("Supervisor: detector lacks variant calibrations (refit or reload)");
   }
@@ -172,11 +180,13 @@ void Supervisor::set_mode(ServingMode mode) {
 }
 
 void Supervisor::update_ladder(bool frame_bad) {
+  // Pipelines without the q8 rungs walk the ladder exactly as before the
+  // rungs existed: next/prev skip over them.
   if (frame_bad) {
     healthy_streak_ = 0;
     if (++bad_streak_ >= config_.demote_after_bad_frames &&
         mode_ != ServingMode::kSensorHold) {
-      mode_ = static_cast<ServingMode>(static_cast<int>(mode_) + 1);
+      mode_ = serving_ladder_next(mode_, /*skip_quantized=*/!quant_rungs_active_);
       ++step_downs_;
       bad_streak_ = 0;
     }
@@ -185,7 +195,8 @@ void Supervisor::update_ladder(bool frame_bad) {
   bad_streak_ = 0;
   if (++healthy_streak_ >= config_.promote_after_healthy_frames &&
       mode_ != ServingMode::kVbpSsim) {
-    const ServingMode target = static_cast<ServingMode>(static_cast<int>(mode_) - 1);
+    const ServingMode target =
+        serving_ladder_prev(mode_, /*skip_quantized=*/!quant_rungs_active_);
     // Promotion back into a saliency rung is gated on the breaker: while it
     // is open or probing, the stage the rung depends on is not trusted yet.
     if (!mode_uses_saliency(target) || !saliency_configured_ ||
@@ -248,15 +259,30 @@ ServeResult Supervisor::process(const Image& frame, const ProvidedCompute* provi
   breaker_.begin_frame();
   ServingMode mode_used = mode_;
 
+  // Provided compute is only trusted at the precision this frame serves at:
+  // float and q8 forwards are different bits by design, so a precision
+  // mismatch (mid-batch mode change across a q8 boundary) recomputes
+  // directly. `mode_used` cannot cross a precision boundary after this point
+  // — within-frame fallbacks land on float kRawMse, which steer/saliency
+  // below never consult q8 state for.
+  const bool quant_frame = serving_mode_quantized(mode_used);
+  const bool provided_ok = provided != nullptr && provided->quantized == quant_frame;
+
   // --- Stage 1: steer ----------------------------------------------------
   // The steering prediction is the vehicle's primary output and runs in
-  // every mode that reaches this point.
+  // every mode that reaches this point. On a q8 rung it comes from the
+  // quantized steering forward — the same network the q8 saliency mask is
+  // backpropped through.
+  const bool steer_q8 = quant_frame && detector_.quant_steering() != nullptr;
   if (steering_model_ != nullptr) {
     const StageOutcome steer = run_stage(Stage::kSteer, index, result, [&] {
       // A provided angle is the batched forward's row for this frame —
-      // bit-identical to the direct call (per-row GEMM identity).
-      result.steering = provided != nullptr && provided->steering.has_value()
+      // bit-identical to the direct call (per-row GEMM identity; exact for
+      // q8 too, since integer accumulation is associative).
+      result.steering = provided_ok && provided->steering.has_value()
                             ? *provided->steering
+                        : steer_q8
+                            ? driving::predict_steering_q8(*detector_.quant_steering(), frame)
                             : driving::predict_steering(*steering_model_, frame);
     });
     if (!steer.ok()) frame_bad = true;
@@ -277,14 +303,20 @@ ServeResult Supervisor::process(const Image& frame, const ProvidedCompute* provi
       (mode_uses_saliency(mode_used) || probe);
   bool tripped_this_frame = false;
   if (attempt_saliency) {
+    // A half-open probe restores the float top rung on success, so the mask
+    // it computes must be the float mask; only a q8 rung that will itself
+    // consume the mask computes it quantized.
+    const bool mask_q8 = quant_frame && mode_uses_saliency(mode_used);
     Image mask;
     const StageOutcome saliency = run_stage(Stage::kSaliency, index, result, [&] {
       // A provided mask skips only the compute: the frame already passed the
       // same validator in the kValidate stage, so the direct call could not
       // have rejected it either.
-      mask = provided != nullptr && provided->saliency_mask.has_value()
+      mask = provided_ok && provided->saliency_mask.has_value()
                  ? *provided->saliency_mask
-                 : detector_.variant_preprocess(core::DetectorVariant::kPrimary, frame);
+                 : detector_.variant_preprocess(mask_q8 ? core::DetectorVariant::kPrimaryQ8
+                                                        : core::DetectorVariant::kPrimary,
+                                                frame);
     });
     if (saliency.ok()) {
       breaker_.record_success();
@@ -303,7 +335,8 @@ ServeResult Supervisor::process(const Image& frame, const ProvidedCompute* provi
       breaker_.record_failure();
       if (breaker_.trips() > trips_before) {
         tripped_this_frame = true;
-        if (static_cast<int>(mode_) < static_cast<int>(ServingMode::kRawMse)) {
+        if (serving_mode_ladder_rank(mode_) <
+            serving_mode_ladder_rank(ServingMode::kRawMse)) {
           set_mode(ServingMode::kRawMse);
           ++step_downs_;
         }
@@ -335,14 +368,15 @@ ServeResult Supervisor::process(const Image& frame, const ProvidedCompute* provi
     // the preprocessed input before policy runs, and a mid-batch mode or
     // breaker change can invalidate that guess. A miss recomputes the same
     // bits, just unbatched.
-    if (provided != nullptr && provided->reconstruction.has_value() &&
+    if (provided_ok && provided->reconstruction.has_value() &&
+        serving_mode_quantized(mode_used) == quant_frame &&
         provided->recon_input.tensor() == preprocessed.tensor()) {
       reconstruction = *provided->reconstruction;
     } else {
       if (provided != nullptr && provided->reconstruction.has_value()) {
         last_recon_mispredicted_ = true;
       }
-      reconstruction = detector_.reconstruct(preprocessed);
+      reconstruction = detector_.variant_reconstruct(variant, preprocessed);
     }
   });
   bool pipeline_broken = reconstruct.threw;

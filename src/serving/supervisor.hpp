@@ -69,6 +69,13 @@ struct SupervisorConfig {
 
   core::MonitorConfig monitor;
 
+  /// Enables the int8-quantized ladder rungs (vbp+ssim-q8 / vbp+mse-q8)
+  /// between each float rung and its cheaper successor. Requires a detector
+  /// fitted with quantization (has_quant_calibrations + has_quant_path);
+  /// otherwise the flag is ignored and the ladder skips the q8 rungs —
+  /// identical to the pre-quantization ladder.
+  bool enable_quant_rungs = false;
+
   /// Online shadow calibration + drift-triggered threshold hot-swap;
   /// disabled by default (frozen paper thresholds).
   calib::OnlineCalibrationConfig calibration;
@@ -113,6 +120,10 @@ struct ProvidedCompute {
   std::optional<Image> saliency_mask;   ///< variant_preprocess(kPrimary, frame)
   std::optional<Image> reconstruction;  ///< reconstruct(recon_input)
   Image recon_input;  ///< the preprocessed image `reconstruction` was computed from
+  /// Precision the batched forwards ran at. A frame served on a rung of the
+  /// other precision ignores ALL provided fields (quantized and float
+  /// results are different bits by design), falling back to direct calls.
+  bool quantized = false;
 };
 
 /// One completed in-process threshold hot-swap (drift-triggered or forced).
@@ -172,8 +183,17 @@ class Supervisor {
   /// Public so batching front ends can predict a frame's compute needs with
   /// the same rule the supervisor applies.
   static bool mode_uses_saliency(ServingMode mode) {
-    return mode == ServingMode::kVbpSsim || mode == ServingMode::kVbpMse;
+    return mode == ServingMode::kVbpSsim || mode == ServingMode::kVbpMse ||
+           mode == ServingMode::kVbpSsimQ8 || mode == ServingMode::kVbpMseQ8;
   }
+
+  /// True when the q8 rungs participate in this supervisor's ladder (the
+  /// config flag was set AND the detector supports it).
+  bool quant_rungs_active() const { return quant_rungs_active_; }
+
+  /// The detector variant a rung scores with (q8 rungs map to q8 variants).
+  /// Public for batching front ends and trace tooling.
+  static core::DetectorVariant variant_for(ServingMode mode);
 
  private:
   struct StageOutcome {
@@ -181,8 +201,6 @@ class Supervisor {
     bool overrun = false;
     bool ok() const { return !threw && !overrun; }
   };
-
-  static core::DetectorVariant variant_for(ServingMode mode);
 
   StageOutcome run_stage(Stage stage, int64_t frame_index, ServeResult& result,
                          const std::function<void()>& body);
@@ -206,6 +224,7 @@ class Supervisor {
   core::NoveltyMonitor monitor_;
   CircuitBreaker breaker_;
   const bool saliency_configured_;
+  const bool quant_rungs_active_;
 
   ServingMode mode_ = ServingMode::kVbpSsim;
   bool last_recon_mispredicted_ = false;

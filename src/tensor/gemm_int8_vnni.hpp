@@ -1,0 +1,23 @@
+// AVX-512 VNNI band kernel for the int8 GEMM (vpdpbusd: 4-way u8 x s8 dot
+// products accumulating directly into int32 lanes — exact, like every other
+// int8 kernel here). Compiled in its own TU with AVX-512 flags; callers
+// must check int8_vnni_available() first.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/gemm_int8.hpp"
+
+namespace salnov::detail {
+
+/// True when this build carries the VNNI band and the CPU supports
+/// AVX-512F/BW/VL + VNNI.
+bool int8_vnni_available();
+
+/// One row band over the shared k4-interleaved packed operands (layout
+/// documented in gemm_int8_simd.cpp). Exactly one of c32 / cf is non-null.
+void int8_band_vnni(const uint8_t* pa, const int8_t* pb, int32_t* c32, float* cf,
+                    int64_t row_begin, int64_t row_end, int64_t n, int64_t groups,
+                    const QuantEpilogue* epi);
+
+}  // namespace salnov::detail

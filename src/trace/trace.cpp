@@ -23,11 +23,13 @@ constexpr const char* kTraceMagic = "salnov-trace";
 // appends the multi-stream cluster spec block and the per-frame stream_id.
 // v4 appends the failure-domain spec block (watchdog knobs, admission
 // credits, replica-fault schedule), the cluster event log, and the
-// cluster-health counters. save() always writes the current version; load()
-// accepts every version back to kTraceVersionMin (checked-in goldens span
-// v1..v4) and fills newer fields with their feature-off defaults
-// (calibration off, single stream, no watchdog/faults).
-constexpr uint32_t kTraceVersion = 4;
+// cluster-health counters. v5 appends the quantized-ladder flag (the q8
+// serving rungs; per-frame modes widen through the same checked_enum range).
+// save() always writes the current version; load() accepts every version
+// back to kTraceVersionMin (checked-in goldens span v1..v5) and fills newer
+// fields with their feature-off defaults (calibration off, single stream,
+// no watchdog/faults, quant rungs off).
+constexpr uint32_t kTraceVersion = 5;
 constexpr uint32_t kTraceVersionMin = 1;
 
 // Frame-record flag bits (TraceFrame bools packed into one u32).
@@ -341,6 +343,9 @@ void Trace::save(std::ostream& os) const {
     write_i64(os, static_cast<int64_t>(fault.seed));
   }
 
+  // v5: quantized-ladder block.
+  write_u32(os, sup.enable_quant_rungs ? 1 : 0);
+
   write_u32(os, spec.pipeline_crc);
   write_i64(os, spec.pipeline_bytes);
 
@@ -519,6 +524,10 @@ Trace Trace::load(std::istream& is) {
       fault.seed = static_cast<uint64_t>(read_i64(is));
     }
   }  // v1..v3: no watchdog, no faults, no admission control
+
+  if (version >= 5) {
+    sup.enable_quant_rungs = read_u32(is) != 0;
+  }  // v1..v4: float ladder only
 
   spec.pipeline_crc = read_u32(is);
   spec.pipeline_bytes = read_i64(is);

@@ -18,6 +18,7 @@
 #include "roadsim/dataset.hpp"
 #include "roadsim/outdoor_generator.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_int8.hpp"
 #include "tensor/pack.hpp"
 #include "tensor/rng.hpp"
 
@@ -256,6 +257,151 @@ TEST(GemmKernels, DetectorScoresExactlyInvariantToWeightPacking) {
   for (size_t i = 0; i < unpacked.size(); ++i) {
     EXPECT_EQ(unpacked[i], packed[i]) << "score " << i << " changed under weight packing";
   }
+}
+
+// --- int8 kernel rungs -------------------------------------------------------
+// The quantized scoring rungs promise bit-exact int32 accumulation, so the
+// int8 contracts are strictly tighter than the float ones above: every
+// comparison here is memcmp-strength, SIMD included.
+
+/// Restores the int8 kernel selection when a test scope ends.
+struct Int8KernelGuard {
+  GemmInt8Kernel saved = active_gemm_int8_kernel();
+  ~Int8KernelGuard() { set_gemm_int8_kernel(saved); }
+};
+
+/// Reference u8*s8 -> int32 GEMM: plain integer dot, order-independent.
+std::vector<int32_t> naive_gemm_int8(const uint8_t* a, const int8_t* b, int64_t m, int64_t n,
+                                     int64_t k) {
+  std::vector<int32_t> c(static_cast<size_t>(m * n), 0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<int32_t>(a[i * k + kk]) * static_cast<int32_t>(b[kk * n + j]);
+      }
+      c[static_cast<size_t>(i * n + j)] = acc;
+    }
+  }
+  return c;
+}
+
+struct QuantOperands {
+  std::vector<uint8_t> a;
+  std::vector<int8_t> b;
+  QuantOperands(Rng& rng, int64_t m, int64_t n, int64_t k)
+      : a(static_cast<size_t>(m * k + 1)), b(static_cast<size_t>(k * n + 1)) {
+    for (auto& v : a) v = static_cast<uint8_t>(rng.uniform_int(0, 127));
+    for (auto& v : b) v = static_cast<int8_t>(rng.uniform_int(-127, 127));
+  }
+};
+
+TEST(GemmInt8Kernels, EveryKernelMatchesNaiveInt32Exactly) {
+  // Force each kernel in turn (forced-fallback coverage: the scalar rung
+  // must hold the same exactness contract the SIMD rung is dispatched to).
+  std::vector<GemmInt8Kernel> kernels = {GemmInt8Kernel::kScalar};
+  if (gemm_int8_simd_available()) kernels.push_back(GemmInt8Kernel::kSimd);
+  Int8KernelGuard guard;
+  Rng rng(6);
+  for (GemmInt8Kernel kernel : kernels) {
+    set_gemm_int8_kernel(kernel);
+    for (int64_t m : kSizes) {
+      for (int64_t n : kSizes) {
+        for (int64_t k : kSizes) {
+          QuantOperands ops(rng, m, n, k);
+          const std::vector<int32_t> expected = naive_gemm_int8(ops.a.data(), ops.b.data(), m, n, k);
+          std::vector<int32_t> c(static_cast<size_t>(m * n), 42);
+          gemm_u8s8(ops.a.data(), ops.b.data(), c.data(), m, n, k);
+          ASSERT_EQ(expected, c)
+              << gemm_int8_kernel_name(kernel) << " m=" << m << " n=" << n << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmInt8Kernels, PackedOperandBitIdenticalToUnpacked) {
+  std::vector<GemmInt8Kernel> kernels = {GemmInt8Kernel::kScalar};
+  if (gemm_int8_simd_available()) kernels.push_back(GemmInt8Kernel::kSimd);
+  Int8KernelGuard guard;
+  Rng rng(7);
+  for (GemmInt8Kernel kernel : kernels) {
+    set_gemm_int8_kernel(kernel);
+    for (int64_t m : {1, 5, 31}) {
+      for (int64_t n : {1, 17, 40}) {
+        const int64_t k = 33;
+        QuantOperands ops(rng, m, n, k);
+        std::vector<int32_t> plain(static_cast<size_t>(m * n), 1);
+        gemm_u8s8(ops.a.data(), ops.b.data(), plain.data(), m, n, k);
+        const PackedQuantMatrix pb = pack_quant_b(ops.b.data(), k, n);
+        std::vector<int32_t> packed(static_cast<size_t>(m * n), 2);
+        gemm_u8s8(ops.a.data(), ops.b.data(), packed.data(), m, n, k, &pb);
+        ASSERT_EQ(plain, packed)
+            << gemm_int8_kernel_name(kernel) << " m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(GemmInt8Kernels, DequantEpilogueMatchesManualFmafExactly) {
+  // The dequant contract is a single correctly-rounded fmaf per element
+  // (then ReLU); verify against a manual pass over the int32 product for
+  // every kernel.
+  std::vector<GemmInt8Kernel> kernels = {GemmInt8Kernel::kScalar};
+  if (gemm_int8_simd_available()) kernels.push_back(GemmInt8Kernel::kSimd);
+  Int8KernelGuard guard;
+  Rng rng(8);
+  for (GemmInt8Kernel kernel : kernels) {
+    set_gemm_int8_kernel(kernel);
+    for (bool relu : {false, true}) {
+      const int64_t m = 7, n = 19, k = 41;
+      QuantOperands ops(rng, m, n, k);
+      std::vector<float> bias(static_cast<size_t>(n));
+      for (auto& v : bias) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+      QuantEpilogue epilogue;
+      epilogue.scale = 3.07e-3f;
+      epilogue.bias_col = bias.data();
+      epilogue.relu = relu;
+
+      std::vector<float> fused(static_cast<size_t>(m * n));
+      gemm_u8s8_dequant(ops.a.data(), ops.b.data(), fused.data(), m, n, k, epilogue);
+
+      const std::vector<int32_t> acc = naive_gemm_int8(ops.a.data(), ops.b.data(), m, n, k);
+      std::vector<float> manual(static_cast<size_t>(m * n));
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          float v = std::fmaf(static_cast<float>(acc[static_cast<size_t>(i * n + j)]),
+                              epilogue.scale, bias[static_cast<size_t>(j)]);
+          if (relu && v < 0.0f) v = 0.0f;
+          manual[static_cast<size_t>(i * n + j)] = v;
+        }
+      }
+      ASSERT_EQ(0, std::memcmp(fused.data(), manual.data(), fused.size() * sizeof(float)))
+          << gemm_int8_kernel_name(kernel) << " relu=" << relu;
+    }
+  }
+}
+
+TEST(GemmInt8Kernels, KernelNamesAvailabilityAndGuards) {
+  EXPECT_STREQ("scalar", gemm_int8_kernel_name(GemmInt8Kernel::kScalar));
+  if (!gemm_int8_simd_available()) {
+    EXPECT_THROW(set_gemm_int8_kernel(GemmInt8Kernel::kSimd), std::invalid_argument);
+  } else {
+    Int8KernelGuard guard;
+    set_gemm_int8_kernel(GemmInt8Kernel::kSimd);
+    EXPECT_EQ(GemmInt8Kernel::kSimd, active_gemm_int8_kernel());
+    set_gemm_int8_kernel(GemmInt8Kernel::kScalar);
+    EXPECT_EQ(GemmInt8Kernel::kScalar, active_gemm_int8_kernel());
+  }
+
+  // Exactness guard: k beyond kMaxQuantK could overflow the int32
+  // accumulator, so the entry point must refuse rather than wrap.
+  std::vector<uint8_t> a(1);
+  std::vector<int8_t> b(1);
+  std::vector<int32_t> c(1);
+  EXPECT_THROW(gemm_u8s8(a.data(), b.data(), c.data(), 1, 1, kMaxQuantK + 1),
+               std::invalid_argument);
+  EXPECT_THROW(gemm_u8s8(a.data(), b.data(), c.data(), -1, 1, 1), std::invalid_argument);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "core/novelty_detector.hpp"
 #include "core/threshold.hpp"
 #include "core/pipeline_io.hpp"
+#include "driving/pilotnet.hpp"
 #include "image/image_io.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
@@ -149,6 +150,161 @@ TEST(ModelCorruption, WrongParameterCountRejected) {
   write_string(ss, "relu");
   write_u32(ss, 3);  // ReLU has zero parameters
   EXPECT_THROW(nn::load_model(ss), SerializationError);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized pipeline blocks (format v3): the act-scale blocks for the
+// autoencoder and steering model sit at the very end of the stream, so
+// tail-targeted truncation and corruption exercise them precisely. Legacy
+// writes (v2) must still round-trip with the float ladder intact.
+
+/// A fitted VBP+steering pipeline so both quant scale blocks are non-empty.
+struct QuantPipelineBytes {
+  std::string bytes;
+  size_t steer_scales = 0;  ///< f32 count in the final (steering) block
+};
+
+const QuantPipelineBytes& serialized_quant_pipeline() {
+  static const QuantPipelineBytes cached = [] {
+    Rng rng(9);
+    static nn::Sequential steering =
+        driving::build_pilotnet(driving::PilotNetConfig::tiny(16, 20), rng);
+    core::NoveltyDetectorConfig config;
+    config.height = 16;
+    config.width = 20;
+    config.preprocessing = core::Preprocessing::kVbp;
+    config.score = core::ReconstructionScore::kSsim;
+    config.autoencoder = core::AutoencoderConfig::tiny(16, 20);
+    config.train_epochs = 2;
+    core::NoveltyDetector detector(config);
+    detector.attach_steering_model(&steering);
+    std::vector<Image> images;
+    for (int i = 0; i < 6; ++i) images.emplace_back(16, 20, rng.uniform_tensor({320}, 0.0, 1.0));
+    detector.fit(images, rng);
+    EXPECT_TRUE(detector.has_quant_calibrations());
+    std::stringstream ss;
+    core::PipelineIo::save(ss, detector, &steering);
+    QuantPipelineBytes out;
+    out.bytes = ss.str();
+    out.steer_scales = static_cast<size_t>(nn::QuantizedForward::count_quantizable(steering));
+    EXPECT_GT(out.steer_scales, 0u);
+    return out;
+  }();
+  return cached;
+}
+
+class QuantBlockTruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantBlockTruncationSweep, TruncatedQuantScaleBlockRejected) {
+  // Cut GetParam() bytes off the end — every cut lands inside the ae or
+  // steering scale block (the last blocks in the stream).
+  const std::string& full = serialized_quant_pipeline().bytes;
+  std::stringstream ss(full.substr(0, full.size() - static_cast<size_t>(GetParam())));
+  EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+INSTANTIATE_TEST_SUITE_P(TailBytes, QuantBlockTruncationSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 9, 13));
+
+TEST(QuantBlockCorruption, NonFiniteScaleRejected) {
+  const QuantPipelineBytes& pipeline = serialized_quant_pipeline();
+  std::string data = pipeline.bytes;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::memcpy(&data[data.size() - sizeof(float)], &nan, sizeof(float));
+  std::stringstream ss(data);
+  EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+TEST(QuantBlockCorruption, NonPositiveScaleRejected) {
+  const QuantPipelineBytes& pipeline = serialized_quant_pipeline();
+  std::string data = pipeline.bytes;
+  const float negative = -1.0f;
+  std::memcpy(&data[data.size() - sizeof(float)], &negative, sizeof(float));
+  std::stringstream ss(data);
+  EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+TEST(QuantBlockCorruption, ImplausibleScaleCountRejected) {
+  const QuantPipelineBytes& pipeline = serialized_quant_pipeline();
+  std::string data = pipeline.bytes;
+  // The steering count u32 sits right before its f32 scales, at the tail.
+  const size_t count_offset = data.size() - pipeline.steer_scales * sizeof(float) - 4;
+  const uint32_t huge = 1u << 20;
+  std::memcpy(&data[count_offset], &huge, sizeof(uint32_t));
+  std::stringstream ss(data);
+  EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+TEST(QuantBlockCorruption, MismatchedScaleCountRejected) {
+  const QuantPipelineBytes& pipeline = serialized_quant_pipeline();
+  std::string data = pipeline.bytes;
+  // A plausible-but-wrong count (one short, under the 4096 cap) must fail
+  // the per-model count check, not load a half-quantized pipeline.
+  const size_t count_offset = data.size() - pipeline.steer_scales * sizeof(float) - 4;
+  const uint32_t short_count = static_cast<uint32_t>(pipeline.steer_scales - 1);
+  std::memcpy(&data[count_offset], &short_count, sizeof(uint32_t));
+  data.resize(data.size() - sizeof(float));  // keep the stream length consistent
+  std::stringstream ss(data);
+  EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+TEST(QuantBlockCorruption, FutureVersionRejected) {
+  std::string data = serialized_quant_pipeline().bytes;
+  const size_t version_offset = 4 + std::string("salnov-pipeline").size();
+  data[version_offset] = 4;
+  std::stringstream ss(data);
+  EXPECT_THROW(core::PipelineIo::load(ss), SerializationError);
+}
+
+TEST(QuantLegacyFormat, LegacyV2WriteRoundTripsWithFloatLadderOnly) {
+  // A v2 write must stay loadable by this build (and by older builds that
+  // predate quantization): float calibrations intact, q8 state absent.
+  Rng rng(9);
+  nn::Sequential steering = driving::build_pilotnet(driving::PilotNetConfig::tiny(16, 20), rng);
+  core::NoveltyDetectorConfig config;
+  config.height = 16;
+  config.width = 20;
+  config.preprocessing = core::Preprocessing::kVbp;
+  config.score = core::ReconstructionScore::kSsim;
+  config.autoencoder = core::AutoencoderConfig::tiny(16, 20);
+  config.train_epochs = 2;
+  core::NoveltyDetector detector(config);
+  detector.attach_steering_model(&steering);
+  std::vector<Image> images;
+  for (int i = 0; i < 6; ++i) images.emplace_back(16, 20, rng.uniform_tensor({320}, 0.0, 1.0));
+  detector.fit(images, rng);
+  ASSERT_TRUE(detector.has_quant_calibrations());
+
+  std::stringstream legacy;
+  core::PipelineIo::save(legacy, detector, &steering, core::PipelineIo::kLegacyVersion);
+  core::LoadedPipeline loaded = core::PipelineIo::load(legacy);
+  EXPECT_FALSE(loaded.detector->has_quant_calibrations());
+  EXPECT_EQ(nullptr, loaded.detector->quant_autoencoder());
+  EXPECT_EQ(nullptr, loaded.detector->quant_steering());
+
+  // The float ladder still serves: same scores as the original detector.
+  Rng probe_rng(17);
+  const Image probe(16, 20, probe_rng.uniform_tensor({320}, 0.0, 1.0));
+  EXPECT_EQ(detector.score(probe), loaded.detector->score(probe));
+}
+
+TEST(QuantLegacyFormat, CurrentWriteRoundTripsQuantizedScoresBitExactly) {
+  // v3 round-trip: the reloaded quantized rung must score bit-identically —
+  // scales travel exactly (f32 in, f32 out), weights quantize from the same
+  // reloaded floats.
+  std::stringstream ss(serialized_quant_pipeline().bytes);
+  core::LoadedPipeline loaded = core::PipelineIo::load(ss);
+  ASSERT_TRUE(loaded.detector->has_quant_calibrations());
+  ASSERT_NE(nullptr, loaded.detector->quant_autoencoder());
+  ASSERT_NE(nullptr, loaded.detector->quant_steering());
+
+  std::stringstream again;
+  core::PipelineIo::save(again, *loaded.detector, loaded.steering_model.get());
+  core::LoadedPipeline second = core::PipelineIo::load(again);
+  Rng probe_rng(18);
+  const Image probe(16, 20, probe_rng.uniform_tensor({320}, 0.0, 1.0));
+  EXPECT_EQ(loaded.detector->score_variant(core::DetectorVariant::kPrimaryQ8, probe),
+            second.detector->score_variant(core::DetectorVariant::kPrimaryQ8, probe));
 }
 
 TEST(PipelineCorruption, UnknownPreprocessingTagRejected) {

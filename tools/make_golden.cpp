@@ -46,11 +46,9 @@ constexpr int64_t kMs = 1'000'000;  // ns
 constexpr double kMinDecisionMargin = 1e-5;
 
 core::DetectorVariant variant_for(serving::ServingMode mode) {
-  switch (mode) {
-    case serving::ServingMode::kVbpSsim: return core::DetectorVariant::kPrimary;
-    case serving::ServingMode::kVbpMse: return core::DetectorVariant::kPreprocessedMse;
-    default: return core::DetectorVariant::kRawMse;
-  }
+  // The supervisor's own rung→variant mapping (covers the q8 rungs too), so
+  // the margin check scores each frame against the threshold that judged it.
+  return serving::Supervisor::variant_for(mode);
 }
 
 trace::TraceRunSpec base_spec(int64_t frames) {
@@ -151,6 +149,22 @@ std::vector<Scenario> scenarios() {
       {/*replica=*/0, faults::ReplicaFaultKind::kWeightCorrupt, /*start_ns=*/30 * kMs,
        /*end_ns=*/200 * kMs, /*slow_penalty_ns=*/0, /*weight_bits=*/64, /*seed=*/5});
   all.push_back(failover);
+
+  // Format v5: the quantized ladder. Reconstruct-stage stalls demote one
+  // rung at a time with no breaker involvement, so the trace pins the full
+  // q8 walk: frame 3's stall drops vbp+ssim -> vbp+ssim-q8 (promoted back
+  // after 2 healthy frames); the {12,13,14} burst walks vbp+ssim ->
+  // vbp+ssim-q8 -> vbp+mse -> vbp+mse-q8; the healthy tail climbs all four
+  // rungs back to vbp+ssim by frame 22. Every q8-served frame is scored by
+  // the int8 forward against the q8 rung's own fitted threshold, and the
+  // integer path replays bit-exactly across GEMM kernels.
+  Scenario quant{"quantized_rung", base_spec(24)};
+  quant.spec.supervisor.enable_quant_rungs = true;
+  quant.spec.stalls.push_back({/*stage=*/3, /*stall_ns=*/10 * kMs, /*first_frame=*/3,
+                               /*last_frame=*/3, /*period=*/1});
+  quant.spec.stalls.push_back({/*stage=*/3, /*stall_ns=*/10 * kMs, /*first_frame=*/12,
+                               /*last_frame=*/14, /*period=*/1});
+  all.push_back(quant);
 
   return all;
 }

@@ -2,8 +2,10 @@
 # Builds the test suite with ThreadSanitizer and runs the parallel-layer
 # and serving-runtime tests — the frame queue, the server's worker /
 # producer / snapshot threads, the multi-stream cluster's replica workers,
-# and the replica failure domain (watchdog, fault schedules, failover /
-# chaos suites) — (plus any extra ctest -R pattern passed as $1).
+# the replica failure domain (watchdog, fault schedules, failover /
+# chaos suites), and the quantized int8 rungs (thread-count bit-identity
+# plus the int8 GEMM kernels) — (plus any extra ctest -R pattern passed
+# as $1).
 #
 # Usage:
 #   tools/run_tsan.sh              # run parallel_test under TSan
@@ -15,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build-tsan
-PATTERN="${1:-parallel_test|ParallelFor|GemmParallel|SsimParallel|DetectorParallel|DatasetParallel|FrameQueue|ServingFixture.Server|HotSwap|ClusterFixture|FailoverFixture|ReplicaWatchdog|ReplicaFaultSchedule}"
+PATTERN="${1:-parallel_test|ParallelFor|GemmParallel|SsimParallel|DetectorParallel|DatasetParallel|FrameQueue|ServingFixture.Server|HotSwap|ClusterFixture|FailoverFixture|ReplicaWatchdog|ReplicaFaultSchedule|QuantDifferentialFixture|GemmInt8}"
 
 cmake -B "$BUILD_DIR" -S . -DSALNOV_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)"

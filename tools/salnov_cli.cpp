@@ -116,7 +116,7 @@ int usage() {
                "                  [--fake-clock] [--stage-budget-ns NS] [--frame-budget-ns NS]\n"
                "                  [--stall-stage K --stall-ns NS [--stall-first F]\n"
                "                   [--stall-last L] [--stall-period P]]\n"
-               "                  [--demote-after N] [--promote-after N]\n"
+               "                  [--demote-after N] [--promote-after N] [--quant]\n"
                "                  [--breaker-threshold N] [--breaker-open-frames N]\n"
                "                  [--online-calib] [--drift-tolerance X]\n"
                "                  [--drift-min-samples N] [--drift-check-every N]\n"
@@ -621,6 +621,9 @@ int cmd_serve(const Args& args) {
   config.breaker.failure_threshold =
       static_cast<int>(args.get_int("breaker-threshold", config.breaker.failure_threshold));
   config.breaker.open_frames = args.get_int("breaker-open-frames", config.breaker.open_frames);
+  // Int8-quantized ladder rungs; silently inert when the pipeline file was
+  // fitted (or saved) without quantization state.
+  config.enable_quant_rungs = args.has("quant");
   apply_calibration_flags(args, config.calibration);
   const std::string threshold_store = args.get("threshold-store");
   if (!threshold_store.empty()) config.calibration.store_path = threshold_store;
@@ -768,6 +771,7 @@ int cmd_record(const Args& args) {
       args.get_int("breaker-threshold", spec.supervisor.breaker.failure_threshold));
   spec.supervisor.breaker.open_frames =
       args.get_int("breaker-open-frames", spec.supervisor.breaker.open_frames);
+  spec.supervisor.enable_quant_rungs = args.has("quant");
   apply_calibration_flags(args, spec.supervisor.calibration);
 
   if (args.has("stall-stage")) {
